@@ -1,0 +1,26 @@
+"""EMISSARY trace-driven cache simulation engine.
+
+Reproduction scaffold for "EMISSARY: Enhanced Miss Awareness Replacement
+Policy for L2 Instruction Caching" (ISCA 2023).  The package provides:
+
+- :mod:`emissary.traces` — synthetic instruction-stream generators
+- :mod:`emissary.engine` — batched set-major engine + naive reference engine
+- :mod:`emissary.policies` — replacement policy kernels (LRU, Random,
+  SRRIP, EMISSARY)
+- :mod:`emissary.sweep` — parallel (trace x policy x params) sweep runner
+  with an on-disk results cache
+- :mod:`emissary.bench` — throughput benchmark harness emitting BENCH_*.json
+"""
+
+from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine, SimResult, simulate
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BatchedEngine",
+    "CacheConfig",
+    "ReferenceEngine",
+    "SimResult",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Replacement policy registry.
+
+Each policy name maps to a (batched kernel, naive per-access) pair with
+identical semantics; the cross-check test suite asserts the two produce
+bit-identical hit/miss sequences on every trace family.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple, Type
+
+from emissary.policies.base import NaivePolicy, PolicyKernel
+from emissary.policies.emissary import EmissaryKernel, NaiveEmissary
+from emissary.policies.lru import LRUKernel, NaiveLRU
+from emissary.policies.random_policy import NaiveRandom, RandomKernel
+from emissary.policies.srrip import NaiveSRRIP, SRRIPKernel
+
+REGISTRY: Dict[str, Tuple[Type[PolicyKernel], Type[NaivePolicy]]] = {
+    "lru": (LRUKernel, NaiveLRU),
+    "random": (RandomKernel, NaiveRandom),
+    "srrip": (SRRIPKernel, NaiveSRRIP),
+    "emissary": (EmissaryKernel, NaiveEmissary),
+}
+
+POLICY_NAMES = tuple(REGISTRY)
+
+
+def make_kernel(name: str, num_sets: int, ways: int, **params: Any) -> PolicyKernel:
+    if name not in REGISTRY:
+        raise ValueError(f"unknown policy {name!r}; known: {sorted(REGISTRY)}")
+    return REGISTRY[name][0](num_sets, ways, **params)
+
+
+def make_naive(name: str, num_sets: int, ways: int, **params: Any) -> NaivePolicy:
+    if name not in REGISTRY:
+        raise ValueError(f"unknown policy {name!r}; known: {sorted(REGISTRY)}")
+    return REGISTRY[name][1](num_sets, ways, **params)
+
+
+def policy_needs_rng(name: str) -> bool:
+    if name not in REGISTRY:
+        raise ValueError(f"unknown policy {name!r}; known: {sorted(REGISTRY)}")
+    return REGISTRY[name][0].needs_rng
+
+
+__all__ = [
+    "REGISTRY",
+    "POLICY_NAMES",
+    "NaivePolicy",
+    "PolicyKernel",
+    "make_kernel",
+    "make_naive",
+    "policy_needs_rng",
+]

@@ -1,0 +1,85 @@
+"""Policy kernel interfaces.
+
+Every replacement policy ships two implementations with identical
+semantics:
+
+- a :class:`PolicyKernel` used by the batched set-major engine.  The
+  engine hands it one contiguous chunk of accesses per set; the kernel
+  runs a tight Python loop over plain lists (no per-access dispatch,
+  no NumPy scalar indexing) and returns the hit/miss outcomes.
+- a :class:`NaivePolicy` used by the per-access reference engine,
+  mirroring the zsim-style ``update / find_victim / replaced`` API.
+
+Randomness is never drawn inside a kernel.  Policies that need it set
+``needs_rng = True`` and receive a pre-generated uniform in [0, 1) per
+access, indexed by the access's global trace position.  This makes the
+batched (set-major) and naive (trace-order) executions consume random
+values identically, so outcomes are bit-identical and reproducible from
+a single ``--seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class PolicyKernel:
+    """Batched set-major kernel: processes one set's access chunk at a time."""
+
+    name: str = "base"
+    needs_rng: bool = False
+    #: True if the kernel must know whether an access is immediately
+    #: re-referenced (same line, no intervening access) — required for
+    #: MRU run collapsing to stay exact when a *hit on the fill's
+    #: successor* changes state (e.g. SRRIP promotes RRPV to 0).
+    needs_repeat_flags: bool = False
+
+    def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.params = params
+
+    def run_set(self, set_index: int, tags: List[int],
+                u: Optional[Sequence[float]],
+                rep: Optional[Sequence[bool]] = None) -> List[bool]:
+        """Simulate ``tags`` (in access order) against set ``set_index``.
+
+        ``u`` is the per-access uniform slice aligned with ``tags`` (None
+        when ``needs_rng`` is False).  ``rep`` (only when
+        ``needs_repeat_flags``) marks accesses whose line is re-accessed
+        immediately afterwards.  Returns one hit/miss bool per access.
+        """
+        raise NotImplementedError
+
+    def extra_stats(self) -> Dict[str, Any]:
+        """Policy-specific counters folded into the simulation result."""
+        return {}
+
+
+class NaivePolicy:
+    """Per-access policy with flat preallocated arrays (zsim-style API).
+
+    The reference engine resolves the tag lookup itself and calls:
+    ``on_hit`` for hits, ``find_victim`` + ``replaced`` when a full set
+    must evict, and ``on_fill`` after installing the new line.
+    """
+
+    name: str = "base"
+    needs_rng: bool = False
+
+    def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.params = params
+
+    def on_hit(self, set_index: int, way: int, access_index: int) -> None:
+        raise NotImplementedError
+
+    def find_victim(self, set_index: int, u_i: float) -> int:
+        raise NotImplementedError
+
+    def replaced(self, set_index: int, way: int) -> None:
+        """Victim bookkeeping before the new line is installed."""
+
+    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float) -> None:
+        raise NotImplementedError

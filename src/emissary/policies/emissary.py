@@ -1,0 +1,178 @@
+"""EMISSARY: Enhanced Miss Awareness replacement (ISCA 2023).
+
+Each line carries a priority bit.  When a miss fills a line, the fill is
+a *candidate* for high priority (HP) with probability ``1 / prob_inv``
+(the paper's pseudo-random 1/P selection); candidacy succeeds only while
+the set holds fewer than ``hp_threshold`` HP lines.  Victim selection is
+two-class LRU: prefer the LRU line among *low-priority* lines, but once
+the set is saturated (``hp_count >= hp_threshold``) evict the LRU line
+among *high-priority* lines instead, so stale protected lines cannot
+pin the set forever.  If the preferred class is empty the overall LRU
+line is evicted.  Evicting an HP line clears its bit and decrements the
+per-set HP count — the count can never exceed the threshold.
+
+Unlike the reference C++ snippets (which reseed ``srand(time(0))`` on
+every call — a correctness hazard that makes runs irreproducible and
+degenerate within a 1-second window), randomness comes from a single
+``numpy.random.Generator`` seeded once per run: the engine pre-generates
+one uniform per trace access and policies index it positionally.
+
+HP bookkeeping is strictly per set.  That is what the paper's threshold
+means (N of the W ways in a set may be protected), and it is also what
+makes set-major batched execution legal: no state is shared across sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from emissary.policies.base import NaivePolicy, PolicyKernel
+
+DEFAULT_HP_THRESHOLD = 4
+DEFAULT_PROB_INV = 32
+
+
+def _check_params(ways: int, hp_threshold: int, prob_inv: int) -> None:
+    if hp_threshold < 0:
+        raise ValueError("hp_threshold must be >= 0")
+    if hp_threshold > ways:
+        raise ValueError(f"hp_threshold ({hp_threshold}) cannot exceed ways ({ways})")
+    if prob_inv < 1:
+        raise ValueError("prob_inv must be >= 1")
+
+
+class EmissaryKernel(PolicyKernel):
+    name = "emissary"
+    needs_rng = True
+
+    def __init__(self, num_sets: int, ways: int,
+                 hp_threshold: int = DEFAULT_HP_THRESHOLD,
+                 prob_inv: int = DEFAULT_PROB_INV, **params: Any) -> None:
+        super().__init__(num_sets, ways, **params)
+        _check_params(ways, hp_threshold, prob_inv)
+        self.hp_threshold = hp_threshold
+        self.prob_inv = prob_inv
+        # One insertion-ordered dict per set mapping tag -> priority bit.
+        # A hit pops and reinserts, so dict order is recency order (front =
+        # LRU) and the two-class victim search walks it oldest-first.
+        self._sets: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+        self.hp_counts: List[int] = [0] * num_sets
+        self.hp_promotions = 0
+        self.hp_evictions = 0
+
+    def run_set(self, set_index: int, tags: List[int],
+                u: Optional[Sequence[float]],
+                rep: Optional[Sequence[bool]] = None) -> List[bool]:
+        assert u is not None
+        d = self._sets[set_index]
+        ways = self.ways
+        threshold = self.hp_threshold
+        p_hit = 1.0 / self.prob_inv
+        hp = self.hp_counts[set_index]
+        promotions = 0
+        hp_evictions = 0
+        hits: List[bool] = []
+        hit_append = hits.append
+        pop = d.pop
+        for tag, u_i in zip(tags, u):
+            prio = pop(tag, -1)
+            if prio >= 0:
+                d[tag] = prio  # reinsert at the MRU end
+                hit_append(True)
+            else:
+                if len(d) == ways:
+                    want = 1 if hp >= threshold else 0
+                    victim = -1
+                    for vt, vp in d.items():
+                        if vp == want:
+                            victim = vt
+                            break
+                    if victim < 0:
+                        victim = next(iter(d))  # preferred class empty: overall LRU
+                    if pop(victim):
+                        hp -= 1
+                        hp_evictions += 1
+                if u_i < p_hit and hp < threshold:
+                    d[tag] = 1
+                    hp += 1
+                    promotions += 1
+                else:
+                    d[tag] = 0
+                hit_append(False)
+        self.hp_counts[set_index] = hp
+        self.hp_promotions += promotions
+        self.hp_evictions += hp_evictions
+        return hits
+
+    def set_contents(self, set_index: int) -> List[tuple]:
+        """(tag, priority) pairs in recency order (LRU first) — for tests."""
+        return list(self._sets[set_index].items())
+
+    def extra_stats(self) -> Dict[str, Any]:
+        return {
+            "hp_threshold": self.hp_threshold,
+            "prob_inv": self.prob_inv,
+            "hp_promotions": self.hp_promotions,
+            "hp_evictions": self.hp_evictions,
+            "hp_lines_final": sum(self.hp_counts),
+        }
+
+
+class NaiveEmissary(NaivePolicy):
+    name = "emissary"
+    needs_rng = True
+
+    def __init__(self, num_sets: int, ways: int,
+                 hp_threshold: int = DEFAULT_HP_THRESHOLD,
+                 prob_inv: int = DEFAULT_PROB_INV, **params: Any) -> None:
+        super().__init__(num_sets, ways, **params)
+        _check_params(ways, hp_threshold, prob_inv)
+        self.hp_threshold = hp_threshold
+        self.prob_inv = prob_inv
+        self.timestamps = [0] * (num_sets * ways)
+        self.priority = [0] * (num_sets * ways)
+        self.hp_counts = [0] * num_sets
+        self._clock = 1
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self.timestamps[set_index * self.ways + way] = self._clock
+        self._clock += 1
+
+    def on_hit(self, set_index: int, way: int, access_index: int) -> None:
+        self._touch(set_index, way)
+
+    def find_victim(self, set_index: int, u_i: float) -> int:
+        base = set_index * self.ways
+        ts = self.timestamps
+        prio = self.priority
+        want = 1 if self.hp_counts[set_index] >= self.hp_threshold else 0
+        victim = -1
+        best = None
+        for w in range(self.ways):
+            if prio[base + w] == want and (best is None or ts[base + w] < best):
+                best = ts[base + w]
+                victim = w
+        if victim < 0:  # preferred class empty: overall LRU
+            best = ts[base]
+            victim = 0
+            for w in range(1, self.ways):
+                if ts[base + w] < best:
+                    best = ts[base + w]
+                    victim = w
+        return victim
+
+    def replaced(self, set_index: int, way: int) -> None:
+        idx = set_index * self.ways + way
+        self.timestamps[idx] = 0
+        if self.priority[idx]:
+            self.priority[idx] = 0
+            self.hp_counts[set_index] -= 1
+
+    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float) -> None:
+        idx = set_index * self.ways + way
+        if u_i < 1.0 / self.prob_inv and self.hp_counts[set_index] < self.hp_threshold:
+            self.priority[idx] = 1
+            self.hp_counts[set_index] += 1
+        else:
+            self.priority[idx] = 0
+        self._touch(set_index, way)

@@ -1,0 +1,81 @@
+"""Least-recently-used replacement.
+
+The batched kernel keeps one insertion-ordered dict per set (Python
+dicts preserve insertion order): a hit pops and reinserts the tag, so
+dict order *is* recency order and the LRU victim is simply the first
+key.  Every operation on the hot path is a single O(1) hash op — no
+linear scans, no exceptions.  The naive implementation uses an explicit
+monotonic timestamp per line, exactly like the zsim ``LRUReplPolicy``;
+timestamps are unique, so both orderings select identical victims.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from emissary.policies.base import NaivePolicy, PolicyKernel
+
+_MISS = object()
+
+
+class LRUKernel(PolicyKernel):
+    name = "lru"
+    needs_rng = False
+
+    def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
+        super().__init__(num_sets, ways, **params)
+        self._sets: List[Dict[int, None]] = [{} for _ in range(num_sets)]
+
+    def run_set(self, set_index: int, tags: List[int],
+                u: Optional[Sequence[float]],
+                rep: Optional[Sequence[bool]] = None) -> List[bool]:
+        d = self._sets[set_index]
+        ways = self.ways
+        hits: List[bool] = []
+        hit_append = hits.append
+        pop = d.pop
+        for tag in tags:
+            if pop(tag, _MISS) is _MISS:
+                if len(d) == ways:
+                    del d[next(iter(d))]
+                d[tag] = None
+                hit_append(False)
+            else:
+                d[tag] = None  # reinsert at the MRU end
+                hit_append(True)
+        return hits
+
+
+class NaiveLRU(NaivePolicy):
+    name = "lru"
+    needs_rng = False
+
+    def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
+        super().__init__(num_sets, ways, **params)
+        self.timestamps = [0] * (num_sets * ways)
+        self._clock = 1
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self.timestamps[set_index * self.ways + way] = self._clock
+        self._clock += 1
+
+    def on_hit(self, set_index: int, way: int, access_index: int) -> None:
+        self._touch(set_index, way)
+
+    def find_victim(self, set_index: int, u_i: float) -> int:
+        base = set_index * self.ways
+        ts = self.timestamps
+        victim = 0
+        best = ts[base]
+        for w in range(1, self.ways):
+            t = ts[base + w]
+            if t < best:
+                best = t
+                victim = w
+        return victim
+
+    def replaced(self, set_index: int, way: int) -> None:
+        self.timestamps[set_index * self.ways + way] = 0
+
+    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float) -> None:
+        self._touch(set_index, way)

@@ -1,0 +1,65 @@
+"""Random replacement.
+
+The victim way is ``int(u_i * ways)`` where ``u_i`` is the pre-generated
+uniform for the triggering access (see ``policies.base``).  Cold fills go
+to the lowest-index invalid way in both implementations, so physical way
+positions — and therefore every subsequent random victim choice — line
+up exactly between the batched and naive engines.  The batched kernel
+tracks residency with a tag -> way dict plus a way -> tag list, keeping
+lookup, eviction, and fill all O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from emissary.policies.base import NaivePolicy, PolicyKernel
+
+
+class RandomKernel(PolicyKernel):
+    name = "random"
+    needs_rng = True
+
+    def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
+        super().__init__(num_sets, ways, **params)
+        self._ways_of: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+        self._tag_at: List[List[int]] = [[] for _ in range(num_sets)]
+
+    def run_set(self, set_index: int, tags: List[int],
+                u: Optional[Sequence[float]],
+                rep: Optional[Sequence[bool]] = None) -> List[bool]:
+        assert u is not None
+        ways_of = self._ways_of[set_index]
+        tag_at = self._tag_at[set_index]
+        ways = self.ways
+        hits: List[bool] = []
+        hit_append = hits.append
+        for tag, u_i in zip(tags, u):
+            if tag in ways_of:
+                hit_append(True)
+            else:
+                size = len(tag_at)
+                if size < ways:
+                    ways_of[tag] = size
+                    tag_at.append(tag)
+                else:
+                    victim = int(u_i * ways)
+                    del ways_of[tag_at[victim]]
+                    ways_of[tag] = victim
+                    tag_at[victim] = tag
+                hit_append(False)
+        return hits
+
+
+class NaiveRandom(NaivePolicy):
+    name = "random"
+    needs_rng = True
+
+    def on_hit(self, set_index: int, way: int, access_index: int) -> None:
+        pass
+
+    def find_victim(self, set_index: int, u_i: float) -> int:
+        return int(u_i * self.ways)
+
+    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float) -> None:
+        pass

@@ -1,0 +1,187 @@
+"""Static RRIP (SRRIP-HP) replacement with 2-bit re-reference predictions.
+
+Lines are inserted with RRPV = max - 1 ("long re-reference"), promoted to
+RRPV = 0 on hit, and the victim is the lowest-index way whose RRPV equals
+max; if none exists all RRPVs in the set age by one until one does.
+Deterministic — no RNG involved — and way positions are physical in both
+implementations, so the scan order (way 0 upward) matches exactly.
+
+The batched kernel bit-packs a whole set's RRPVs into one Python int
+(2 bits per way) for associativities up to :data:`PACK_MAX_WAYS`:
+
+- *aging* ("bump every way until one reaches max") becomes a single
+  ``packed += d * 0b0101...01`` — fields cannot carry into each other
+  because only ways already at the maximum stay at the maximum;
+- *victim selection* becomes one lookup in a precomputed table mapping
+  the packed value to the lowest-index way holding the maximum RRPV;
+- *hit promotion* is one mask.
+
+For wider caches it falls back to a plain list-of-RRPVs kernel with the
+same semantics.  A fill that is immediately re-referenced is promoted to
+RRPV 0 by that hit, so the kernel consumes the engine's repeat flags
+(``needs_repeat_flags``) to stay exact under MRU run collapsing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from emissary.policies.base import NaivePolicy, PolicyKernel
+
+RRPV_BITS = 2
+RRPV_MAX = (1 << RRPV_BITS) - 1
+RRPV_INSERT = RRPV_MAX - 1
+
+#: Packed-int fast path covers up to 8 ways (16-bit packed values, 64K tables).
+PACK_MAX_WAYS = 8
+
+_TABLES: Dict[int, Tuple[bytes, bytes]] = {}
+
+
+def _pack_tables(ways: int) -> Tuple[bytes, bytes]:
+    """(max RRPV, lowest-index way holding it) for every packed value."""
+    cached = _TABLES.get(ways)
+    if cached is not None:
+        return cached
+    size = 1 << (RRPV_BITS * ways)
+    packed = np.arange(size, dtype=np.uint32)
+    fields = np.stack([(packed >> (RRPV_BITS * w)) & RRPV_MAX for w in range(ways)])
+    top = fields.max(axis=0)
+    victim = np.argmax(fields == top, axis=0)
+    tables = (top.astype(np.uint8).tobytes(), victim.astype(np.uint8).tobytes())
+    _TABLES[ways] = tables
+    return tables
+
+
+class SRRIPKernel(PolicyKernel):
+    name = "srrip"
+    needs_rng = False
+    needs_repeat_flags = True
+
+    def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
+        super().__init__(num_sets, ways, **params)
+        self._ways_of: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+        self._tag_at: List[List[int]] = [[] for _ in range(num_sets)]
+        self._packed_ok = ways <= PACK_MAX_WAYS
+        if self._packed_ok:
+            self._top_table, self._victim_table = _pack_tables(ways)
+            self._packed: List[int] = [0] * num_sets
+            # 0b0101...01: adds the aging delta to every 2-bit field at once.
+            self._ones = int("01" * ways, 2)
+            self._clear = [~(RRPV_MAX << (RRPV_BITS * w)) & ((1 << (RRPV_BITS * ways)) - 1)
+                           for w in range(ways)]
+        else:
+            self._rrpv: List[List[int]] = [[] for _ in range(num_sets)]
+
+    def run_set(self, set_index: int, tags: List[int],
+                u: Optional[Sequence[float]],
+                rep: Optional[Sequence[bool]] = None) -> List[bool]:
+        assert rep is not None
+        if not self._packed_ok:
+            return self._run_set_wide(set_index, tags, rep)
+        ways_of = self._ways_of[set_index]
+        tag_at = self._tag_at[set_index]
+        packed = self._packed[set_index]
+        top_table = self._top_table
+        victim_table = self._victim_table
+        ones = self._ones
+        clear = self._clear
+        ways = self.ways
+        hits: List[bool] = []
+        hit_append = hits.append
+        get = ways_of.get
+        for tag, repeated in zip(tags, rep):
+            way = get(tag)
+            if way is not None:
+                packed &= clear[way]  # promote to RRPV 0
+                hit_append(True)
+            else:
+                insert = 0 if repeated else RRPV_INSERT
+                size = len(tag_at)
+                if size < ways:
+                    ways_of[tag] = size
+                    tag_at.append(tag)
+                    packed |= insert << (RRPV_BITS * size)
+                else:
+                    aging = RRPV_MAX - top_table[packed]
+                    if aging:
+                        packed += aging * ones
+                    victim = victim_table[packed]
+                    del ways_of[tag_at[victim]]
+                    ways_of[tag] = victim
+                    tag_at[victim] = tag
+                    packed = (packed & clear[victim]) | (insert << (RRPV_BITS * victim))
+                hit_append(False)
+        self._packed[set_index] = packed
+        return hits
+
+    def _run_set_wide(self, set_index: int, tags: List[int],
+                      rep: Sequence[bool]) -> List[bool]:
+        """List-based fallback for associativities beyond the packed tables."""
+        ways_of = self._ways_of[set_index]
+        tag_at = self._tag_at[set_index]
+        rrpv = self._rrpv[set_index]
+        ways = self.ways
+        hits: List[bool] = []
+        hit_append = hits.append
+        get = ways_of.get
+        for tag, repeated in zip(tags, rep):
+            way = get(tag)
+            if way is not None:
+                rrpv[way] = 0
+                hit_append(True)
+            else:
+                insert = 0 if repeated else RRPV_INSERT
+                size = len(tag_at)
+                if size < ways:
+                    ways_of[tag] = size
+                    tag_at.append(tag)
+                    rrpv.append(insert)
+                else:
+                    top = max(rrpv)
+                    if top < RRPV_MAX:
+                        aging = RRPV_MAX - top
+                        for k in range(ways):
+                            rrpv[k] += aging
+                    victim = rrpv.index(RRPV_MAX)
+                    del ways_of[tag_at[victim]]
+                    ways_of[tag] = victim
+                    tag_at[victim] = tag
+                    rrpv[victim] = insert
+                hit_append(False)
+        return hits
+
+    def effective_rrpv(self, set_index: int) -> List[int]:
+        """Per-way RRPVs for the set's resident ways — for tests."""
+        size = len(self._tag_at[set_index])
+        if self._packed_ok:
+            packed = self._packed[set_index]
+            return [(packed >> (RRPV_BITS * w)) & RRPV_MAX for w in range(size)]
+        return list(self._rrpv[set_index][:size])
+
+
+class NaiveSRRIP(NaivePolicy):
+    name = "srrip"
+    needs_rng = False
+
+    def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
+        super().__init__(num_sets, ways, **params)
+        self.rrpv = [0] * (num_sets * ways)
+
+    def on_hit(self, set_index: int, way: int, access_index: int) -> None:
+        self.rrpv[set_index * self.ways + way] = 0
+
+    def find_victim(self, set_index: int, u_i: float) -> int:
+        base = set_index * self.ways
+        rrpv = self.rrpv
+        while True:
+            for w in range(self.ways):
+                if rrpv[base + w] == RRPV_MAX:
+                    return w
+            for w in range(self.ways):
+                rrpv[base + w] += 1
+
+    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float) -> None:
+        self.rrpv[set_index * self.ways + way] = RRPV_INSERT

@@ -1,0 +1,103 @@
+"""Content-keyed on-disk results cache with integrity guarding.
+
+Layout: ``.results_cache/<key>.json`` where ``key`` is the SHA-256 of
+the canonical (sorted-keys, compact) JSON encoding of the configuration.
+Each entry stores the config it was computed from, the result payload,
+and a checksum over the payload.  Loading validates the schema, the
+filename/key binding, and the checksum; anything corrupt is skipped with
+a warning (and the sweep recomputes) instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_CACHE_DIR = ".results_cache"
+SCHEMA_VERSION = 1
+
+_REQUIRED_FIELDS = {
+    "schema_version": int,
+    "key": str,
+    "config": dict,
+    "result": dict,
+    "checksum": str,
+}
+
+
+def canonical_json(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def config_key(config: Dict[str, Any]) -> str:
+    return hashlib.sha256(canonical_json(config).encode()).hexdigest()
+
+
+def _result_checksum(result: Dict[str, Any]) -> str:
+    return hashlib.sha256(canonical_json(result).encode()).hexdigest()
+
+
+class ResultsCache:
+    def __init__(self, cache_dir: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.cache_dir = Path(cache_dir)
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def _validate(self, entry: Any, key: str, path: Path) -> Optional[Dict[str, Any]]:
+        if not isinstance(entry, dict):
+            logger.warning("results cache: %s is not a JSON object; skipping", path)
+            return None
+        for name, typ in _REQUIRED_FIELDS.items():
+            if not isinstance(entry.get(name), typ):
+                logger.warning("results cache: %s missing/invalid field %r; skipping", path, name)
+                return None
+        if entry["schema_version"] != SCHEMA_VERSION:
+            logger.warning("results cache: %s has schema_version %r (want %d); skipping",
+                           path, entry["schema_version"], SCHEMA_VERSION)
+            return None
+        if entry["key"] != key:
+            logger.warning("results cache: %s key mismatch (stored %s); skipping",
+                           path, entry["key"][:16])
+            return None
+        if entry["key"] != config_key(entry["config"]):
+            logger.warning("results cache: %s config does not hash to its key; skipping", path)
+            return None
+        if entry["checksum"] != _result_checksum(entry["result"]):
+            logger.warning("results cache: %s result checksum mismatch; skipping", path)
+            return None
+        return entry["result"]
+
+    def load(self, config: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Return the cached result for ``config``, or None (corrupt => warn + None)."""
+        key = config_key(config)
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.warning("results cache: failed to read %s (%s); skipping", path, exc)
+            return None
+        return self._validate(entry, key, path)
+
+    def store(self, config: Dict[str, Any], result: Dict[str, Any]) -> Path:
+        key = config_key(config)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "config": config,
+            "result": result,
+            "checksum": _result_checksum(result),
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(entry, indent=1, sort_keys=True))
+        tmp.replace(path)  # atomic publish: readers never see partial JSON
+        return path

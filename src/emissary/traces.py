@@ -1,0 +1,164 @@
+"""Synthetic instruction-stream trace generators.
+
+Each generator returns a NumPy ``uint64`` array of byte addresses that
+mimics a class of L2 instruction-access behaviour, so the simulator is
+exercisable without external trace files.  Generators are deterministic
+for a given :class:`TraceSpec` (kind, size, params, seed), which is also
+what the sweep runner uses as the content key for its results cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+LINE_BYTES = 64
+INSTR_BYTES = 4
+
+
+def _rng(seed: int) -> np.random.Generator:
+    """Single Generator per trace, seeded once (never reseeded per call)."""
+    return np.random.default_rng(seed)
+
+
+def looping_code(
+    n: int,
+    footprint_lines: int = 4096,
+    branch_noise: float = 0.02,
+    base: int = 0x400000,
+    seed: int = 0,
+) -> np.ndarray:
+    """A hot loop sweeping a fixed code footprint.
+
+    The PC walks sequentially through ``footprint_lines`` cache lines and
+    wraps, with a small probability per access of branching to a random
+    line inside the footprint (taken branches / indirect calls).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if footprint_lines <= 0:
+        raise ValueError("footprint_lines must be positive")
+    rng = _rng(seed)
+    instrs_per_line = LINE_BYTES // INSTR_BYTES
+    seq = np.arange(n, dtype=np.uint64) % np.uint64(footprint_lines * instrs_per_line)
+    noise = rng.random(n) < branch_noise
+    jumps = rng.integers(0, footprint_lines * instrs_per_line, size=int(noise.sum()))
+    seq[noise] = jumps.astype(np.uint64)
+    return np.uint64(base) + seq * np.uint64(INSTR_BYTES)
+
+
+def working_set_shift(
+    n: int,
+    phases: int = 4,
+    footprint_lines: int = 4096,
+    branch_noise: float = 0.02,
+    base: int = 0x400000,
+    seed: int = 0,
+) -> np.ndarray:
+    """Phased execution: the footprint relocates every ``n // phases`` accesses.
+
+    Models a program moving between program regions (init, steady state,
+    teardown), which defeats policies that over-protect stale lines.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if phases <= 0:
+        raise ValueError("phases must be positive")
+    rng = _rng(seed)
+    chunks = []
+    per_phase = max(1, n // phases)
+    produced = 0
+    phase = 0
+    while produced < n:
+        take = min(per_phase, n - produced)
+        phase_base = base + phase * footprint_lines * LINE_BYTES * 2
+        chunks.append(
+            looping_code(
+                take,
+                footprint_lines=footprint_lines,
+                branch_noise=branch_noise,
+                base=phase_base,
+                seed=int(rng.integers(0, 2**31)),
+            )
+        )
+        produced += take
+        phase += 1
+    return np.concatenate(chunks)[:n]
+
+
+def call_heavy(
+    n: int,
+    caller_lines: int = 1024,
+    num_callees: int = 64,
+    callee_lines: int = 32,
+    call_period: int = 24,
+    base: int = 0x400000,
+    seed: int = 0,
+) -> np.ndarray:
+    """Caller code interleaved with bursts into many small callees.
+
+    A main region executes sequentially; every ``call_period`` instructions
+    it calls a randomly chosen callee (a short sequential run in a distant
+    region) and returns.  This produces the call-dense interleavings that
+    EMISSARY targets: many discontinuities, each touching a few lines.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = _rng(seed)
+    instrs_per_line = LINE_BYTES // INSTR_BYTES
+    callee_base = base + caller_lines * LINE_BYTES * 4
+    callee_span = callee_lines * instrs_per_line
+
+    segments = []
+    produced = 0
+    caller_pc = 0
+    caller_span = caller_lines * instrs_per_line
+    while produced < n:
+        run = min(call_period, n - produced)
+        seg = (np.arange(caller_pc, caller_pc + run, dtype=np.uint64) % np.uint64(caller_span))
+        segments.append(np.uint64(base) + seg * np.uint64(INSTR_BYTES))
+        caller_pc = (caller_pc + run) % caller_span
+        produced += run
+        if produced >= n:
+            break
+        callee = int(rng.integers(0, num_callees))
+        burst = min(int(rng.integers(4, callee_span + 1)), n - produced)
+        cb = callee_base + callee * callee_lines * LINE_BYTES
+        seg = np.arange(burst, dtype=np.uint64)
+        segments.append(np.uint64(cb) + seg * np.uint64(INSTR_BYTES))
+        produced += burst
+    return np.concatenate(segments)[:n]
+
+
+GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
+    "loop": looping_code,
+    "shift": working_set_shift,
+    "call": call_heavy,
+}
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative, immutable description of a synthetic trace."""
+
+    kind: str
+    n: int
+    seed: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in GENERATORS:
+            raise ValueError(f"unknown trace kind {self.kind!r}; known: {sorted(GENERATORS)}")
+
+    def generate(self) -> np.ndarray:
+        return GENERATORS[self.kind](self.n, seed=self.seed, **self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "n": self.n, "seed": self.seed, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TraceSpec":
+        return cls(kind=d["kind"], n=int(d["n"]), seed=int(d.get("seed", 0)),
+                   params=dict(d.get("params", {})))

@@ -1,0 +1,33 @@
+"""Tests for the benchmark harness (small n so the suite stays fast)."""
+
+import json
+
+from emissary.bench import main, run_bench
+
+
+def test_run_bench_cross_checks_engines():
+    report = run_bench(n=5_000, policies=["lru", "emissary"], seed=3)
+    assert report["all_outcomes_identical"] is True
+    assert {r["policy"] for r in report["policies"]} == {"lru", "emissary"}
+    for row in report["policies"]:
+        assert row["outcomes_identical"] is True
+        assert row["speedup"] > 0
+        assert 0.0 <= row["hit_rate"] <= 1.0
+        assert row["batched"]["n"] == 5_000
+
+
+def test_run_bench_skip_reference():
+    report = run_bench(n=2_000, policies=["lru"], skip_reference=True)
+    assert "all_outcomes_identical" not in report
+    assert "speedup" not in report["policies"][0]
+
+
+def test_cli_writes_bench_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_test.json"
+    rc = main(["--n", "3000", "--policies", "lru,srrip", "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "engine_throughput"
+    assert report["all_outcomes_identical"] is True
+    assert report["trace"]["n"] == 3000
+    assert capsys.readouterr().out  # summary table printed

@@ -1,0 +1,96 @@
+"""Tests for the on-disk results cache and its integrity guard."""
+
+import json
+
+from emissary.results_cache import SCHEMA_VERSION, ResultsCache, config_key
+
+
+CONFIG = {"policy": "lru", "trace": {"kind": "loop", "n": 100}, "seed": 1}
+RESULT = {"hit_rate": 0.5, "mpki": 10.0}
+
+
+def test_roundtrip(tmp_path):
+    cache = ResultsCache(tmp_path / "rc")
+    assert cache.load(CONFIG) is None
+    cache.store(CONFIG, RESULT)
+    assert cache.load(CONFIG) == RESULT
+
+
+def test_key_is_content_addressed(tmp_path):
+    cache = ResultsCache(tmp_path)
+    cache.store(CONFIG, RESULT)
+    # Key order must not matter; values must.
+    reordered = {"seed": 1, "trace": {"n": 100, "kind": "loop"}, "policy": "lru"}
+    assert cache.load(reordered) == RESULT
+    assert cache.load({**CONFIG, "seed": 2}) is None
+
+
+def _entry_path(cache_dir):
+    return cache_dir / f"{config_key(CONFIG)}.json"
+
+
+def test_corrupt_json_skipped_with_warning(tmp_path, caplog):
+    cache = ResultsCache(tmp_path)
+    cache.store(CONFIG, RESULT)
+    _entry_path(tmp_path).write_text("{ not json !")
+    with caplog.at_level("WARNING"):
+        assert cache.load(CONFIG) is None
+    assert any("results cache" in rec.message for rec in caplog.records)
+
+
+def test_missing_field_skipped(tmp_path, caplog):
+    cache = ResultsCache(tmp_path)
+    path = cache.store(CONFIG, RESULT)
+    entry = json.loads(path.read_text())
+    del entry["checksum"]
+    path.write_text(json.dumps(entry))
+    with caplog.at_level("WARNING"):
+        assert cache.load(CONFIG) is None
+
+
+def test_tampered_result_skipped(tmp_path, caplog):
+    cache = ResultsCache(tmp_path)
+    path = cache.store(CONFIG, RESULT)
+    entry = json.loads(path.read_text())
+    entry["result"]["hit_rate"] = 0.99  # checksum no longer matches
+    path.write_text(json.dumps(entry))
+    with caplog.at_level("WARNING"):
+        assert cache.load(CONFIG) is None
+    assert any("checksum" in rec.message for rec in caplog.records)
+
+
+def test_key_config_binding_enforced(tmp_path, caplog):
+    cache = ResultsCache(tmp_path)
+    path = cache.store(CONFIG, RESULT)
+    entry = json.loads(path.read_text())
+    entry["config"]["seed"] = 999  # config no longer hashes to the key
+    path.write_text(json.dumps(entry))
+    with caplog.at_level("WARNING"):
+        assert cache.load(CONFIG) is None
+
+
+def test_wrong_schema_version_skipped(tmp_path, caplog):
+    cache = ResultsCache(tmp_path)
+    path = cache.store(CONFIG, RESULT)
+    entry = json.loads(path.read_text())
+    entry["schema_version"] = SCHEMA_VERSION + 1
+    path.write_text(json.dumps(entry))
+    with caplog.at_level("WARNING"):
+        assert cache.load(CONFIG) is None
+
+
+def test_non_object_entry_skipped(tmp_path, caplog):
+    cache = ResultsCache(tmp_path)
+    cache.store(CONFIG, RESULT)
+    _entry_path(tmp_path).write_text(json.dumps([1, 2, 3]))
+    with caplog.at_level("WARNING"):
+        assert cache.load(CONFIG) is None
+
+
+def test_recompute_after_corruption_heals_cache(tmp_path):
+    cache = ResultsCache(tmp_path)
+    cache.store(CONFIG, RESULT)
+    _entry_path(tmp_path).write_text("garbage")
+    assert cache.load(CONFIG) is None
+    cache.store(CONFIG, RESULT)  # sweep recomputes and overwrites
+    assert cache.load(CONFIG) == RESULT

@@ -1,0 +1,95 @@
+"""Tests for the parallel sweep runner and its cache integration."""
+
+import json
+
+from emissary.engine import CacheConfig
+from emissary.sweep import build_grid, demo_grid, main, make_config, run_config, run_sweep
+from emissary.traces import TraceSpec
+
+
+def small_grid(n=2_000):
+    cache = CacheConfig(num_sets=16, ways=4)
+    traces = [TraceSpec("loop", n, 1, {"footprint_lines": 100})]
+    return build_grid(traces, ["lru", "emissary"], cache, seed=1,
+                      hp_thresholds=[2], prob_invs=[8])
+
+
+def test_build_grid_expands_emissary_params():
+    cache = CacheConfig(num_sets=16, ways=4)
+    traces = [TraceSpec("loop", 100, 1)]
+    grid = build_grid(traces, ["lru", "emissary"], cache, 1,
+                      hp_thresholds=[2, 4], prob_invs=[16, 32])
+    assert len(grid) == 1 + 4  # lru once, emissary 2x2
+    emissary_params = [g["policy_params"] for g in grid if g["policy"] == "emissary"]
+    assert {frozenset(p.items()) for p in emissary_params} == {
+        frozenset({"hp_threshold": t, "prob_inv": p}.items())
+        for t in (2, 4) for p in (16, 32)
+    }
+
+
+def test_run_config_returns_stats():
+    result = run_config(small_grid()[0])
+    assert result["policy"] == "lru"
+    assert result["n"] == 2_000
+    assert 0.0 <= result["hit_rate"] <= 1.0
+    assert result["hit_count"] + result["miss_count"] == result["n"]
+
+
+def test_sweep_serial_and_cached_rerun(tmp_path):
+    grid = small_grid()
+    rows = run_sweep(grid, workers=1, cache_dir=tmp_path)
+    assert len(rows) == len(grid)
+    assert all(not r["cached"] for r in rows)
+
+    again = run_sweep(grid, workers=1, cache_dir=tmp_path)
+    assert all(r["cached"] for r in again)
+    assert [r["result"] for r in again] == [r["result"] for r in rows]
+
+
+def _deterministic(result):
+    return {k: v for k, v in result.items()
+            if k not in ("elapsed_s", "accesses_per_s")}
+
+
+def test_sweep_parallel_matches_serial(tmp_path):
+    grid = small_grid()
+    serial = run_sweep(grid, workers=1, cache_dir=tmp_path / "a")
+    parallel = run_sweep(grid, workers=2, cache_dir=tmp_path / "b")
+    assert ([_deterministic(r["result"]) for r in serial]
+            == [_deterministic(r["result"]) for r in parallel])
+
+
+def test_sweep_recovers_from_corrupt_cache_entry(tmp_path):
+    grid = small_grid()
+    run_sweep(grid, workers=1, cache_dir=tmp_path)
+    victim = next(tmp_path.glob("*.json"))
+    victim.write_text("corrupted")
+    rows = run_sweep(grid, workers=1, cache_dir=tmp_path)
+    assert sum(1 for r in rows if not r["cached"]) == 1  # only the corrupt one
+
+
+def test_demo_grid_covers_all_policies():
+    grid = demo_grid(n=100)
+    assert {g["policy"] for g in grid} == {"lru", "random", "srrip", "emissary"}
+    kinds = {g["trace"]["kind"] for g in grid}
+    assert kinds == {"loop", "shift", "call"}
+
+
+def test_make_config_is_cache_key_stable():
+    cache = CacheConfig(num_sets=16, ways=4)
+    spec = TraceSpec("loop", 100, 1)
+    a = make_config(spec, "lru", cache, 1)
+    b = make_config(spec, "lru", cache, 1)
+    assert a == b
+
+
+def test_cli_demo_writes_results(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    rc = main(["--demo", "--n", "1000", "--workers", "1",
+               "--cache-dir", str(tmp_path / "rc"), "--out", str(out)])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "configs" in captured.out
+    rows = json.loads(out.read_text())
+    assert len(rows) == len(demo_grid(n=1000))
+    assert all("result" in r for r in rows)

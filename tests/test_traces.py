@@ -1,0 +1,69 @@
+"""Tests for the synthetic instruction-stream generators."""
+
+import numpy as np
+import pytest
+
+from emissary.traces import (
+    GENERATORS,
+    LINE_BYTES,
+    TraceSpec,
+    call_heavy,
+    looping_code,
+    working_set_shift,
+)
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+def test_length_and_dtype(kind):
+    trace = GENERATORS[kind](10_000, seed=1)
+    assert len(trace) == 10_000
+    assert trace.dtype == np.uint64
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+def test_deterministic_for_seed(kind):
+    a = GENERATORS[kind](5_000, seed=42)
+    b = GENERATORS[kind](5_000, seed=42)
+    c = GENERATORS[kind](5_000, seed=43)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_looping_code_stays_in_footprint():
+    base, footprint = 0x400000, 128
+    trace = looping_code(20_000, footprint_lines=footprint, base=base, seed=0)
+    lines = trace // LINE_BYTES
+    assert lines.min() >= base // LINE_BYTES
+    assert lines.max() < base // LINE_BYTES + footprint
+
+
+def test_working_set_shift_moves_footprint():
+    trace = working_set_shift(40_000, phases=4, footprint_lines=64, seed=0)
+    quarters = np.array_split(trace // LINE_BYTES, 4)
+    bases = [q.min() for q in quarters]
+    assert len(set(bases)) == 4  # each phase lives in its own region
+
+
+def test_call_heavy_touches_two_regions():
+    trace = call_heavy(30_000, caller_lines=64, num_callees=8, seed=0)
+    lines = np.unique(trace // LINE_BYTES)
+    # Caller region plus at least one callee region far away.
+    assert lines.max() - lines.min() > 64
+
+
+def test_spec_roundtrip_and_generate():
+    spec = TraceSpec("loop", 1000, 5, {"footprint_lines": 32})
+    again = TraceSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert np.array_equal(spec.generate(), again.generate())
+
+
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        TraceSpec("fractal", 1000)
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+def test_rejects_nonpositive_n(kind):
+    with pytest.raises(ValueError):
+        GENERATORS[kind](0)
