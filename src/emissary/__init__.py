@@ -4,7 +4,12 @@ Reproduction scaffold for "EMISSARY: Enhanced Miss Awareness Replacement
 Policy for L2 Instruction Caching" (ISCA 2023).  The package provides:
 
 - :mod:`emissary.traces` — synthetic instruction-stream generators
+- :mod:`emissary.api` — typed :class:`PolicySpec` / :class:`SimRequest`
+  request objects and the unified :func:`simulate` entry point
 - :mod:`emissary.engine` — batched set-major engine + naive reference engine
+- :mod:`emissary.hierarchy` — two-level L1I -> L2 hierarchy engines (the
+  paper's actual setting: EMISSARY at L2 behind an L1I filter, with HP
+  candidacy driven by measured L1I miss counts)
 - :mod:`emissary.policies` — replacement policy kernels (LRU, Random,
   SRRIP, EMISSARY)
 - :mod:`emissary.sweep` — parallel (trace x policy x params) sweep runner
@@ -12,15 +17,28 @@ Policy for L2 Instruction Caching" (ISCA 2023).  The package provides:
 - :mod:`emissary.bench` — throughput benchmark harness emitting BENCH_*.json
 """
 
-from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine, SimResult, simulate
+from emissary.api import (EmissaryDeprecationWarning, PolicySpec, SimRequest,
+                          simulate)
+from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine, SimResult
+from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
+                                HierarchyReferenceEngine, HierarchyResult,
+                                simulate_hierarchy)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "BatchedEngine",
+    "BatchedHierarchyEngine",
     "CacheConfig",
+    "EmissaryDeprecationWarning",
+    "HierarchyConfig",
+    "HierarchyReferenceEngine",
+    "HierarchyResult",
+    "PolicySpec",
     "ReferenceEngine",
+    "SimRequest",
     "SimResult",
     "simulate",
+    "simulate_hierarchy",
     "__version__",
 ]

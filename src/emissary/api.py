@@ -1,0 +1,185 @@
+"""Typed public API: :class:`PolicySpec` and :class:`SimRequest`.
+
+Historically every entry point took ``policy: str, **policy_params`` —
+stringly-typed kwargs that cannot be validated up front, cannot describe
+a multi-level (L1I -> L2) request, and leak policy parameters into every
+call signature.  This module replaces that form with two frozen
+dataclasses:
+
+:class:`PolicySpec`
+    A validated (name, params) pair.  The name must be registered and
+    every parameter is checked against the policy's declared schema at
+    construction time, so a typo'd parameter fails immediately instead
+    of being silently swallowed by a ``**params`` sink.
+
+:class:`SimRequest`
+    One fully-described simulation: trace spec, policy spec, cache
+    geometry (single-level :class:`~emissary.engine.CacheConfig` or
+    two-level :class:`~emissary.hierarchy.HierarchyConfig`), and seed.
+    Its :meth:`~SimRequest.to_dict` encoding is the canonical results
+    cache key.
+
+The old form still works everywhere but emits
+:class:`EmissaryDeprecationWarning`; CI escalates that warning to an
+error so internal callers stay fully migrated.  Every public dataclass
+round-trips through ``to_dict`` / ``from_dict``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from emissary.policies import PARAM_SCHEMAS, REGISTRY
+from emissary.traces import TraceSpec
+
+
+class EmissaryDeprecationWarning(DeprecationWarning):
+    """Raised-to-error in CI: a caller is still on the legacy kwargs API."""
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Validated replacement-policy selection: registered name + typed params."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in REGISTRY:
+            raise ValueError(f"unknown policy {self.name!r}; known: {sorted(REGISTRY)}")
+        schema = PARAM_SCHEMAS[self.name]
+        for key, value in self.params.items():
+            if key not in schema:
+                raise ValueError(
+                    f"policy {self.name!r} does not accept parameter {key!r}; "
+                    f"allowed: {sorted(schema) or 'none'}")
+            expected = schema[key]
+            if isinstance(value, bool) or not isinstance(value, expected):
+                raise TypeError(
+                    f"policy {self.name!r} parameter {key!r} must be "
+                    f"{expected.__name__}, got {type(value).__name__}")
+        # Freeze a private copy so later mutation of the caller's dict
+        # cannot change an already-validated spec.
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "PolicySpec":
+        return cls(name=d["name"], params=dict(d.get("params", {})))
+
+
+def coerce_policy_spec(policy: Any, params: Optional[Mapping[str, Any]] = None,
+                       caller: str = "simulate") -> PolicySpec:
+    """Accept a :class:`PolicySpec` or the deprecated ``str, **params`` form.
+
+    The string form is shimmed (with :class:`EmissaryDeprecationWarning`)
+    rather than rejected so downstream callers can migrate incrementally;
+    mixing a spec with extra kwargs is always an error because the spec
+    already carries its parameters.
+    """
+    if isinstance(policy, PolicySpec):
+        if params:
+            raise TypeError(
+                f"{caller}: pass policy parameters inside PolicySpec.params, "
+                f"not as extra keyword arguments ({sorted(params)})")
+        return policy
+    if isinstance(policy, str):
+        warnings.warn(
+            f"{caller}(policy=<str>, **policy_params) is deprecated; pass "
+            f"PolicySpec({policy!r}, {dict(params or {})!r}) instead",
+            EmissaryDeprecationWarning, stacklevel=3)
+        return PolicySpec(policy, dict(params or {}))
+    raise TypeError(f"{caller}: policy must be a PolicySpec or str, "
+                    f"got {type(policy).__name__}")
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One fully-described simulation (trace x policy x geometry x seed)."""
+
+    trace: TraceSpec
+    policy: PolicySpec
+    config: Any = None  # CacheConfig (single-level) or HierarchyConfig (L1I -> L2)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        from emissary.engine import CacheConfig
+        from emissary.hierarchy import HierarchyConfig
+
+        if not isinstance(self.trace, TraceSpec):
+            raise TypeError(f"trace must be a TraceSpec, got {type(self.trace).__name__}")
+        if not isinstance(self.policy, PolicySpec):
+            raise TypeError(
+                f"policy must be a PolicySpec, got {type(self.policy).__name__} "
+                f"(the str form is only shimmed in engine entry points)")
+        if self.config is None:
+            object.__setattr__(self, "config", CacheConfig())
+        elif not isinstance(self.config, (CacheConfig, HierarchyConfig)):
+            raise TypeError(f"config must be a CacheConfig or HierarchyConfig, "
+                            f"got {type(self.config).__name__}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise TypeError(f"seed must be an int, got {type(self.seed).__name__}")
+
+    @property
+    def is_hierarchy(self) -> bool:
+        from emissary.hierarchy import HierarchyConfig
+
+        return isinstance(self.config, HierarchyConfig)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical encoding — also the results-cache content key."""
+        return {
+            "trace": self.trace.to_dict(),
+            "policy": self.policy.to_dict(),
+            "config": self.config.to_dict(),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SimRequest":
+        from emissary.engine import CacheConfig
+        from emissary.hierarchy import HierarchyConfig
+
+        cfg = d["config"]
+        config = (HierarchyConfig.from_dict(cfg) if "l1" in cfg
+                  else CacheConfig.from_dict(cfg))
+        return cls(trace=TraceSpec.from_dict(d["trace"]),
+                   policy=PolicySpec.from_dict(d["policy"]),
+                   config=config, seed=int(d.get("seed", 0)))
+
+
+def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
+             engine: str = "batched", **policy_params: Any):
+    """Unified entry point.
+
+    ``simulate(SimRequest(...))`` generates the trace from its spec and
+    dispatches on the config type (single-level vs hierarchy).  The
+    legacy array form ``simulate(addresses, policy, ...)`` still works;
+    with a string policy it emits :class:`EmissaryDeprecationWarning`.
+    """
+    from emissary.engine import BatchedEngine, ReferenceEngine
+    from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
+                                    HierarchyReferenceEngine)
+
+    if isinstance(target, SimRequest):
+        if policy is not None or config is not None or policy_params:
+            raise TypeError("simulate(SimRequest) takes no policy/config/params "
+                            "arguments — they live inside the request")
+        addresses = target.trace.generate()
+        spec, config, seed = target.policy, target.config, target.seed
+    else:
+        addresses = target
+        spec = coerce_policy_spec(policy, policy_params, caller="simulate")
+
+    hierarchy = isinstance(config, HierarchyConfig)
+    if engine == "batched":
+        cls = BatchedHierarchyEngine if hierarchy else BatchedEngine
+    elif engine == "reference":
+        cls = HierarchyReferenceEngine if hierarchy else ReferenceEngine
+    else:
+        raise ValueError(f"unknown engine {engine!r} (expected 'batched' or 'reference')")
+    return cls(config).run(addresses, spec, seed=seed)

@@ -3,12 +3,17 @@
 Runs every policy over a large synthetic trace on both engines, checks
 that hit/miss outcomes are bit-identical, and writes a ``BENCH_*.json``
 recording accesses/sec, speedup, and per-policy MPKI / hit-rate so the
-performance trajectory is tracked from PR 1 onward.
+performance trajectory is tracked from PR 1 onward.  With
+``--hierarchy`` the same cross-check runs on the two-level L1I -> L2
+engines (``BatchedHierarchyEngine`` vs the per-access
+``HierarchyReferenceEngine``), comparing L1 hit vectors and L2 outcomes,
+and writes ``BENCH_hierarchy.json``.
 
 Usage::
 
     python -m emissary.bench                 # 1M accesses, all policies
     python -m emissary.bench --n 100000 --policies lru,emissary
+    python -m emissary.bench --hierarchy     # two-level engine benchmark
 """
 
 from __future__ import annotations
@@ -23,39 +28,97 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from emissary import __version__
+from emissary.api import PolicySpec
 from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine
+from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
+                                HierarchyReferenceEngine)
 from emissary.policies import POLICY_NAMES
 from emissary.traces import TraceSpec
 
+#: In the hierarchy bench, EMISSARY gates HP candidacy on measured L1I
+#: miss counts (a line must have cost >= 2 demand misses to qualify).
+#: Single-level runs have no measured signal, so they get no override.
+EMISSARY_HIERARCHY_PARAMS = {"min_l1_misses": 2}
 
-def _best_of(engine, addresses: np.ndarray, policy: str, seed: int, repeats: int):
+
+def _best_of(engine, addresses: np.ndarray, spec: PolicySpec, seed: int, repeats: int):
     """Fastest of ``repeats`` runs (timing noise floor); outcomes are seeded
     so every repeat is bit-identical and any run's hits are representative."""
     best = None
     for _ in range(max(1, repeats)):
-        result = engine.run(addresses, policy, seed=seed)
+        result = engine.run(addresses, spec, seed=seed)
         if best is None or result.elapsed_s < best.elapsed_s:
             best = result
     return best
 
 
-def bench_policy(addresses: np.ndarray, policy: str, config: CacheConfig,
+def bench_policy(addresses: np.ndarray, spec: PolicySpec, config: CacheConfig,
                  seed: int, skip_reference: bool = False,
                  repeats: int = 3) -> Dict[str, Any]:
-    batched = _best_of(BatchedEngine(config), addresses, policy, seed, repeats)
+    batched = _best_of(BatchedEngine(config), addresses, spec, seed, repeats)
     row: Dict[str, Any] = {
-        "policy": policy,
+        "policy": spec.name,
         "batched": batched.to_dict(),
         "hit_rate": batched.hit_rate,
         "mpki": batched.mpki,
     }
     if not skip_reference:
-        reference = _best_of(ReferenceEngine(config), addresses, policy, seed, repeats)
+        reference = _best_of(ReferenceEngine(config), addresses, spec, seed, repeats)
         identical = bool(np.array_equal(batched.hits, reference.hits))
         row["reference"] = reference.to_dict()
         row["outcomes_identical"] = identical
         row["speedup"] = reference.elapsed_s / batched.elapsed_s
     return row
+
+
+def bench_hierarchy_policy(addresses: np.ndarray, spec: PolicySpec,
+                           config: HierarchyConfig, seed: int,
+                           skip_reference: bool = False,
+                           repeats: int = 3) -> Dict[str, Any]:
+    batched = _best_of(BatchedHierarchyEngine(config), addresses, spec, seed, repeats)
+    row: Dict[str, Any] = {
+        "policy": spec.name,
+        "batched": batched.to_dict(),
+        "l1_hit_rate": batched.l1_hit_rate,
+        "l2_local_hit_rate": batched.l2_local_hit_rate,
+        "l2_mpki": batched.l2_mpki,
+    }
+    if not skip_reference:
+        reference = _best_of(HierarchyReferenceEngine(config), addresses, spec,
+                             seed, repeats)
+        identical = bool(np.array_equal(batched.l1.hits, reference.l1.hits)
+                         and np.array_equal(batched.l2.hits, reference.l2.hits))
+        row["reference"] = reference.to_dict()
+        row["outcomes_identical"] = identical
+        row["speedup"] = reference.elapsed_s / batched.elapsed_s
+    return row
+
+
+def _bench_specs(policies: List[str], hierarchy: bool = False) -> List[PolicySpec]:
+    extra = EMISSARY_HIERARCHY_PARAMS if hierarchy else {}
+    return [PolicySpec(p, dict(extra) if p == "emissary" else {}) for p in policies]
+
+
+def _finalize(report: Dict[str, Any], rows: List[Dict[str, Any]],
+              skip_reference: bool) -> Dict[str, Any]:
+    report["policies"] = rows
+    if not skip_reference:
+        report["all_outcomes_identical"] = all(r["outcomes_identical"] for r in rows)
+        report["min_speedup"] = min(r["speedup"] for r in rows)
+        report["max_speedup"] = max(r["speedup"] for r in rows)
+    return report
+
+
+def _report_header(benchmark: str, spec: TraceSpec) -> Dict[str, Any]:
+    return {
+        "benchmark": benchmark,
+        "emissary_version": __version__,
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "trace": spec.to_dict(),
+    }
 
 
 def run_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
@@ -70,23 +133,29 @@ def run_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
     addresses = spec.generate()
 
     rows = [bench_policy(addresses, p, config, seed, skip_reference, repeats)
-            for p in policies]
-    report: Dict[str, Any] = {
-        "benchmark": "engine_throughput",
-        "emissary_version": __version__,
-        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "trace": spec.to_dict(),
-        "cache": config.to_dict(),
-        "policies": rows,
-    }
-    if not skip_reference:
-        report["all_outcomes_identical"] = all(r["outcomes_identical"] for r in rows)
-        report["min_speedup"] = min(r["speedup"] for r in rows)
-        report["max_speedup"] = max(r["speedup"] for r in rows)
-    return report
+            for p in _bench_specs(policies)]
+    report = _report_header("engine_throughput", spec)
+    report["cache"] = config.to_dict()
+    return _finalize(report, rows, skip_reference)
+
+
+def run_hierarchy_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
+                        trace_kind: str = "loop", seed: int = 42,
+                        config: Optional[HierarchyConfig] = None,
+                        skip_reference: bool = False,
+                        repeats: int = 3) -> Dict[str, Any]:
+    config = config or HierarchyConfig()
+    policies = policies or list(POLICY_NAMES)
+    footprint = int(config.l2.num_sets * config.l2.ways * 1.5)
+    spec = TraceSpec(trace_kind, n, seed, {"footprint_lines": footprint}
+                     if trace_kind in ("loop", "shift") else {})
+    addresses = spec.generate()
+
+    rows = [bench_hierarchy_policy(addresses, p, config, seed, skip_reference, repeats)
+            for p in _bench_specs(policies, hierarchy=True)]
+    report = _report_header("hierarchy_throughput", spec)
+    report["hierarchy"] = config.to_dict()
+    return _finalize(report, rows, skip_reference)
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
@@ -95,15 +164,27 @@ def write_report(report: Dict[str, Any], path: str) -> None:
 
 
 def _summarize(report: Dict[str, Any]) -> str:
+    hierarchy = report["benchmark"] == "hierarchy_throughput"
+    geometry = report["hierarchy"] if hierarchy else report["cache"]
     lines = [f"trace={report['trace']['kind']} n={report['trace']['n']} "
-             f"cache={report['cache']}"]
-    header = f"{'policy':<10} {'hit%':>7} {'MPKI':>8} {'batched Macc/s':>15}"
+             f"{'hierarchy' if hierarchy else 'cache'}={geometry}"]
+    if hierarchy:
+        header = (f"{'policy':<10} {'L1hit%':>7} {'L2hit%':>7} {'L2MPKI':>8} "
+                  f"{'batched Macc/s':>15}")
+    else:
+        header = f"{'policy':<10} {'hit%':>7} {'MPKI':>8} {'batched Macc/s':>15}"
     if "min_speedup" in report:
         header += f" {'naive Macc/s':>13} {'speedup':>8} {'identical':>9}"
     lines += [header, "-" * len(header)]
     for row in report["policies"]:
-        line = (f"{row['policy']:<10} {100 * row['hit_rate']:>6.2f}% {row['mpki']:>8.2f} "
-                f"{row['batched']['accesses_per_s'] / 1e6:>15.2f}")
+        if hierarchy:
+            line = (f"{row['policy']:<10} {100 * row['l1_hit_rate']:>6.2f}% "
+                    f"{100 * row['l2_local_hit_rate']:>6.2f}% {row['l2_mpki']:>8.2f} "
+                    f"{row['batched']['accesses_per_s'] / 1e6:>15.2f}")
+        else:
+            line = (f"{row['policy']:<10} {100 * row['hit_rate']:>6.2f}% "
+                    f"{row['mpki']:>8.2f} "
+                    f"{row['batched']['accesses_per_s'] / 1e6:>15.2f}")
         if "speedup" in row:
             line += (f" {row['reference']['accesses_per_s'] / 1e6:>13.2f} "
                      f"{row['speedup']:>7.1f}x {str(row['outcomes_identical']):>9}")
@@ -123,25 +204,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--num-sets", type=int, default=1024)
     parser.add_argument("--ways", type=int, default=8)
+    parser.add_argument("--hierarchy", action="store_true",
+                        help="benchmark the two-level L1I -> L2 engines")
+    parser.add_argument("--l1-sets", type=int, default=64)
+    parser.add_argument("--l1-ways", type=int, default=8)
     parser.add_argument("--skip-reference", action="store_true",
                         help="benchmark only the batched engine (no oracle cross-check)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per engine (fastest run is reported)")
-    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--out", default=None,
+                        help="report path (default BENCH_engine.json, or "
+                             "BENCH_hierarchy.json with --hierarchy)")
     args = parser.parse_args(argv)
 
-    report = run_bench(
-        n=args.n,
-        policies=[p for p in args.policies.split(",") if p],
-        trace_kind=args.trace,
-        seed=args.seed,
-        config=CacheConfig(num_sets=args.num_sets, ways=args.ways),
-        skip_reference=args.skip_reference,
-        repeats=args.repeats,
-    )
+    policies = [p for p in args.policies.split(",") if p]
+    l2 = CacheConfig(num_sets=args.num_sets, ways=args.ways)
+    if args.hierarchy:
+        report = run_hierarchy_bench(
+            n=args.n, policies=policies, trace_kind=args.trace, seed=args.seed,
+            config=HierarchyConfig(l1=CacheConfig(num_sets=args.l1_sets,
+                                                  ways=args.l1_ways), l2=l2),
+            skip_reference=args.skip_reference, repeats=args.repeats)
+        out = args.out or "BENCH_hierarchy.json"
+    else:
+        report = run_bench(
+            n=args.n, policies=policies, trace_kind=args.trace, seed=args.seed,
+            config=l2, skip_reference=args.skip_reference, repeats=args.repeats)
+        out = args.out or "BENCH_engine.json"
     print(_summarize(report))
-    write_report(report, args.out)
-    print(f"report written to {args.out}")
+    write_report(report, out)
+    print(f"report written to {out}")
     if not args.skip_reference and not report["all_outcomes_identical"]:
         print("ERROR: batched and reference engines disagree", file=sys.stderr)
         return 1

@@ -31,10 +31,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
+from emissary.api import PolicySpec, coerce_policy_spec
 from emissary.policies import make_kernel, make_naive, policy_needs_rng
 
 
@@ -72,6 +73,11 @@ class CacheConfig:
 
     def to_dict(self) -> Dict[str, int]:
         return {"num_sets": self.num_sets, "ways": self.ways, "line_size": self.line_size}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "CacheConfig":
+        return cls(num_sets=int(d["num_sets"]), ways=int(d["ways"]),
+                   line_size=int(d.get("line_size", 64)))
 
 
 @dataclass
@@ -111,6 +117,19 @@ class SimResult:
             "accesses_per_s": self.accesses_per_s,
             "policy_stats": self.policy_stats,
         }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SimResult":
+        """Rebuild from :meth:`to_dict` output.  Derived fields are
+        recomputed from the counts; the hit vector is not serialized."""
+        return cls(
+            policy=d["policy"],
+            n=int(d["n"]),
+            hit_count=int(d["hit_count"]),
+            miss_count=int(d["miss_count"]),
+            elapsed_s=float(d["elapsed_s"]),
+            policy_stats=dict(d.get("policy_stats", {})),
+        )
 
 
 def decode_trace(addresses: np.ndarray, config: CacheConfig) -> tuple[np.ndarray, np.ndarray]:
@@ -153,16 +172,25 @@ class BatchedEngine:
         self.config = config or CacheConfig()
         self.collapse_runs = collapse_runs
 
-    def run(self, addresses: np.ndarray, policy: str, seed: int = 0,
-            keep_hits: bool = True, **policy_params: Any) -> SimResult:
+    def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
+            keep_hits: bool = True, cost: Optional[np.ndarray] = None,
+            **policy_params: Any) -> SimResult:
+        spec = coerce_policy_spec(policy, policy_params, caller="BatchedEngine.run")
         config = self.config
         n = len(addresses)
         start = time.perf_counter()
         addrs = np.ascontiguousarray(addresses, dtype=np.uint64)
         lines = addrs >> np.uint64(config.offset_bits)
-        u = _uniforms(n, policy, seed)
+        u = _uniforms(n, spec.name, seed)
 
-        kernel = make_kernel(policy, config.num_sets, config.ways, **policy_params)
+        kernel = make_kernel(spec.name, config.num_sets, config.ways, **spec.params)
+        if cost is not None:
+            if len(cost) != n:
+                raise ValueError(f"cost has {len(cost)} entries for {n} accesses")
+            if not kernel.consumes_cost:
+                cost = None  # cost-blind policy: skip the slicing work
+            else:
+                cost = np.ascontiguousarray(cost, dtype=np.int64)
 
         work_rep: Optional[np.ndarray] = None
         if self.collapse_runs and n > 1:
@@ -172,6 +200,7 @@ class BatchedEngine:
             edge_idx = np.flatnonzero(edge_mask)
             work_lines = lines[edge_idx]
             work_u = u[edge_idx] if u is not None else None
+            work_cost = cost[edge_idx] if cost is not None else None
             if kernel.needs_repeat_flags:
                 # Run length per edge access; > 1 means the line is
                 # re-referenced immediately after (the collapsed hits).
@@ -180,6 +209,7 @@ class BatchedEngine:
             edge_idx = None
             work_lines = lines
             work_u = u
+            work_cost = cost
             if kernel.needs_repeat_flags:
                 work_rep = np.zeros(len(work_lines), dtype=bool)
         m = len(work_lines)
@@ -193,6 +223,7 @@ class BatchedEngine:
         sorted_tags = tags[order]
         sorted_u = work_u[order] if work_u is not None else None
         sorted_rep = work_rep[order] if work_rep is not None else None
+        sorted_cost = work_cost[order] if work_cost is not None else None
 
         # bounds[s] .. bounds[s + 1] is set s's contiguous chunk.
         bounds = np.searchsorted(sorted_sets, np.arange(config.num_sets + 1))
@@ -205,8 +236,9 @@ class BatchedEngine:
                 continue
             chunk_u = sorted_u[lo:hi].tolist() if sorted_u is not None else None
             chunk_rep = sorted_rep[lo:hi].tolist() if sorted_rep is not None else None
+            chunk_cost = sorted_cost[lo:hi].tolist() if sorted_cost is not None else None
             sorted_hits[lo:hi] = kernel.run_set(s, sorted_tags[lo:hi].tolist(),
-                                                chunk_u, chunk_rep)
+                                                chunk_u, chunk_rep, chunk_cost)
 
         if edge_idx is None:
             hits = np.empty(n, dtype=bool)
@@ -220,7 +252,7 @@ class BatchedEngine:
 
         hit_count = int(hits.sum())
         return SimResult(
-            policy=policy,
+            policy=spec.name,
             n=n,
             hit_count=hit_count,
             miss_count=n - hit_count,
@@ -236,18 +268,23 @@ class ReferenceEngine:
     def __init__(self, config: Optional[CacheConfig] = None) -> None:
         self.config = config or CacheConfig()
 
-    def run(self, addresses: np.ndarray, policy: str, seed: int = 0,
-            keep_hits: bool = True, **policy_params: Any) -> SimResult:
+    def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
+            keep_hits: bool = True, cost: Optional[np.ndarray] = None,
+            **policy_params: Any) -> SimResult:
+        spec = coerce_policy_spec(policy, policy_params, caller="ReferenceEngine.run")
         config = self.config
         n = len(addresses)
         num_sets, ways = config.num_sets, config.ways
         offset_bits, set_bits = config.offset_bits, config.set_bits
         set_mask = num_sets - 1
+        if cost is not None and len(cost) != n:
+            raise ValueError(f"cost has {len(cost)} entries for {n} accesses")
 
         start = time.perf_counter()
-        u_arr = _uniforms(n, policy, seed)
+        u_arr = _uniforms(n, spec.name, seed)
         u_list = u_arr.tolist() if u_arr is not None else None
-        impl = make_naive(policy, num_sets, ways, **policy_params)
+        cost_list = (np.asarray(cost).tolist() if cost is not None else None)
+        impl = make_naive(spec.name, num_sets, ways, **spec.params)
         tag_table = [[None] * ways for _ in range(num_sets)]
         hits = np.empty(n, dtype=bool)
 
@@ -274,13 +311,14 @@ class ReferenceEngine:
                 way = impl.find_victim(s, u_i)
                 impl.replaced(s, way)
             set_tags[way] = tag
-            impl.on_fill(s, way, i, u_i)
+            impl.on_fill(s, way, i, u_i,
+                         cost_list[i] if cost_list is not None else None)
             hits[i] = False
 
         elapsed = time.perf_counter() - start
         hit_count = int(hits.sum())
         return SimResult(
-            policy=policy,
+            policy=spec.name,
             n=n,
             hit_count=hit_count,
             miss_count=n - hit_count,
@@ -290,9 +328,14 @@ class ReferenceEngine:
         )
 
 
-def simulate(addresses: np.ndarray, policy: str, config: Optional[CacheConfig] = None,
-             seed: int = 0, engine: str = "batched", **policy_params: Any) -> SimResult:
-    """Convenience wrapper: run ``policy`` over ``addresses`` on either engine."""
+def simulate(addresses: np.ndarray, policy: Union[PolicySpec, str],
+             config: Optional[CacheConfig] = None, seed: int = 0,
+             engine: str = "batched", **policy_params: Any) -> SimResult:
+    """Array-level convenience wrapper: run ``policy`` over ``addresses``.
+
+    For spec-described traces (and two-level hierarchies) prefer
+    :func:`emissary.api.simulate` with a :class:`~emissary.api.SimRequest`.
+    """
     if engine == "batched":
         return BatchedEngine(config).run(addresses, policy, seed=seed, **policy_params)
     if engine == "reference":

@@ -1,0 +1,305 @@
+"""Two-level L1I -> L2 instruction-cache hierarchy engines.
+
+EMISSARY is an *L2* instruction cache policy: its miss-awareness signal
+is which lines cost L1I demand misses, so the paper's setting is an L2
+sitting behind an L1I filter.  This module provides that setting:
+
+:class:`BatchedHierarchyEngine` (the hot path)
+    Stage 1 simulates the L1I over the full trace with the batched
+    set-major engine (MRU run collapsing removes the ~90% of fetches
+    that re-touch the current line — those can never reach L2).  Only
+    the L1I *miss stream* proceeds to stage 2, together with each miss
+    line's running L1I miss count — the paper's priority signal,
+    measured rather than assumed.  Stage 2 runs the policy under test
+    over the miss stream on a second batched engine; cost-aware policies
+    (EMISSARY) receive the measured counts through the kernel ``cost``
+    channel and gate HP candidacy on them (``min_l1_misses``).
+
+:class:`HierarchyReferenceEngine` (the oracle)
+    One straightforward Python iteration per trace access, interleaving
+    the L1I lookup, the per-line miss counter, and the L2 access exactly
+    as a real fetch would.  The equivalence suite asserts bit-identical
+    L1 hit vectors, L2 hit vectors, and per-level stats against the
+    batched path.
+
+Randomness: only the L2 policy may consume uniforms (the L1I policy is
+required to be deterministic — LRU or SRRIP), drawn positionally over
+the miss stream.  NumPy's ``Generator.random(m)`` and ``m`` successive
+scalar ``Generator.random()`` calls yield the same sequence, so the
+per-access oracle draws lazily and still matches the batched engine's
+pre-generated array bit for bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from emissary.api import PolicySpec, coerce_policy_spec
+from emissary.engine import CacheConfig, BatchedEngine, SimResult
+from emissary.policies import make_naive, policy_needs_rng
+
+#: Default L1I: 64 sets x 8 ways x 64 B lines = 32 KiB, the common size.
+DEFAULT_L1 = CacheConfig(num_sets=64, ways=8)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry of the two-level hierarchy (L1I filter + L2 under test)."""
+
+    l1: CacheConfig = DEFAULT_L1
+    l2: CacheConfig = CacheConfig()
+    l1_policy: str = "lru"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.l1, CacheConfig) or not isinstance(self.l2, CacheConfig):
+            raise TypeError("l1 and l2 must be CacheConfig instances")
+        if self.l1.line_size != self.l2.line_size:
+            raise ValueError(
+                f"L1 and L2 line sizes must match for the miss stream to be "
+                f"line-addressed consistently (got {self.l1.line_size} vs "
+                f"{self.l2.line_size})")
+        if policy_needs_rng(self.l1_policy):  # also rejects unknown names
+            raise ValueError(
+                f"l1_policy {self.l1_policy!r} consumes RNG; the L1I filter must "
+                f"be deterministic so the uniform stream belongs to L2 alone")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"l1": self.l1.to_dict(), "l2": self.l2.to_dict(),
+                "l1_policy": self.l1_policy}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "HierarchyConfig":
+        return cls(l1=CacheConfig.from_dict(d["l1"]), l2=CacheConfig.from_dict(d["l2"]),
+                   l1_policy=d.get("l1_policy", "lru"))
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of one two-level simulation.
+
+    ``l1`` covers the full trace; ``l2`` covers only the L1I miss stream
+    (``l2.n == l1.miss_count``), so ``l2.hit_rate`` is the *local* L2 hit
+    rate and :attr:`l2_mpki` renormalizes L2 misses to the full trace.
+    """
+
+    policy: str
+    n: int
+    l1: SimResult
+    l2: SimResult
+    elapsed_s: float
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1.hit_rate
+
+    @property
+    def l2_local_hit_rate(self) -> float:
+        return self.l2.hit_rate
+
+    @property
+    def l1_mpki(self) -> float:
+        return self.l1.mpki
+
+    @property
+    def l2_mpki(self) -> float:
+        """L2 misses per kilo-access of the *original* trace."""
+        return 1000.0 * self.l2.miss_count / self.n if self.n else 0.0
+
+    @property
+    def accesses_per_s(self) -> float:
+        return self.n / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "n": self.n,
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "l1_hit_rate": self.l1_hit_rate,
+            "l2_local_hit_rate": self.l2_local_hit_rate,
+            "l1_mpki": self.l1_mpki,
+            "l2_mpki": self.l2_mpki,
+            "elapsed_s": self.elapsed_s,
+            "accesses_per_s": self.accesses_per_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "HierarchyResult":
+        return cls(policy=d["policy"], n=int(d["n"]),
+                   l1=SimResult.from_dict(d["l1"]), l2=SimResult.from_dict(d["l2"]),
+                   elapsed_s=float(d["elapsed_s"]))
+
+
+def running_miss_counts(lines: np.ndarray) -> np.ndarray:
+    """For each position, how many times its value has occurred so far
+    (inclusive).  Vectorized: stable-sort groups equal lines, the rank
+    within each group is the running count."""
+    m = len(lines)
+    if m == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(lines, kind="stable")
+    sorted_lines = lines[order]
+    new_group = np.empty(m, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_lines[1:], sorted_lines[:-1], out=new_group[1:])
+    starts = np.maximum.accumulate(np.where(new_group, np.arange(m), 0))
+    counts = np.empty(m, dtype=np.int64)
+    counts[order] = np.arange(m) - starts + 1
+    return counts
+
+
+class BatchedHierarchyEngine:
+    """L1I filter stage + L2 policy stage, both on the batched engine."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None,
+                 collapse_runs: bool = True) -> None:
+        self.config = config or HierarchyConfig()
+        self.collapse_runs = collapse_runs
+
+    def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
+            keep_hits: bool = True, **policy_params: Any) -> HierarchyResult:
+        spec = coerce_policy_spec(policy, policy_params,
+                                  caller="BatchedHierarchyEngine.run")
+        config = self.config
+        n = len(addresses)
+        start = time.perf_counter()
+        addrs = np.ascontiguousarray(addresses, dtype=np.uint64)
+
+        l1 = BatchedEngine(config.l1, collapse_runs=self.collapse_runs)
+        l1_result = l1.run(addrs, PolicySpec(config.l1_policy), seed=seed,
+                           keep_hits=True)
+
+        miss_addrs = addrs[~l1_result.hits]
+        miss_lines = miss_addrs >> np.uint64(config.l1.offset_bits)
+        l1_miss_counts = running_miss_counts(miss_lines)
+
+        l2 = BatchedEngine(config.l2, collapse_runs=self.collapse_runs)
+        l2_result = l2.run(miss_addrs, spec, seed=seed, keep_hits=keep_hits,
+                           cost=l1_miss_counts)
+        l2_result.policy_stats.setdefault(
+            "unique_l1_miss_lines", int(len(np.unique(miss_lines))))
+
+        if not keep_hits:
+            l1_result.hits = None
+        elapsed = time.perf_counter() - start
+        return HierarchyResult(policy=spec.name, n=n, l1=l1_result, l2=l2_result,
+                               elapsed_s=elapsed)
+
+
+class HierarchyReferenceEngine:
+    """Naive per-access oracle: L1I lookup, miss counting, and L2 access
+    interleaved in trace order, one Python step per fetch."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        self.config = config or HierarchyConfig()
+
+    def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
+            keep_hits: bool = True, **policy_params: Any) -> HierarchyResult:
+        spec = coerce_policy_spec(policy, policy_params,
+                                  caller="HierarchyReferenceEngine.run")
+        config = self.config
+        l1c, l2c = config.l1, config.l2
+        n = len(addresses)
+        start = time.perf_counter()
+
+        l1_impl = make_naive(config.l1_policy, l1c.num_sets, l1c.ways)
+        l2_impl = make_naive(spec.name, l2c.num_sets, l2c.ways, **spec.params)
+        rng = (np.random.default_rng(seed)
+               if policy_needs_rng(spec.name) else None)
+
+        l1_tags = [[None] * l1c.ways for _ in range(l1c.num_sets)]
+        l2_tags = [[None] * l2c.ways for _ in range(l2c.num_sets)]
+        miss_counts: Dict[int, int] = {}
+
+        l1_hits = np.empty(n, dtype=bool)
+        l2_hits_list = []
+        l1_set_mask = l1c.num_sets - 1
+        l2_set_mask = l2c.num_sets - 1
+        offset_bits = l1c.offset_bits  # == l2c.offset_bits (validated)
+        j = 0  # L2 access index (position in the miss stream)
+
+        for i, addr in enumerate(addresses.tolist()):
+            line = addr >> offset_bits
+            s1 = line & l1_set_mask
+            t1 = line >> l1c.set_bits
+            set_tags = l1_tags[s1]
+            way = -1
+            for w in range(l1c.ways):
+                if set_tags[w] == t1:
+                    way = w
+                    break
+            if way >= 0:
+                l1_impl.on_hit(s1, way, i)
+                l1_hits[i] = True
+                continue
+            # L1I miss: fill L1, bump the line's measured miss count, go to L2.
+            l1_hits[i] = False
+            for w in range(l1c.ways):
+                if set_tags[w] is None:
+                    way = w
+                    break
+            else:
+                way = l1_impl.find_victim(s1, 0.0)
+                l1_impl.replaced(s1, way)
+            set_tags[way] = t1
+            l1_impl.on_fill(s1, way, i, 0.0)
+
+            cost_i = miss_counts.get(line, 0) + 1
+            miss_counts[line] = cost_i
+            u_j = rng.random() if rng is not None else 0.0
+
+            s2 = line & l2_set_mask
+            t2 = line >> l2c.set_bits
+            set_tags2 = l2_tags[s2]
+            way = -1
+            for w in range(l2c.ways):
+                if set_tags2[w] == t2:
+                    way = w
+                    break
+            if way >= 0:
+                l2_impl.on_hit(s2, way, j)
+                l2_hits_list.append(True)
+            else:
+                for w in range(l2c.ways):
+                    if set_tags2[w] is None:
+                        way = w
+                        break
+                else:
+                    way = l2_impl.find_victim(s2, u_j)
+                    l2_impl.replaced(s2, way)
+                set_tags2[way] = t2
+                l2_impl.on_fill(s2, way, j, u_j, cost_i)
+                l2_hits_list.append(False)
+            j += 1
+
+        elapsed = time.perf_counter() - start
+        l1_hit_count = int(l1_hits.sum())
+        l2_hits = np.array(l2_hits_list, dtype=bool)
+        l2_hit_count = int(l2_hits.sum())
+        l1_result = SimResult(policy=config.l1_policy, n=n, hit_count=l1_hit_count,
+                              miss_count=n - l1_hit_count, elapsed_s=elapsed,
+                              hits=l1_hits if keep_hits else None, policy_stats={})
+        l2_result = SimResult(policy=spec.name, n=j, hit_count=l2_hit_count,
+                              miss_count=j - l2_hit_count, elapsed_s=elapsed,
+                              hits=l2_hits if keep_hits else None,
+                              policy_stats={"unique_l1_miss_lines": len(miss_counts)})
+        return HierarchyResult(policy=spec.name, n=n, l1=l1_result, l2=l2_result,
+                               elapsed_s=elapsed)
+
+
+def simulate_hierarchy(addresses: np.ndarray, policy: Union[PolicySpec, str],
+                       config: Optional[HierarchyConfig] = None, seed: int = 0,
+                       engine: str = "batched",
+                       **policy_params: Any) -> HierarchyResult:
+    """Convenience wrapper: run the two-level hierarchy on either engine."""
+    if engine == "batched":
+        return BatchedHierarchyEngine(config).run(addresses, policy, seed=seed,
+                                                  **policy_params)
+    if engine == "reference":
+        return HierarchyReferenceEngine(config).run(addresses, policy, seed=seed,
+                                                    **policy_params)
+    raise ValueError(f"unknown engine {engine!r} (expected 'batched' or 'reference')")

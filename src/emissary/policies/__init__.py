@@ -24,6 +24,17 @@ REGISTRY: Dict[str, Tuple[Type[PolicyKernel], Type[NaivePolicy]]] = {
 
 POLICY_NAMES = tuple(REGISTRY)
 
+#: Per-policy parameter schemas: name -> {param -> expected type}.  This
+#: is what :class:`emissary.api.PolicySpec` validates against, so a
+#: typo'd or mistyped parameter fails at spec construction instead of
+#: being silently swallowed by a ``**params`` sink.
+PARAM_SCHEMAS: Dict[str, Dict[str, type]] = {
+    "lru": {},
+    "random": {},
+    "srrip": {},
+    "emissary": {"hp_threshold": int, "prob_inv": int, "min_l1_misses": int},
+}
+
 
 def make_kernel(name: str, num_sets: int, ways: int, **params: Any) -> PolicyKernel:
     if name not in REGISTRY:
@@ -43,12 +54,20 @@ def policy_needs_rng(name: str) -> bool:
     return REGISTRY[name][0].needs_rng
 
 
+def policy_consumes_cost(name: str) -> bool:
+    if name not in REGISTRY:
+        raise ValueError(f"unknown policy {name!r}; known: {sorted(REGISTRY)}")
+    return REGISTRY[name][0].consumes_cost
+
+
 __all__ = [
     "REGISTRY",
     "POLICY_NAMES",
+    "PARAM_SCHEMAS",
     "NaivePolicy",
     "PolicyKernel",
     "make_kernel",
     "make_naive",
     "policy_needs_rng",
+    "policy_consumes_cost",
 ]

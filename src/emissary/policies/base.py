@@ -33,6 +33,10 @@ class PolicyKernel:
     #: MRU run collapsing to stay exact when a *hit on the fill's
     #: successor* changes state (e.g. SRRIP promotes RRPV to 0).
     needs_repeat_flags: bool = False
+    #: True if the kernel uses the per-access cost signal (the running
+    #: L1I miss count for the access's line, supplied by the hierarchy
+    #: engine).  Cost-blind kernels never receive the array.
+    consumes_cost: bool = False
 
     def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
         self.num_sets = num_sets
@@ -41,13 +45,17 @@ class PolicyKernel:
 
     def run_set(self, set_index: int, tags: List[int],
                 u: Optional[Sequence[float]],
-                rep: Optional[Sequence[bool]] = None) -> List[bool]:
+                rep: Optional[Sequence[bool]] = None,
+                cost: Optional[Sequence[int]] = None) -> List[bool]:
         """Simulate ``tags`` (in access order) against set ``set_index``.
 
         ``u`` is the per-access uniform slice aligned with ``tags`` (None
         when ``needs_rng`` is False).  ``rep`` (only when
         ``needs_repeat_flags``) marks accesses whose line is re-accessed
-        immediately afterwards.  Returns one hit/miss bool per access.
+        immediately afterwards.  ``cost`` (only when ``consumes_cost``
+        and the caller measured one) is the per-access cost signal —
+        in the L1I -> L2 hierarchy, the line's running L1I miss count.
+        Returns one hit/miss bool per access.
         """
         raise NotImplementedError
 
@@ -81,5 +89,8 @@ class NaivePolicy:
     def replaced(self, set_index: int, way: int) -> None:
         """Victim bookkeeping before the new line is installed."""
 
-    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float) -> None:
+    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
+                cost_i: Optional[int] = None) -> None:
+        """Install bookkeeping.  ``cost_i`` is the access's cost signal
+        (line's running L1I miss count) or None when unmeasured."""
         raise NotImplementedError

@@ -20,6 +20,17 @@ one uniform per trace access and policies index it positionally.
 HP bookkeeping is strictly per set.  That is what the paper's threshold
 means (N of the W ways in a set may be protected), and it is also what
 makes set-major batched execution legal: no state is shared across sets.
+
+**Miss awareness.**  The paper's priority signal is *which fills cost
+L1I demand misses*.  Standalone (single-level) runs cannot measure that,
+so every fill is candidate-eligible — the synthetic assumption.  Under
+the L1I -> L2 hierarchy engine every L2 access genuinely is an L1I miss,
+and the engine supplies the line's running L1I miss count as the
+per-access ``cost`` signal; ``min_l1_misses`` then gates HP candidacy on
+*measured* cost (a line must have cost at least that many L1I misses so
+far to qualify).  With ``min_l1_misses=1`` the hierarchy reproduces the
+paper's binary signal exactly (every L2 fill was an L1I miss); higher
+values demand repeat offenders.
 """
 
 from __future__ import annotations
@@ -30,28 +41,36 @@ from emissary.policies.base import NaivePolicy, PolicyKernel
 
 DEFAULT_HP_THRESHOLD = 4
 DEFAULT_PROB_INV = 32
+DEFAULT_MIN_L1_MISSES = 1
 
 
-def _check_params(ways: int, hp_threshold: int, prob_inv: int) -> None:
+def _check_params(ways: int, hp_threshold: int, prob_inv: int,
+                  min_l1_misses: int) -> None:
     if hp_threshold < 0:
         raise ValueError("hp_threshold must be >= 0")
     if hp_threshold > ways:
         raise ValueError(f"hp_threshold ({hp_threshold}) cannot exceed ways ({ways})")
     if prob_inv < 1:
         raise ValueError("prob_inv must be >= 1")
+    if min_l1_misses < 1:
+        raise ValueError("min_l1_misses must be >= 1")
 
 
 class EmissaryKernel(PolicyKernel):
     name = "emissary"
     needs_rng = True
+    consumes_cost = True
 
     def __init__(self, num_sets: int, ways: int,
                  hp_threshold: int = DEFAULT_HP_THRESHOLD,
-                 prob_inv: int = DEFAULT_PROB_INV, **params: Any) -> None:
+                 prob_inv: int = DEFAULT_PROB_INV,
+                 min_l1_misses: int = DEFAULT_MIN_L1_MISSES,
+                 **params: Any) -> None:
         super().__init__(num_sets, ways, **params)
-        _check_params(ways, hp_threshold, prob_inv)
+        _check_params(ways, hp_threshold, prob_inv, min_l1_misses)
         self.hp_threshold = hp_threshold
         self.prob_inv = prob_inv
+        self.min_l1_misses = min_l1_misses
         # One insertion-ordered dict per set mapping tag -> priority bit.
         # A hit pops and reinserts, so dict order is recency order (front =
         # LRU) and the two-class victim search walks it oldest-first.
@@ -62,11 +81,13 @@ class EmissaryKernel(PolicyKernel):
 
     def run_set(self, set_index: int, tags: List[int],
                 u: Optional[Sequence[float]],
-                rep: Optional[Sequence[bool]] = None) -> List[bool]:
+                rep: Optional[Sequence[bool]] = None,
+                cost: Optional[Sequence[int]] = None) -> List[bool]:
         assert u is not None
         d = self._sets[set_index]
         ways = self.ways
         threshold = self.hp_threshold
+        min_cost = self.min_l1_misses
         p_hit = 1.0 / self.prob_inv
         hp = self.hp_counts[set_index]
         promotions = 0
@@ -74,7 +95,12 @@ class EmissaryKernel(PolicyKernel):
         hits: List[bool] = []
         hit_append = hits.append
         pop = d.pop
-        for tag, u_i in zip(tags, u):
+        # Without a measured cost signal every fill is candidate-eligible
+        # (the synthetic single-level assumption); with one, eligibility
+        # is the measured L1I miss count reaching min_l1_misses.
+        if cost is None:
+            cost = (min_cost,) * len(tags)
+        for tag, u_i, c_i in zip(tags, u, cost):
             prio = pop(tag, -1)
             if prio >= 0:
                 d[tag] = prio  # reinsert at the MRU end
@@ -92,7 +118,7 @@ class EmissaryKernel(PolicyKernel):
                     if pop(victim):
                         hp -= 1
                         hp_evictions += 1
-                if u_i < p_hit and hp < threshold:
+                if c_i >= min_cost and u_i < p_hit and hp < threshold:
                     d[tag] = 1
                     hp += 1
                     promotions += 1
@@ -112,6 +138,7 @@ class EmissaryKernel(PolicyKernel):
         return {
             "hp_threshold": self.hp_threshold,
             "prob_inv": self.prob_inv,
+            "min_l1_misses": self.min_l1_misses,
             "hp_promotions": self.hp_promotions,
             "hp_evictions": self.hp_evictions,
             "hp_lines_final": sum(self.hp_counts),
@@ -124,11 +151,14 @@ class NaiveEmissary(NaivePolicy):
 
     def __init__(self, num_sets: int, ways: int,
                  hp_threshold: int = DEFAULT_HP_THRESHOLD,
-                 prob_inv: int = DEFAULT_PROB_INV, **params: Any) -> None:
+                 prob_inv: int = DEFAULT_PROB_INV,
+                 min_l1_misses: int = DEFAULT_MIN_L1_MISSES,
+                 **params: Any) -> None:
         super().__init__(num_sets, ways, **params)
-        _check_params(ways, hp_threshold, prob_inv)
+        _check_params(ways, hp_threshold, prob_inv, min_l1_misses)
         self.hp_threshold = hp_threshold
         self.prob_inv = prob_inv
+        self.min_l1_misses = min_l1_misses
         self.timestamps = [0] * (num_sets * ways)
         self.priority = [0] * (num_sets * ways)
         self.hp_counts = [0] * num_sets
@@ -168,9 +198,12 @@ class NaiveEmissary(NaivePolicy):
             self.priority[idx] = 0
             self.hp_counts[set_index] -= 1
 
-    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float) -> None:
+    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
+                cost_i: Optional[int] = None) -> None:
         idx = set_index * self.ways + way
-        if u_i < 1.0 / self.prob_inv and self.hp_counts[set_index] < self.hp_threshold:
+        eligible = cost_i is None or cost_i >= self.min_l1_misses
+        if eligible and u_i < 1.0 / self.prob_inv \
+                and self.hp_counts[set_index] < self.hp_threshold:
             self.priority[idx] = 1
             self.hp_counts[set_index] += 1
         else:

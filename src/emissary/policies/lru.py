@@ -28,7 +28,8 @@ class LRUKernel(PolicyKernel):
 
     def run_set(self, set_index: int, tags: List[int],
                 u: Optional[Sequence[float]],
-                rep: Optional[Sequence[bool]] = None) -> List[bool]:
+                rep: Optional[Sequence[bool]] = None,
+                cost: Optional[Sequence[int]] = None) -> List[bool]:
         d = self._sets[set_index]
         ways = self.ways
         hits: List[bool] = []
@@ -77,5 +78,6 @@ class NaiveLRU(NaivePolicy):
     def replaced(self, set_index: int, way: int) -> None:
         self.timestamps[set_index * self.ways + way] = 0
 
-    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float) -> None:
+    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
+                cost_i: Optional[int] = None) -> None:
         self._touch(set_index, way)

@@ -27,7 +27,8 @@ class RandomKernel(PolicyKernel):
 
     def run_set(self, set_index: int, tags: List[int],
                 u: Optional[Sequence[float]],
-                rep: Optional[Sequence[bool]] = None) -> List[bool]:
+                rep: Optional[Sequence[bool]] = None,
+                cost: Optional[Sequence[int]] = None) -> List[bool]:
         assert u is not None
         ways_of = self._ways_of[set_index]
         tag_at = self._tag_at[set_index]
@@ -61,5 +62,6 @@ class NaiveRandom(NaivePolicy):
     def find_victim(self, set_index: int, u_i: float) -> int:
         return int(u_i * self.ways)
 
-    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float) -> None:
+    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
+                cost_i: Optional[int] = None) -> None:
         pass

@@ -77,7 +77,8 @@ class SRRIPKernel(PolicyKernel):
 
     def run_set(self, set_index: int, tags: List[int],
                 u: Optional[Sequence[float]],
-                rep: Optional[Sequence[bool]] = None) -> List[bool]:
+                rep: Optional[Sequence[bool]] = None,
+                cost: Optional[Sequence[int]] = None) -> List[bool]:
         assert rep is not None
         if not self._packed_ok:
             return self._run_set_wide(set_index, tags, rep)
@@ -183,5 +184,6 @@ class NaiveSRRIP(NaivePolicy):
             for w in range(self.ways):
                 rrpv[base + w] += 1
 
-    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float) -> None:
+    def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
+                cost_i: Optional[int] = None) -> None:
         self.rrpv[set_index * self.ways + way] = RRPV_INSERT

@@ -34,8 +34,20 @@ def canonical_json(obj: Any) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-def config_key(config: Dict[str, Any]) -> str:
-    return hashlib.sha256(canonical_json(config).encode()).hexdigest()
+def _as_config_dict(config: Any) -> Dict[str, Any]:
+    """Accept a plain dict or anything with a canonical ``to_dict``
+    encoding (e.g. :class:`emissary.api.SimRequest`)."""
+    if isinstance(config, dict):
+        return config
+    to_dict = getattr(config, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    raise TypeError(f"config must be a dict or provide to_dict(), "
+                    f"got {type(config).__name__}")
+
+
+def config_key(config: Any) -> str:
+    return hashlib.sha256(canonical_json(_as_config_dict(config)).encode()).hexdigest()
 
 
 def _result_checksum(result: Dict[str, Any]) -> str:
@@ -73,8 +85,9 @@ class ResultsCache:
             return None
         return entry["result"]
 
-    def load(self, config: Dict[str, Any]) -> Optional[Dict[str, Any]]:
-        """Return the cached result for ``config``, or None (corrupt => warn + None)."""
+    def load(self, config: Any) -> Optional[Dict[str, Any]]:
+        """Return the cached result for ``config`` (a dict or a
+        :class:`~emissary.api.SimRequest`), or None (corrupt => warn + None)."""
         key = config_key(config)
         path = self._path(key)
         if not path.exists():
@@ -86,7 +99,8 @@ class ResultsCache:
             return None
         return self._validate(entry, key, path)
 
-    def store(self, config: Dict[str, Any], result: Dict[str, Any]) -> Path:
+    def store(self, config: Any, result: Dict[str, Any]) -> Path:
+        config = _as_config_dict(config)
         key = config_key(config)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         entry = {

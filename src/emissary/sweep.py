@@ -1,17 +1,24 @@
 """Parallel sweep runner.
 
-Fans (trace x policy x hp_threshold x prob_inv) configurations across
+Fans (trace x policy x hp_threshold x prob_inv) configurations —
+single-level or two-level L1I -> L2 hierarchy points — across
 ``multiprocessing`` workers.  The parent process consults the on-disk
 results cache first, dispatches only uncached configurations, and writes
-results back as workers complete — so interrupted or repeated sweeps are
-incremental.  Workers regenerate the synthetic trace from its spec (the
-spec is part of the config key), keeping inter-process payloads tiny.
+each result back the moment its worker completes (``imap_unordered`` +
+per-completion ``store``), so an interrupted sweep keeps everything that
+finished and repeated sweeps are incremental.  Workers regenerate the
+synthetic trace from its spec (the spec is part of the config key),
+keeping inter-process payloads tiny.
+
+Sweep points are typed :class:`~emissary.api.SimRequest` objects; their
+``to_dict`` encoding keys the results cache.
 
 Usage::
 
     python -m emissary.sweep --demo
     python -m emissary.sweep --traces loop,shift,call --n 200000 \
         --policies lru,srrip,emissary --hp-thresholds 2,4 --prob-invs 16,32
+    python -m emissary.sweep --l1-sets 64 --l1-ways 8 --min-l1-misses 2
 """
 
 from __future__ import annotations
@@ -23,61 +30,97 @@ import multiprocessing as mp
 import os
 import sys
 import time
-from typing import Any, Dict, List, Optional
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from emissary.api import EmissaryDeprecationWarning, PolicySpec, SimRequest
 from emissary.engine import BatchedEngine, CacheConfig
+from emissary.hierarchy import BatchedHierarchyEngine, HierarchyConfig
 from emissary.policies import POLICY_NAMES
 from emissary.results_cache import DEFAULT_CACHE_DIR, ResultsCache
 from emissary.traces import TraceSpec
 
 logger = logging.getLogger(__name__)
 
+AnyCacheConfig = Union[CacheConfig, HierarchyConfig]
 
-def make_config(trace: TraceSpec, policy: str, cache: CacheConfig, seed: int,
+
+def make_config(trace: Any, policy: Optional[str] = None,
+                cache: Optional[AnyCacheConfig] = None, seed: int = 0,
                 policy_params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """One sweep point, encoded as the plain dict that keys the results cache."""
-    return {
-        "trace": trace.to_dict(),
-        "policy": policy,
-        "policy_params": dict(policy_params or {}),
-        "cache": cache.to_dict(),
-        "seed": seed,
-    }
+    """One sweep point, encoded as the plain dict that keys the results cache.
+
+    Canonical form: ``make_config(SimRequest(...))``.  The legacy
+    positional form ``make_config(trace_spec, policy_name, cache, seed,
+    policy_params)`` is shimmed with a deprecation warning.
+    """
+    if isinstance(trace, SimRequest):
+        if policy is not None or cache is not None or policy_params is not None:
+            raise TypeError("make_config(SimRequest) takes no further arguments")
+        return trace.to_dict()
+    warnings.warn(
+        "make_config(trace, policy, cache, seed, policy_params) is deprecated; "
+        "pass a SimRequest instead", EmissaryDeprecationWarning, stacklevel=2)
+    request = SimRequest(trace=trace, policy=PolicySpec(policy, dict(policy_params or {})),
+                         config=cache, seed=seed)
+    return request.to_dict()
 
 
 def run_config(config: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: simulate one configuration, return plain dicts."""
-    trace = TraceSpec.from_dict(config["trace"]).generate()
-    cache_cfg = CacheConfig(**config["cache"])
-    engine = BatchedEngine(cache_cfg)
-    result = engine.run(trace, config["policy"], seed=config["seed"],
-                        keep_hits=False, **config["policy_params"])
+    request = SimRequest.from_dict(config)
+    addresses = request.trace.generate()
+    if request.is_hierarchy:
+        engine: Any = BatchedHierarchyEngine(request.config)
+    else:
+        engine = BatchedEngine(request.config)
+    result = engine.run(addresses, request.policy, seed=request.seed, keep_hits=False)
     return result.to_dict()
 
 
-def build_grid(traces: List[TraceSpec], policies: List[str], cache: CacheConfig,
-               seed: int, hp_thresholds: List[int],
-               prob_invs: List[int]) -> List[Dict[str, Any]]:
-    grid: List[Dict[str, Any]] = []
+def _run_indexed(item: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any]]:
+    index, config = item
+    return index, run_config(config)
+
+
+def build_grid(traces: Sequence[TraceSpec], policies: Sequence[str],
+               cache: AnyCacheConfig, seed: int, hp_thresholds: Sequence[int],
+               prob_invs: Sequence[int], min_l1_misses: int = 1) -> List[SimRequest]:
+    """Cross traces x policies (x EMISSARY parameter grid) into SimRequests.
+
+    ``min_l1_misses`` only applies to EMISSARY points and only has a
+    measured signal to gate on when ``cache`` is a
+    :class:`~emissary.hierarchy.HierarchyConfig`.
+    """
+    grid: List[SimRequest] = []
     for trace in traces:
         for policy in policies:
             if policy == "emissary":
                 for thr in hp_thresholds:
                     for pinv in prob_invs:
-                        grid.append(make_config(trace, policy, cache, seed,
-                                                {"hp_threshold": thr, "prob_inv": pinv}))
+                        params = {"hp_threshold": thr, "prob_inv": pinv}
+                        if min_l1_misses != 1:
+                            params["min_l1_misses"] = min_l1_misses
+                        grid.append(SimRequest(trace, PolicySpec(policy, params),
+                                               cache, seed))
             else:
-                grid.append(make_config(trace, policy, cache, seed))
+                grid.append(SimRequest(trace, PolicySpec(policy), cache, seed))
     return grid
 
 
-def run_sweep(grid: List[Dict[str, Any]], workers: int = 0,
+def run_sweep(grid: Sequence[Union[SimRequest, Dict[str, Any]]], workers: int = 0,
               cache_dir: str = DEFAULT_CACHE_DIR) -> List[Dict[str, Any]]:
-    """Run every configuration, reusing cached results; returns one row per config."""
+    """Run every configuration, reusing cached results; returns one row per config.
+
+    Fresh results are persisted to the cache *as each worker completes*
+    (not in one batch at the end), so interrupting a sweep loses only the
+    configurations still in flight.
+    """
     store = ResultsCache(cache_dir)
-    rows: List[Optional[Dict[str, Any]]] = [None] * len(grid)
+    configs = [g.to_dict() if isinstance(g, SimRequest) else g for g in grid]
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(configs)
     pending: List[int] = []
-    for i, config in enumerate(grid):
+    for i, config in enumerate(configs):
         cached = store.load(config)
         if cached is not None:
             rows[i] = {"config": config, "result": cached, "cached": True}
@@ -88,47 +131,70 @@ def run_sweep(grid: List[Dict[str, Any]], workers: int = 0,
         if workers <= 0:
             workers = min(len(pending), os.cpu_count() or 1)
         if workers == 1:
-            fresh = [run_config(grid[i]) for i in pending]
+            for i in pending:
+                result = run_config(configs[i])
+                store.store(configs[i], result)
+                rows[i] = {"config": configs[i], "result": result, "cached": False}
         else:
             with mp.Pool(processes=workers) as pool:
-                fresh = pool.map(run_config, [grid[i] for i in pending])
-        for i, result in zip(pending, fresh):
-            store.store(grid[i], result)
-            rows[i] = {"config": grid[i], "result": result, "cached": False}
+                items = [(i, configs[i]) for i in pending]
+                for i, result in pool.imap_unordered(_run_indexed, items):
+                    store.store(configs[i], result)
+                    rows[i] = {"config": configs[i], "result": result, "cached": False}
 
     assert all(row is not None for row in rows)
     return rows  # type: ignore[return-value]
 
 
 def _format_table(rows: List[Dict[str, Any]]) -> str:
-    header = f"{'trace':<8} {'policy':<10} {'params':<22} {'hit%':>7} {'MPKI':>8} " \
-             f"{'Macc/s':>8} {'cached':>6}"
+    def params_of(cfg: Dict[str, Any]) -> str:
+        return ",".join(f"{k}={v}"
+                        for k, v in sorted(cfg["policy"]["params"].items())) or "-"
+
+    pw = max([22] + [len(params_of(row["config"])) for row in rows])
+    header = (f"{'trace':<8} {'policy':<10} {'params':<{pw}} {'L1hit%':>7} "
+              f"{'L2hit%':>7} {'MPKI':>8} {'Macc/s':>8} {'cached':>6}")
     lines = [header, "-" * len(header)]
     for row in rows:
         cfg, res = row["config"], row["result"]
-        params = ",".join(f"{k}={v}" for k, v in sorted(cfg["policy_params"].items())) or "-"
+        params = params_of(cfg)
+        if "l1" in res:  # hierarchy row: per-level stats
+            l1_hit = f"{100.0 * res['l1_hit_rate']:>6.2f}%"
+            l2_hit = f"{100.0 * res['l2_local_hit_rate']:>6.2f}%"
+            mpki = res["l2_mpki"]
+        else:  # single-level row: the lone cache plays the L2 column
+            l1_hit = f"{'-':>7}"
+            l2_hit = f"{100.0 * res['hit_rate']:>6.2f}%"
+            mpki = res["mpki"]
         lines.append(
-            f"{cfg['trace']['kind']:<8} {cfg['policy']:<10} {params:<22} "
-            f"{100.0 * res['hit_rate']:>6.2f}% {res['mpki']:>8.2f} "
+            f"{cfg['trace']['kind']:<8} {cfg['policy']['name']:<10} {params:<{pw}} "
+            f"{l1_hit} {l2_hit} {mpki:>8.2f} "
             f"{res['accesses_per_s'] / 1e6:>8.2f} {str(row['cached']):>6}"
         )
     return "\n".join(lines)
 
 
-def demo_grid(n: int = 200_000, seed: int = 42) -> List[Dict[str, Any]]:
+def demo_grid(n: int = 200_000, seed: int = 42) -> List[SimRequest]:
     # A small L2 (256 sets x 8 ways = 2048 lines) with a footprint ~1.25x
     # capacity: the loop cycles several times within n accesses, so pure
     # LRU thrashes while EMISSARY's protected lines keep hitting — the
     # paper's qualitative effect is visible straight from the demo table.
-    cache = CacheConfig(num_sets=256, ways=8)
-    lines = int(cache.num_sets * cache.ways * 1.25)
+    l2 = CacheConfig(num_sets=256, ways=8)
+    lines = int(l2.num_sets * l2.ways * 1.25)
     traces = [
         TraceSpec("loop", n, seed, {"footprint_lines": lines}),
         TraceSpec("shift", n, seed, {"footprint_lines": lines // 2, "phases": 4}),
         TraceSpec("call", n, seed, {"caller_lines": lines // 2, "num_callees": 128}),
     ]
-    return build_grid(traces, list(POLICY_NAMES), cache, seed,
+    grid = build_grid(traces, list(POLICY_NAMES), l2, seed,
                       hp_thresholds=[4, 6], prob_invs=[8, 32])
+    # The paper's actual setting: the same L2 behind a 32 KiB L1I filter.
+    # EMISSARY's HP candidacy is gated on *measured* L1I miss counts
+    # (min_l1_misses=2: a line must already have cost two demand misses).
+    hierarchy = HierarchyConfig(l1=CacheConfig(num_sets=64, ways=8), l2=l2)
+    grid += build_grid(traces, list(POLICY_NAMES), hierarchy, seed,
+                       hp_thresholds=[4, 6], prob_invs=[8, 32], min_l1_misses=2)
+    return grid
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -147,6 +213,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated EMISSARY 1/P denominators")
     parser.add_argument("--num-sets", type=int, default=1024)
     parser.add_argument("--ways", type=int, default=8)
+    parser.add_argument("--l1-sets", type=int, default=0,
+                        help="L1I sets; > 0 simulates the two-level L1I -> L2 "
+                             "hierarchy with the main cache as L2")
+    parser.add_argument("--l1-ways", type=int, default=8, help="L1I associativity")
+    parser.add_argument("--l1-policy", default="lru",
+                        help="L1I replacement policy (must be deterministic)")
+    parser.add_argument("--min-l1-misses", type=int, default=1,
+                        help="EMISSARY HP candidacy: minimum measured L1I "
+                             "misses for a line to qualify (hierarchy only)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (0 = one per CPU)")
@@ -159,8 +234,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.demo:
         grid = demo_grid(n=args.n, seed=args.seed)
     else:
-        cache = CacheConfig(num_sets=args.num_sets, ways=args.ways)
-        lines = int(cache.num_sets * cache.ways * 1.5)
+        l2 = CacheConfig(num_sets=args.num_sets, ways=args.ways)
+        cache: AnyCacheConfig = l2
+        if args.l1_sets > 0:
+            cache = HierarchyConfig(l1=CacheConfig(num_sets=args.l1_sets,
+                                                   ways=args.l1_ways),
+                                    l2=l2, l1_policy=args.l1_policy)
+        lines = int(l2.num_sets * l2.ways * 1.5)
         defaults = {
             "loop": {"footprint_lines": lines},
             "shift": {"footprint_lines": lines // 2, "phases": 4},
@@ -171,7 +251,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         policies = [p for p in args.policies.split(",") if p]
         grid = build_grid(traces, policies, cache, args.seed,
                           [int(x) for x in args.hp_thresholds.split(",") if x],
-                          [int(x) for x in args.prob_invs.split(",") if x])
+                          [int(x) for x in args.prob_invs.split(",") if x],
+                          min_l1_misses=args.min_l1_misses)
 
     start = time.perf_counter()
     rows = run_sweep(grid, workers=args.workers, cache_dir=args.cache_dir)

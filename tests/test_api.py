@@ -1,0 +1,149 @@
+"""Typed PolicySpec/SimRequest API: validation, round-trips, and the
+deprecation-shimmed legacy ``policy: str, **policy_params`` form."""
+
+import numpy as np
+import pytest
+
+from emissary.api import (EmissaryDeprecationWarning, PolicySpec, SimRequest,
+                          coerce_policy_spec, simulate)
+from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine
+from emissary.hierarchy import HierarchyConfig
+from emissary.results_cache import ResultsCache, config_key
+from emissary.traces import TraceSpec
+
+TRACE = TraceSpec("loop", 2_000, 1, {"footprint_lines": 100})
+
+
+class TestPolicySpec:
+    def test_valid_specs(self):
+        assert PolicySpec("lru").params == {}
+        spec = PolicySpec("emissary", {"hp_threshold": 2, "prob_inv": 8,
+                                       "min_l1_misses": 3})
+        assert spec.params["min_l1_misses"] == 3
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            PolicySpec("optimal")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            PolicySpec("emissary", {"hp_treshold": 2})  # typo caught at build
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            PolicySpec("lru", {"hp_threshold": 2})
+
+    def test_mistyped_param_rejected(self):
+        with pytest.raises(TypeError, match="must be int"):
+            PolicySpec("emissary", {"hp_threshold": "2"})
+        with pytest.raises(TypeError, match="must be int"):
+            PolicySpec("emissary", {"prob_inv": True})  # bools are not ints here
+
+    def test_params_copied_from_caller(self):
+        params = {"hp_threshold": 2}
+        spec = PolicySpec("emissary", params)
+        params["hp_threshold"] = 99
+        assert spec.params["hp_threshold"] == 2
+
+    def test_round_trip(self):
+        spec = PolicySpec("emissary", {"hp_threshold": 4, "prob_inv": 16})
+        assert PolicySpec.from_dict(spec.to_dict()) == spec
+
+
+class TestSimRequest:
+    def test_defaults(self):
+        request = SimRequest(TRACE, PolicySpec("lru"))
+        assert request.config == CacheConfig()
+        assert request.seed == 0
+        assert not request.is_hierarchy
+
+    def test_hierarchy_request(self):
+        request = SimRequest(TRACE, PolicySpec("lru"), HierarchyConfig())
+        assert request.is_hierarchy
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            SimRequest("loop", PolicySpec("lru"))
+        with pytest.raises(TypeError):
+            SimRequest(TRACE, "lru")
+        with pytest.raises(TypeError):
+            SimRequest(TRACE, PolicySpec("lru"), {"num_sets": 16})
+        with pytest.raises(TypeError):
+            SimRequest(TRACE, PolicySpec("lru"), seed="42")
+
+    @pytest.mark.parametrize("config", [None, CacheConfig(num_sets=16, ways=4),
+                                        HierarchyConfig()],
+                             ids=["default", "single", "hierarchy"])
+    def test_round_trip(self, config):
+        request = SimRequest(TRACE, PolicySpec("emissary", {"hp_threshold": 2}),
+                             config, seed=9)
+        assert SimRequest.from_dict(request.to_dict()) == request
+
+    def test_results_cache_accepts_requests(self, tmp_path):
+        request = SimRequest(TRACE, PolicySpec("lru"), seed=3)
+        assert config_key(request) == config_key(request.to_dict())
+        cache = ResultsCache(tmp_path)
+        cache.store(request, {"hit_rate": 0.5})
+        assert cache.load(request) == {"hit_rate": 0.5}
+        assert cache.load(request.to_dict()) == {"hit_rate": 0.5}
+
+
+class TestLegacyShims:
+    def test_engine_run_with_str_policy_warns(self):
+        trace = TRACE.generate()
+        with pytest.warns(EmissaryDeprecationWarning):
+            legacy = BatchedEngine().run(trace, "emissary", seed=1, hp_threshold=2)
+        typed = BatchedEngine().run(trace,
+                                    PolicySpec("emissary", {"hp_threshold": 2}),
+                                    seed=1)
+        assert np.array_equal(legacy.hits, typed.hits)
+
+    def test_reference_run_with_str_policy_warns(self):
+        trace = TRACE.generate()[:500]
+        with pytest.warns(EmissaryDeprecationWarning):
+            ReferenceEngine().run(trace, "lru")
+
+    def test_simulate_with_str_policy_warns(self):
+        trace = TRACE.generate()[:500]
+        with pytest.warns(EmissaryDeprecationWarning):
+            simulate(trace, "lru")
+
+    def test_spec_plus_kwargs_rejected(self):
+        trace = TRACE.generate()[:500]
+        with pytest.raises(TypeError, match="inside PolicySpec.params"):
+            BatchedEngine().run(trace, PolicySpec("emissary"), hp_threshold=2)
+
+    def test_coerce_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            coerce_policy_spec(42)
+
+    def test_make_config_legacy_form_warns(self):
+        from emissary.sweep import make_config
+
+        with pytest.warns(EmissaryDeprecationWarning):
+            legacy = make_config(TRACE, "lru", CacheConfig(num_sets=16, ways=4), 1)
+        typed = make_config(SimRequest(TRACE, PolicySpec("lru"),
+                                       CacheConfig(num_sets=16, ways=4), 1))
+        assert legacy == typed
+
+
+class TestUnifiedSimulate:
+    def test_request_matches_array_form(self):
+        request = SimRequest(TRACE, PolicySpec("srrip"),
+                             CacheConfig(num_sets=16, ways=4), seed=5)
+        from_request = simulate(request)
+        from_array = simulate(TRACE.generate(), PolicySpec("srrip"),
+                              config=CacheConfig(num_sets=16, ways=4), seed=5)
+        assert np.array_equal(from_request.hits, from_array.hits)
+
+    def test_request_with_extra_args_rejected(self):
+        request = SimRequest(TRACE, PolicySpec("lru"))
+        with pytest.raises(TypeError):
+            simulate(request, PolicySpec("lru"))
+
+    def test_reference_engine_selectable(self):
+        request = SimRequest(TRACE, PolicySpec("lru"),
+                             CacheConfig(num_sets=16, ways=4))
+        batched = simulate(request)
+        reference = simulate(TRACE.generate(), PolicySpec("lru"),
+                             config=CacheConfig(num_sets=16, ways=4),
+                             engine="reference")
+        assert np.array_equal(batched.hits, reference.hits)

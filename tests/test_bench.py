@@ -2,7 +2,12 @@
 
 import json
 
-from emissary.bench import main, run_bench
+from emissary.bench import main, run_bench, run_hierarchy_bench
+from emissary.engine import CacheConfig
+from emissary.hierarchy import HierarchyConfig
+
+SMALL_HIERARCHY = HierarchyConfig(l1=CacheConfig(num_sets=16, ways=4),
+                                  l2=CacheConfig(num_sets=64, ways=4))
 
 
 def test_run_bench_cross_checks_engines():
@@ -22,6 +27,32 @@ def test_run_bench_skip_reference():
     assert "speedup" not in report["policies"][0]
 
 
+def test_run_hierarchy_bench_cross_checks_engines():
+    report = run_hierarchy_bench(n=5_000, policies=["lru", "emissary"], seed=3,
+                                 config=SMALL_HIERARCHY)
+    assert report["benchmark"] == "hierarchy_throughput"
+    assert report["hierarchy"]["l1"]["num_sets"] == 16
+    assert report["all_outcomes_identical"] is True
+    for row in report["policies"]:
+        assert row["outcomes_identical"] is True
+        assert 0.0 <= row["l1_hit_rate"] <= 1.0
+        assert 0.0 <= row["l2_local_hit_rate"] <= 1.0
+        assert row["batched"]["l1"]["n"] == 5_000
+        assert row["batched"]["l2"]["n"] == row["batched"]["l1"]["miss_count"]
+
+
+def test_hierarchy_bench_gates_emissary_on_measured_misses():
+    report = run_hierarchy_bench(n=5_000, policies=["emissary"], seed=3,
+                                 config=SMALL_HIERARCHY, skip_reference=True)
+    stats = report["policies"][0]["batched"]["l2"]["policy_stats"]
+    assert stats["min_l1_misses"] == 2
+    # The single-level bench must NOT apply the override: without an L1I
+    # there is no measured miss count to gate on.
+    flat = run_bench(n=2_000, policies=["emissary"], skip_reference=True)
+    flat_stats = flat["policies"][0]["batched"]["policy_stats"]
+    assert flat_stats.get("min_l1_misses", 1) == 1
+
+
 def test_cli_writes_bench_json(tmp_path, capsys):
     out = tmp_path / "BENCH_test.json"
     rc = main(["--n", "3000", "--policies", "lru,srrip", "--out", str(out)])
@@ -31,3 +62,18 @@ def test_cli_writes_bench_json(tmp_path, capsys):
     assert report["all_outcomes_identical"] is True
     assert report["trace"]["n"] == 3000
     assert capsys.readouterr().out  # summary table printed
+
+
+def test_cli_hierarchy_writes_bench_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_hier_test.json"
+    rc = main(["--hierarchy", "--n", "3000", "--policies", "lru,emissary",
+               "--num-sets", "64", "--ways", "4", "--l1-sets", "16",
+               "--l1-ways", "4", "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "hierarchy_throughput"
+    assert report["hierarchy"] == {"l1": {"num_sets": 16, "ways": 4, "line_size": 64},
+                                   "l2": {"num_sets": 64, "ways": 4, "line_size": 64},
+                                   "l1_policy": "lru"}
+    assert report["all_outcomes_identical"] is True
+    assert "L2MPKI" in capsys.readouterr().out

@@ -1,9 +1,14 @@
-"""Tests for the parallel sweep runner and its cache integration."""
+"""Tests for the parallel sweep runner, its cache integration, and the CLI."""
 
 import json
 
+import pytest
+
+from emissary.api import PolicySpec, SimRequest
 from emissary.engine import CacheConfig
-from emissary.sweep import build_grid, demo_grid, main, make_config, run_config, run_sweep
+from emissary.hierarchy import HierarchyConfig
+from emissary.sweep import (build_grid, demo_grid, main, make_config, run_config,
+                            run_sweep)
 from emissary.traces import TraceSpec
 
 
@@ -14,25 +19,52 @@ def small_grid(n=2_000):
                       hp_thresholds=[2], prob_invs=[8])
 
 
+def hierarchy_grid(n=2_000):
+    cache = HierarchyConfig(l1=CacheConfig(num_sets=8, ways=2),
+                            l2=CacheConfig(num_sets=16, ways=4))
+    traces = [TraceSpec("loop", n, 1, {"footprint_lines": 100})]
+    return build_grid(traces, ["lru", "emissary"], cache, seed=1,
+                      hp_thresholds=[2], prob_invs=[8], min_l1_misses=2)
+
+
 def test_build_grid_expands_emissary_params():
     cache = CacheConfig(num_sets=16, ways=4)
     traces = [TraceSpec("loop", 100, 1)]
     grid = build_grid(traces, ["lru", "emissary"], cache, 1,
                       hp_thresholds=[2, 4], prob_invs=[16, 32])
     assert len(grid) == 1 + 4  # lru once, emissary 2x2
-    emissary_params = [g["policy_params"] for g in grid if g["policy"] == "emissary"]
+    assert all(isinstance(g, SimRequest) for g in grid)
+    emissary_params = [g.policy.params for g in grid if g.policy.name == "emissary"]
     assert {frozenset(p.items()) for p in emissary_params} == {
         frozenset({"hp_threshold": t, "prob_inv": p}.items())
         for t in (2, 4) for p in (16, 32)
     }
 
 
+def test_build_grid_threads_min_l1_misses():
+    grid = hierarchy_grid()
+    emissary = [g for g in grid if g.policy.name == "emissary"]
+    assert all(g.policy.params["min_l1_misses"] == 2 for g in emissary)
+    assert all(g.is_hierarchy for g in grid)
+
+
 def test_run_config_returns_stats():
-    result = run_config(small_grid()[0])
+    result = run_config(small_grid()[0].to_dict())
     assert result["policy"] == "lru"
     assert result["n"] == 2_000
     assert 0.0 <= result["hit_rate"] <= 1.0
     assert result["hit_count"] + result["miss_count"] == result["n"]
+
+
+def test_run_config_hierarchy_returns_per_level_stats():
+    result = run_config(hierarchy_grid()[-1].to_dict())  # emissary point
+    assert result["policy"] == "emissary"
+    assert result["n"] == 2_000
+    assert result["l1"]["n"] == 2_000
+    assert result["l2"]["n"] == result["l1"]["miss_count"]
+    assert result["l2"]["policy_stats"]["min_l1_misses"] == 2
+    assert 0.0 <= result["l1_hit_rate"] <= 1.0
+    assert 0.0 <= result["l2_local_hit_rate"] <= 1.0
 
 
 def test_sweep_serial_and_cached_rerun(tmp_path):
@@ -48,11 +80,11 @@ def test_sweep_serial_and_cached_rerun(tmp_path):
 
 def _deterministic(result):
     return {k: v for k, v in result.items()
-            if k not in ("elapsed_s", "accesses_per_s")}
+            if k not in ("elapsed_s", "accesses_per_s", "l1", "l2")}
 
 
 def test_sweep_parallel_matches_serial(tmp_path):
-    grid = small_grid()
+    grid = small_grid() + hierarchy_grid()
     serial = run_sweep(grid, workers=1, cache_dir=tmp_path / "a")
     parallel = run_sweep(grid, workers=2, cache_dir=tmp_path / "b")
     assert ([_deterministic(r["result"]) for r in serial]
@@ -68,18 +100,35 @@ def test_sweep_recovers_from_corrupt_cache_entry(tmp_path):
     assert sum(1 for r in rows if not r["cached"]) == 1  # only the corrupt one
 
 
-def test_demo_grid_covers_all_policies():
+def test_interrupted_sweep_keeps_completed_results(tmp_path):
+    """Results must be written back per completion, not in one batch at
+    the end — a crash partway through must not lose finished work."""
+    good = small_grid()[0]
+    bad = dict(good.to_dict())
+    bad["trace"] = {"kind": "loop", "n": -1, "seed": 0, "params": {}}
+    with pytest.raises(ValueError):
+        run_sweep([good, bad], workers=1, cache_dir=tmp_path)
+    rows = run_sweep([good], workers=1, cache_dir=tmp_path)
+    assert rows[0]["cached"]  # the config that completed before the crash survived
+
+
+def test_demo_grid_covers_all_policies_and_both_levels():
     grid = demo_grid(n=100)
-    assert {g["policy"] for g in grid} == {"lru", "random", "srrip", "emissary"}
-    kinds = {g["trace"]["kind"] for g in grid}
-    assert kinds == {"loop", "shift", "call"}
+    assert {g.policy.name for g in grid} == {"lru", "random", "srrip", "emissary"}
+    assert {g.trace.kind for g in grid} == {"loop", "shift", "call"}
+    hierarchy = [g for g in grid if g.is_hierarchy]
+    assert hierarchy and any(not g.is_hierarchy for g in grid)
+    # The demo's hierarchy EMISSARY points gate HP candidacy on measured
+    # L1I miss counts.
+    assert all(g.policy.params["min_l1_misses"] == 2
+               for g in hierarchy if g.policy.name == "emissary")
 
 
 def test_make_config_is_cache_key_stable():
     cache = CacheConfig(num_sets=16, ways=4)
     spec = TraceSpec("loop", 100, 1)
-    a = make_config(spec, "lru", cache, 1)
-    b = make_config(spec, "lru", cache, 1)
+    a = make_config(SimRequest(spec, PolicySpec("lru"), cache, 1))
+    b = make_config(SimRequest(spec, PolicySpec("lru"), cache, 1))
     assert a == b
 
 
@@ -90,6 +139,36 @@ def test_cli_demo_writes_results(tmp_path, capsys):
     assert rc == 0
     captured = capsys.readouterr()
     assert "configs" in captured.out
+    assert "L1hit%" in captured.out  # per-level columns in the table
     rows = json.loads(out.read_text())
     assert len(rows) == len(demo_grid(n=1000))
     assert all("result" in r for r in rows)
+    assert any("l1" in r["result"] for r in rows)  # hierarchy rows present
+
+
+def test_cli_hierarchy_axes(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    rc = main(["--traces", "loop", "--n", "1000", "--policies", "emissary",
+               "--hp-thresholds", "2", "--prob-invs", "8",
+               "--num-sets", "32", "--ways", "4",
+               "--l1-sets", "8", "--l1-ways", "2", "--min-l1-misses", "2",
+               "--workers", "1", "--cache-dir", str(tmp_path / "rc"),
+               "--out", str(out)])
+    assert rc == 0
+    rows = json.loads(out.read_text())
+    assert len(rows) == 1
+    cfg = rows[0]["config"]
+    assert cfg["config"]["l1"] == {"num_sets": 8, "ways": 2, "line_size": 64}
+    assert cfg["config"]["l2"]["num_sets"] == 32
+    assert cfg["policy"]["params"]["min_l1_misses"] == 2
+    assert rows[0]["result"]["l2"]["policy_stats"]["min_l1_misses"] == 2
+    assert "MPKI" in capsys.readouterr().out
+
+
+def test_cli_single_level_argument_parsing(tmp_path, capsys):
+    rc = main(["--traces", "loop,call", "--n", "500", "--policies", "lru,srrip",
+               "--workers", "1", "--cache-dir", str(tmp_path / "rc")])
+    assert rc == 0
+    table = capsys.readouterr().out
+    assert "4 configs" in table  # 2 traces x 2 policies
+    assert "srrip" in table
