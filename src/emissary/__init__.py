@@ -14,6 +14,9 @@ Policy for L2 Instruction Caching" (ISCA 2023).  The package provides:
   SRRIP, EMISSARY)
 - :mod:`emissary.sweep` — parallel (trace x policy x params) sweep runner
   with an on-disk results cache
+- :mod:`emissary.telemetry` — opt-in instrumentation layer: policy
+  counters/histograms, engine phase spans, Chrome trace export
+- :mod:`emissary.report` — run-report CLI rendering sweep ``--out`` JSON
 - :mod:`emissary.bench` — throughput benchmark harness emitting BENCH_*.json
 """
 
@@ -23,8 +26,9 @@ from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine, SimResu
 from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
                                 HierarchyReferenceEngine, HierarchyResult,
                                 simulate_hierarchy)
+from emissary.telemetry import TELEMETRY_SCHEMA_VERSION, Telemetry
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "BatchedEngine",
@@ -38,6 +42,8 @@ __all__ = [
     "ReferenceEngine",
     "SimRequest",
     "SimResult",
+    "TELEMETRY_SCHEMA_VERSION",
+    "Telemetry",
     "simulate",
     "simulate_hierarchy",
     "__version__",

@@ -99,12 +99,20 @@ def coerce_policy_spec(policy: Any, params: Optional[Mapping[str, Any]] = None,
 
 @dataclass(frozen=True)
 class SimRequest:
-    """One fully-described simulation (trace x policy x geometry x seed)."""
+    """One fully-described simulation (trace x policy x geometry x seed).
+
+    ``telemetry`` opts the run into the instrumentation layer
+    (:mod:`emissary.telemetry`): the result then carries counters,
+    histograms, and engine phase spans.  It never changes outcomes, and
+    it participates in :meth:`to_dict` (the results-cache key) only when
+    enabled, so every pre-existing cache entry keeps its key.
+    """
 
     trace: TraceSpec
     policy: PolicySpec
     config: Any = None  # CacheConfig (single-level) or HierarchyConfig (L1I -> L2)
     seed: int = 0
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         from emissary.engine import CacheConfig
@@ -123,6 +131,9 @@ class SimRequest:
                             f"got {type(self.config).__name__}")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise TypeError(f"seed must be an int, got {type(self.seed).__name__}")
+        if not isinstance(self.telemetry, bool):
+            raise TypeError(
+                f"telemetry must be a bool, got {type(self.telemetry).__name__}")
 
     @property
     def is_hierarchy(self) -> bool:
@@ -131,13 +142,21 @@ class SimRequest:
         return isinstance(self.config, HierarchyConfig)
 
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical encoding — also the results-cache content key."""
-        return {
+        """Canonical encoding — also the results-cache content key.
+
+        ``telemetry`` appears only when enabled: instrumented results
+        carry extra payload, so they cache under their own key, while
+        every default (telemetry-off) key is byte-identical to the
+        pre-telemetry encoding."""
+        d = {
             "trace": self.trace.to_dict(),
             "policy": self.policy.to_dict(),
             "config": self.config.to_dict(),
             "seed": self.seed,
         }
+        if self.telemetry:
+            d["telemetry"] = True
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "SimRequest":
@@ -149,21 +168,29 @@ class SimRequest:
                   else CacheConfig.from_dict(cfg))
         return cls(trace=TraceSpec.from_dict(d["trace"]),
                    policy=PolicySpec.from_dict(d["policy"]),
-                   config=config, seed=int(d.get("seed", 0)))
+                   config=config, seed=int(d.get("seed", 0)),
+                   telemetry=bool(d.get("telemetry", False)))
 
 
 def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
-             engine: str = "batched", **policy_params: Any):
+             engine: str = "batched", telemetry: bool = False,
+             **policy_params: Any):
     """Unified entry point.
 
     ``simulate(SimRequest(...))`` generates the trace from its spec and
     dispatches on the config type (single-level vs hierarchy).  The
     legacy array form ``simulate(addresses, policy, ...)`` still works;
     with a string policy it emits :class:`EmissaryDeprecationWarning`.
+
+    ``telemetry=True`` (or a request with ``telemetry=True``) enables
+    the instrumentation layer: the returned result's ``telemetry``
+    attribute holds the counters, histograms, and phase spans.  Outcomes
+    are bit-identical either way.
     """
     from emissary.engine import BatchedEngine, ReferenceEngine
     from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
                                     HierarchyReferenceEngine)
+    from emissary.telemetry import Telemetry
 
     if isinstance(target, SimRequest):
         if policy is not None or config is not None or policy_params:
@@ -171,6 +198,7 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
                             "arguments — they live inside the request")
         addresses = target.trace.generate()
         spec, config, seed = target.policy, target.config, target.seed
+        telemetry = telemetry or target.telemetry
     else:
         addresses = target
         spec = coerce_policy_spec(policy, policy_params, caller="simulate")
@@ -182,4 +210,5 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
         cls = HierarchyReferenceEngine if hierarchy else ReferenceEngine
     else:
         raise ValueError(f"unknown engine {engine!r} (expected 'batched' or 'reference')")
-    return cls(config).run(addresses, spec, seed=seed)
+    return cls(config, telemetry=Telemetry() if telemetry else None).run(
+        addresses, spec, seed=seed)

@@ -33,6 +33,7 @@ from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine
 from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
                                 HierarchyReferenceEngine)
 from emissary.policies import POLICY_NAMES
+from emissary.telemetry import Telemetry
 from emissary.traces import TraceSpec
 
 #: In the hierarchy bench, EMISSARY gates HP candidacy on measured L1I
@@ -158,6 +159,92 @@ def run_hierarchy_bench(n: int = 1_000_000, policies: Optional[List[str]] = None
     return _finalize(report, rows, skip_reference)
 
 
+def run_telemetry_overhead_bench(n: int = 200_000,
+                                 policies: Optional[List[str]] = None,
+                                 trace_kind: str = "loop", seed: int = 42,
+                                 config: Optional[CacheConfig] = None,
+                                 repeats: int = 5) -> Dict[str, Any]:
+    """Guard the telemetry-off default path against overhead creep.
+
+    Telemetry-off is *structurally* free: disabled engines hold
+    ``telemetry=None`` and kernels only swap in their instrumented loop
+    when attached (the telemetry tests assert the fast ``run_set`` is
+    untouched).  This bench backs that design claim with a measurement
+    CI can gate on.  Three interleaved arms per policy:
+
+    ``off`` / ``off_control``
+        Two identical telemetry-disabled runs.  Their best-of ratio is
+        the honest measurement-noise floor for this machine; the guard
+        ``off_overhead = min(off) / min(off_control) - 1`` must stay
+        under the CI threshold (default 5%).  Any change that leaks
+        per-access work onto the disabled path also widens the on/off
+        gap tracked below, and fails the structural test outright.
+
+    ``on``
+        The instrumented run, reported as ``on_cost`` (slowdown vs the
+        best disabled arm) — allowed to be expensive, tracked so the
+        cost of *enabling* telemetry stays visible in BENCH history.
+
+    Arms are interleaved and their order rotates every repeat, and each
+    policy gets one discarded warmup run first, so cold-start cost and
+    cache/thermal drift land evenly across arms instead of biasing
+    whichever arm happens to run first or last.
+    """
+    config = config or CacheConfig()
+    policies = policies or list(POLICY_NAMES)
+    footprint = int(config.num_sets * config.ways * 1.5)
+    spec = TraceSpec(trace_kind, n, seed, {"footprint_lines": footprint}
+                     if trace_kind in ("loop", "shift") else {})
+    addresses = spec.generate()
+
+    arms = ("off", "off_control", "on")
+    rows: List[Dict[str, Any]] = []
+    for policy_spec in _bench_specs(policies):
+        BatchedEngine(config).run(addresses, policy_spec, seed=seed)  # warmup
+        times: Dict[str, List[float]] = {arm: [] for arm in arms}
+        for repeat in range(max(1, repeats)):
+            for offset in range(len(arms)):
+                arm = arms[(repeat + offset) % len(arms)]
+                telemetry = Telemetry() if arm == "on" else None
+                result = BatchedEngine(config, telemetry=telemetry).run(
+                    addresses, policy_spec, seed=seed)
+                times[arm].append(result.elapsed_s)
+        off = min(times["off"])
+        control = min(times["off_control"])
+        on = min(times["on"])
+        rows.append({
+            "policy": policy_spec.name,
+            "off_s": off,
+            "off_control_s": control,
+            "on_s": on,
+            "off_overhead": off / control - 1.0,
+            "on_cost": on / min(off, control) - 1.0,
+        })
+
+    report = _report_header("telemetry_overhead", spec)
+    report["cache"] = config.to_dict()
+    report["repeats"] = max(1, repeats)
+    report["policies"] = rows
+    report["max_off_overhead"] = max(r["off_overhead"] for r in rows)
+    return report
+
+
+def _summarize_telemetry_overhead(report: Dict[str, Any]) -> str:
+    lines = [f"trace={report['trace']['kind']} n={report['trace']['n']} "
+             f"cache={report['cache']} repeats={report['repeats']}"]
+    header = (f"{'policy':<10} {'off ms':>8} {'control ms':>11} {'on ms':>8} "
+              f"{'off overhead':>13} {'on cost':>9}")
+    lines += [header, "-" * len(header)]
+    for row in report["policies"]:
+        lines.append(f"{row['policy']:<10} {1e3 * row['off_s']:>8.2f} "
+                     f"{1e3 * row['off_control_s']:>11.2f} {1e3 * row['on_s']:>8.2f} "
+                     f"{100 * row['off_overhead']:>+12.2f}% "
+                     f"{100 * row['on_cost']:>+8.1f}%")
+    lines.append(f"\nmax telemetry-off overhead: "
+                 f"{100 * report['max_off_overhead']:+.2f}%")
+    return "\n".join(lines)
+
+
 def write_report(report: Dict[str, Any], path: str) -> None:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)
@@ -210,6 +297,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--l1-ways", type=int, default=8)
     parser.add_argument("--skip-reference", action="store_true",
                         help="benchmark only the batched engine (no oracle cross-check)")
+    parser.add_argument("--telemetry-overhead", action="store_true",
+                        help="run the telemetry-off overhead guard instead of "
+                             "the throughput benchmark")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="fail (exit 1) if telemetry-off overhead exceeds "
+                             "this fraction (default 0.05 = 5%%)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per engine (fastest run is reported)")
     parser.add_argument("--out", default=None,
@@ -219,6 +312,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     policies = [p for p in args.policies.split(",") if p]
     l2 = CacheConfig(num_sets=args.num_sets, ways=args.ways)
+    if args.telemetry_overhead:
+        report = run_telemetry_overhead_bench(
+            n=args.n, policies=policies, trace_kind=args.trace, seed=args.seed,
+            config=l2, repeats=args.repeats)
+        out = args.out or "BENCH_telemetry.json"
+        print(_summarize_telemetry_overhead(report))
+        write_report(report, out)
+        print(f"report written to {out}")
+        if report["max_off_overhead"] > args.max_overhead:
+            print(f"ERROR: telemetry-off overhead "
+                  f"{100 * report['max_off_overhead']:.2f}% exceeds "
+                  f"{100 * args.max_overhead:.2f}% budget", file=sys.stderr)
+            return 1
+        return 0
     if args.hierarchy:
         report = run_hierarchy_bench(
             n=args.n, policies=policies, trace_kind=args.trace, seed=args.seed,

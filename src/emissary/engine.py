@@ -37,6 +37,7 @@ import numpy as np
 
 from emissary.api import PolicySpec, coerce_policy_spec
 from emissary.policies import make_kernel, make_naive, policy_needs_rng
+from emissary.telemetry import Telemetry, span_factory
 
 
 def _is_pow2(x: int) -> bool:
@@ -82,7 +83,12 @@ class CacheConfig:
 
 @dataclass
 class SimResult:
-    """Outcome of one (trace, policy, config) simulation."""
+    """Outcome of one (trace, policy, config) simulation.
+
+    ``telemetry`` is the schema-versioned payload from
+    :class:`~emissary.telemetry.Telemetry` when the run was instrumented,
+    else None (and omitted from :meth:`to_dict`).
+    """
 
     policy: str
     n: int
@@ -91,6 +97,7 @@ class SimResult:
     elapsed_s: float
     hits: Optional[np.ndarray] = None
     policy_stats: Dict[str, Any] = field(default_factory=dict)
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def hit_rate(self) -> float:
@@ -102,11 +109,14 @@ class SimResult:
         return 1000.0 * self.miss_count / self.n if self.n else 0.0
 
     @property
-    def accesses_per_s(self) -> float:
-        return self.n / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+    def accesses_per_s(self) -> Optional[float]:
+        """Throughput, or None when no time elapsed — None (JSON null)
+        rather than ``inf``, which ``json`` emits as non-roundtrippable
+        ``Infinity``.  Tables render it as ``-``."""
+        return self.n / self.elapsed_s if self.elapsed_s > 0 else None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        d = {
             "policy": self.policy,
             "n": self.n,
             "hit_count": self.hit_count,
@@ -117,6 +127,9 @@ class SimResult:
             "accesses_per_s": self.accesses_per_s,
             "policy_stats": self.policy_stats,
         }
+        if self.telemetry is not None:
+            d["telemetry"] = self.telemetry
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "SimResult":
@@ -129,6 +142,7 @@ class SimResult:
             miss_count=int(d["miss_count"]),
             elapsed_s=float(d["elapsed_s"]),
             policy_stats=dict(d.get("policy_stats", {})),
+            telemetry=d.get("telemetry"),
         )
 
 
@@ -168,22 +182,31 @@ class BatchedEngine:
     """
 
     def __init__(self, config: Optional[CacheConfig] = None,
-                 collapse_runs: bool = True) -> None:
+                 collapse_runs: bool = True,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config or CacheConfig()
         self.collapse_runs = collapse_runs
+        #: Optional :class:`~emissary.telemetry.Telemetry` registry; when
+        #: None (the default) the run takes the uninstrumented fast path.
+        self.telemetry = telemetry
 
     def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
             keep_hits: bool = True, cost: Optional[np.ndarray] = None,
             **policy_params: Any) -> SimResult:
         spec = coerce_policy_spec(policy, policy_params, caller="BatchedEngine.run")
         config = self.config
+        tel = self.telemetry
+        span = span_factory(tel)
         n = len(addresses)
         start = time.perf_counter()
-        addrs = np.ascontiguousarray(addresses, dtype=np.uint64)
-        lines = addrs >> np.uint64(config.offset_bits)
-        u = _uniforms(n, spec.name, seed)
+        with span("decode"):
+            addrs = np.ascontiguousarray(addresses, dtype=np.uint64)
+            lines = addrs >> np.uint64(config.offset_bits)
+            u = _uniforms(n, spec.name, seed)
 
         kernel = make_kernel(spec.name, config.num_sets, config.ways, **spec.params)
+        if tel is not None:
+            kernel.attach_telemetry(tel)
         if cost is not None:
             if len(cost) != n:
                 raise ValueError(f"cost has {len(cost)} entries for {n} accesses")
@@ -193,52 +216,70 @@ class BatchedEngine:
                 cost = np.ascontiguousarray(cost, dtype=np.int64)
 
         work_rep: Optional[np.ndarray] = None
-        if self.collapse_runs and n > 1:
-            edge_mask = np.empty(n, dtype=bool)
-            edge_mask[0] = True
-            np.not_equal(lines[1:], lines[:-1], out=edge_mask[1:])
-            edge_idx = np.flatnonzero(edge_mask)
-            work_lines = lines[edge_idx]
-            work_u = u[edge_idx] if u is not None else None
-            work_cost = cost[edge_idx] if cost is not None else None
-            if kernel.needs_repeat_flags:
-                # Run length per edge access; > 1 means the line is
-                # re-referenced immediately after (the collapsed hits).
-                work_rep = np.diff(edge_idx, append=n) > 1
-        else:
-            edge_idx = None
-            work_lines = lines
-            work_u = u
-            work_cost = cost
-            if kernel.needs_repeat_flags:
-                work_rep = np.zeros(len(work_lines), dtype=bool)
+        work_extra: Optional[np.ndarray] = None
+        with span("run_collapse"):
+            if self.collapse_runs and n > 1:
+                edge_mask = np.empty(n, dtype=bool)
+                edge_mask[0] = True
+                np.not_equal(lines[1:], lines[:-1], out=edge_mask[1:])
+                edge_idx = np.flatnonzero(edge_mask)
+                work_lines = lines[edge_idx]
+                work_u = u[edge_idx] if u is not None else None
+                work_cost = cost[edge_idx] if cost is not None else None
+                if kernel.needs_repeat_flags or tel is not None:
+                    # Run length per edge access; > 1 means the line is
+                    # re-referenced immediately after (the collapsed hits).
+                    run_lengths = np.diff(edge_idx, append=n)
+                    if kernel.needs_repeat_flags:
+                        work_rep = run_lengths > 1
+                    if tel is not None:
+                        # Collapsed hits folded into each edge access, so
+                        # instrumented per-line hit accounting stays exact.
+                        work_extra = run_lengths - 1
+            else:
+                edge_idx = None
+                work_lines = lines
+                work_u = u
+                work_cost = cost
+                if kernel.needs_repeat_flags:
+                    work_rep = np.zeros(len(work_lines), dtype=bool)
+                if tel is not None:
+                    work_extra = np.zeros(len(work_lines), dtype=np.int64)
         m = len(work_lines)
 
-        set_idx = (work_lines & np.uint64(config.num_sets - 1)).astype(np.int64)
-        tags = (work_lines >> np.uint64(config.set_bits)).astype(np.int64)
+        with span("stable_sort"):
+            set_idx = (work_lines & np.uint64(config.num_sets - 1)).astype(np.int64)
+            tags = (work_lines >> np.uint64(config.set_bits)).astype(np.int64)
 
-        # Stable sort groups accesses by set while preserving per-set order.
-        order = np.argsort(set_idx, kind="stable")
-        sorted_sets = set_idx[order]
-        sorted_tags = tags[order]
-        sorted_u = work_u[order] if work_u is not None else None
-        sorted_rep = work_rep[order] if work_rep is not None else None
-        sorted_cost = work_cost[order] if work_cost is not None else None
+            # Stable sort groups accesses by set while preserving per-set order.
+            order = np.argsort(set_idx, kind="stable")
+            sorted_sets = set_idx[order]
+            sorted_tags = tags[order]
+            sorted_u = work_u[order] if work_u is not None else None
+            sorted_rep = work_rep[order] if work_rep is not None else None
+            sorted_cost = work_cost[order] if work_cost is not None else None
+            sorted_extra = work_extra[order] if work_extra is not None else None
 
-        # bounds[s] .. bounds[s + 1] is set s's contiguous chunk.
-        bounds = np.searchsorted(sorted_sets, np.arange(config.num_sets + 1))
+            # bounds[s] .. bounds[s + 1] is set s's contiguous chunk.
+            bounds = np.searchsorted(sorted_sets, np.arange(config.num_sets + 1))
 
         sorted_hits = np.empty(m, dtype=bool)
-        for s in range(config.num_sets):
-            lo = int(bounds[s])
-            hi = int(bounds[s + 1])
-            if lo == hi:
-                continue
-            chunk_u = sorted_u[lo:hi].tolist() if sorted_u is not None else None
-            chunk_rep = sorted_rep[lo:hi].tolist() if sorted_rep is not None else None
-            chunk_cost = sorted_cost[lo:hi].tolist() if sorted_cost is not None else None
-            sorted_hits[lo:hi] = kernel.run_set(s, sorted_tags[lo:hi].tolist(),
-                                                chunk_u, chunk_rep, chunk_cost)
+        with span("kernel_loop"):
+            for s in range(config.num_sets):
+                lo = int(bounds[s])
+                hi = int(bounds[s + 1])
+                if lo == hi:
+                    continue
+                chunk_u = sorted_u[lo:hi].tolist() if sorted_u is not None else None
+                chunk_rep = sorted_rep[lo:hi].tolist() if sorted_rep is not None else None
+                chunk_cost = sorted_cost[lo:hi].tolist() if sorted_cost is not None else None
+                chunk_extra = (sorted_extra[lo:hi].tolist()
+                               if sorted_extra is not None else None)
+                sorted_hits[lo:hi] = kernel.run_set(s, sorted_tags[lo:hi].tolist(),
+                                                    chunk_u, chunk_rep, chunk_cost,
+                                                    chunk_extra)
+            if tel is not None:
+                kernel.telemetry_finalize()
 
         if edge_idx is None:
             hits = np.empty(n, dtype=bool)
@@ -251,6 +292,12 @@ class BatchedEngine:
         elapsed = time.perf_counter() - start
 
         hit_count = int(hits.sum())
+        if tel is not None:
+            tel.inc("engine.accesses", n)
+            tel.inc("engine.edge_accesses", m)
+            tel.inc("engine.collapsed_hits", n - m)
+            tel.inc("hits", hit_count)
+            tel.inc("misses", n - hit_count)
         return SimResult(
             policy=spec.name,
             n=n,
@@ -259,20 +306,32 @@ class BatchedEngine:
             elapsed_s=elapsed,
             hits=hits if keep_hits else None,
             policy_stats=kernel.extra_stats(),
+            telemetry=tel.to_dict() if tel is not None else None,
         )
 
 
 class ReferenceEngine:
-    """Naive per-access reference implementation (one Python step per access)."""
+    """Naive per-access reference implementation (one Python step per access).
 
-    def __init__(self, config: Optional[CacheConfig] = None) -> None:
+    With a :class:`~emissary.telemetry.Telemetry` attached, the engine
+    does the generic line-lifetime accounting itself (it resolves tags
+    and victims), and the naive policy contributes its policy-specific
+    counters via ``telemetry_finalize`` — producing the same counter and
+    histogram names as the instrumented batched kernels, which the
+    telemetry test suite compares across engines.
+    """
+
+    def __init__(self, config: Optional[CacheConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config or CacheConfig()
+        self.telemetry = telemetry
 
     def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
             keep_hits: bool = True, cost: Optional[np.ndarray] = None,
             **policy_params: Any) -> SimResult:
         spec = coerce_policy_spec(policy, policy_params, caller="ReferenceEngine.run")
         config = self.config
+        tel = self.telemetry
         n = len(addresses)
         num_sets, ways = config.num_sets, config.ways
         offset_bits, set_bits = config.offset_bits, config.set_bits
@@ -287,36 +346,66 @@ class ReferenceEngine:
         impl = make_naive(spec.name, num_sets, ways, **spec.params)
         tag_table = [[None] * ways for _ in range(num_sets)]
         hits = np.empty(n, dtype=bool)
+        # Per-(set, way) hits-since-fill; only maintained when instrumented.
+        track = tel is not None
+        line_hits = [0] * (num_sets * ways) if track else None
+        fills = evictions = dead = 0
+        span = span_factory(tel)
 
-        for i, addr in enumerate(addresses.tolist()):
-            line = addr >> offset_bits
-            s = line & set_mask
-            tag = line >> set_bits
-            u_i = u_list[i] if u_list is not None else 0.0
-            set_tags = tag_table[s]
-            way = -1
-            for w in range(ways):
-                if set_tags[w] == tag:
-                    way = w
-                    break
-            if way >= 0:
-                impl.on_hit(s, way, i)
-                hits[i] = True
-                continue
-            for w in range(ways):
-                if set_tags[w] is None:
-                    way = w
-                    break
-            else:
-                way = impl.find_victim(s, u_i)
-                impl.replaced(s, way)
-            set_tags[way] = tag
-            impl.on_fill(s, way, i, u_i,
-                         cost_list[i] if cost_list is not None else None)
-            hits[i] = False
+        with span("naive_loop"):
+            for i, addr in enumerate(addresses.tolist()):
+                line = addr >> offset_bits
+                s = line & set_mask
+                tag = line >> set_bits
+                u_i = u_list[i] if u_list is not None else 0.0
+                set_tags = tag_table[s]
+                way = -1
+                for w in range(ways):
+                    if set_tags[w] == tag:
+                        way = w
+                        break
+                if way >= 0:
+                    impl.on_hit(s, way, i)
+                    if track:
+                        line_hits[s * ways + way] += 1
+                    hits[i] = True
+                    continue
+                for w in range(ways):
+                    if set_tags[w] is None:
+                        way = w
+                        break
+                else:
+                    way = impl.find_victim(s, u_i)
+                    impl.replaced(s, way)
+                    if track:
+                        victim_hits = line_hits[s * ways + way]
+                        tel.observe("line_hits", victim_hits)
+                        evictions += 1
+                        if victim_hits == 0:
+                            dead += 1
+                set_tags[way] = tag
+                impl.on_fill(s, way, i, u_i,
+                             cost_list[i] if cost_list is not None else None)
+                if track:
+                    line_hits[s * ways + way] = 0
+                    fills += 1
+                hits[i] = False
 
         elapsed = time.perf_counter() - start
         hit_count = int(hits.sum())
+        if track:
+            tel.inc("fills", fills)
+            tel.inc("evictions", evictions)
+            tel.inc("dead_on_fill", dead)
+            tel.inc("hits", hit_count)
+            tel.inc("misses", n - hit_count)
+            tel.inc("engine.accesses", n)
+            for s in range(num_sets):
+                set_tags = tag_table[s]
+                for w in range(ways):
+                    if set_tags[w] is not None:
+                        tel.observe("resident_line_hits", line_hits[s * ways + w])
+            impl.telemetry_finalize(tel)
         return SimResult(
             policy=spec.name,
             n=n,
@@ -325,6 +414,7 @@ class ReferenceEngine:
             elapsed_s=elapsed,
             hits=hits if keep_hits else None,
             policy_stats={},
+            telemetry=tel.to_dict() if tel is not None else None,
         )
 
 

@@ -41,6 +41,7 @@ import numpy as np
 from emissary.api import PolicySpec, coerce_policy_spec
 from emissary.engine import CacheConfig, BatchedEngine, SimResult
 from emissary.policies import make_naive, policy_needs_rng
+from emissary.telemetry import Telemetry, span_factory
 
 #: Default L1I: 64 sets x 8 ways x 64 B lines = 32 KiB, the common size.
 DEFAULT_L1 = CacheConfig(num_sets=64, ways=8)
@@ -91,6 +92,9 @@ class HierarchyResult:
     l1: SimResult
     l2: SimResult
     elapsed_s: float
+    #: Merged instrumentation payload (``l1.`` / ``l2.`` prefixed names
+    #: plus hierarchy-stage spans) when the run was instrumented.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def l1_hit_rate(self) -> float:
@@ -110,11 +114,13 @@ class HierarchyResult:
         return 1000.0 * self.l2.miss_count / self.n if self.n else 0.0
 
     @property
-    def accesses_per_s(self) -> float:
-        return self.n / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+    def accesses_per_s(self) -> Optional[float]:
+        """Throughput, or None when no time elapsed (see
+        :attr:`emissary.engine.SimResult.accesses_per_s`)."""
+        return self.n / self.elapsed_s if self.elapsed_s > 0 else None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        d = {
             "policy": self.policy,
             "n": self.n,
             "l1": self.l1.to_dict(),
@@ -126,12 +132,15 @@ class HierarchyResult:
             "elapsed_s": self.elapsed_s,
             "accesses_per_s": self.accesses_per_s,
         }
+        if self.telemetry is not None:
+            d["telemetry"] = self.telemetry
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "HierarchyResult":
         return cls(policy=d["policy"], n=int(d["n"]),
                    l1=SimResult.from_dict(d["l1"]), l2=SimResult.from_dict(d["l2"]),
-                   elapsed_s=float(d["elapsed_s"]))
+                   elapsed_s=float(d["elapsed_s"]), telemetry=d.get("telemetry"))
 
 
 def running_miss_counts(lines: np.ndarray) -> np.ndarray:
@@ -156,52 +165,79 @@ class BatchedHierarchyEngine:
     """L1I filter stage + L2 policy stage, both on the batched engine."""
 
     def __init__(self, config: Optional[HierarchyConfig] = None,
-                 collapse_runs: bool = True) -> None:
+                 collapse_runs: bool = True,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config or HierarchyConfig()
         self.collapse_runs = collapse_runs
+        #: Optional :class:`~emissary.telemetry.Telemetry`; each stage
+        #: records into its own child registry, merged here with ``l1.``
+        #: / ``l2.`` prefixes.
+        self.telemetry = telemetry
 
     def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
             keep_hits: bool = True, **policy_params: Any) -> HierarchyResult:
         spec = coerce_policy_spec(policy, policy_params,
                                   caller="BatchedHierarchyEngine.run")
         config = self.config
+        tel = self.telemetry
+        span = span_factory(tel)
+        l1_tel = Telemetry() if tel is not None else None
+        l2_tel = Telemetry() if tel is not None else None
         n = len(addresses)
         start = time.perf_counter()
         addrs = np.ascontiguousarray(addresses, dtype=np.uint64)
 
-        l1 = BatchedEngine(config.l1, collapse_runs=self.collapse_runs)
-        l1_result = l1.run(addrs, PolicySpec(config.l1_policy), seed=seed,
-                           keep_hits=True)
+        l1 = BatchedEngine(config.l1, collapse_runs=self.collapse_runs,
+                           telemetry=l1_tel)
+        with span("l1_stage"):
+            l1_result = l1.run(addrs, PolicySpec(config.l1_policy), seed=seed,
+                               keep_hits=True)
 
-        miss_addrs = addrs[~l1_result.hits]
-        miss_lines = miss_addrs >> np.uint64(config.l1.offset_bits)
-        l1_miss_counts = running_miss_counts(miss_lines)
+        with span("miss_extract"):
+            miss_addrs = addrs[~l1_result.hits]
+            miss_lines = miss_addrs >> np.uint64(config.l1.offset_bits)
+            l1_miss_counts = running_miss_counts(miss_lines)
 
-        l2 = BatchedEngine(config.l2, collapse_runs=self.collapse_runs)
-        l2_result = l2.run(miss_addrs, spec, seed=seed, keep_hits=keep_hits,
-                           cost=l1_miss_counts)
+        l2 = BatchedEngine(config.l2, collapse_runs=self.collapse_runs,
+                           telemetry=l2_tel)
+        with span("l2_stage"):
+            l2_result = l2.run(miss_addrs, spec, seed=seed, keep_hits=keep_hits,
+                               cost=l1_miss_counts)
         l2_result.policy_stats.setdefault(
             "unique_l1_miss_lines", int(len(np.unique(miss_lines))))
 
         if not keep_hits:
             l1_result.hits = None
         elapsed = time.perf_counter() - start
+        telemetry_payload = None
+        if tel is not None:
+            tel.merge_prefixed(l1_tel, "l1.")
+            tel.merge_prefixed(l2_tel, "l2.")
+            # The merged payload is the single canonical blob; drop the
+            # per-stage copies so the serialized result stays compact.
+            l1_result.telemetry = None
+            l2_result.telemetry = None
+            telemetry_payload = tel.to_dict()
         return HierarchyResult(policy=spec.name, n=n, l1=l1_result, l2=l2_result,
-                               elapsed_s=elapsed)
+                               elapsed_s=elapsed, telemetry=telemetry_payload)
 
 
 class HierarchyReferenceEngine:
     """Naive per-access oracle: L1I lookup, miss counting, and L2 access
     interleaved in trace order, one Python step per fetch."""
 
-    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+    def __init__(self, config: Optional[HierarchyConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config or HierarchyConfig()
+        self.telemetry = telemetry
 
     def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
             keep_hits: bool = True, **policy_params: Any) -> HierarchyResult:
         spec = coerce_policy_spec(policy, policy_params,
                                   caller="HierarchyReferenceEngine.run")
         config = self.config
+        tel = self.telemetry
+        span = span_factory(tel)
         l1c, l2c = config.l1, config.l2
         n = len(addresses)
         start = time.perf_counter()
@@ -222,64 +258,116 @@ class HierarchyReferenceEngine:
         offset_bits = l1c.offset_bits  # == l2c.offset_bits (validated)
         j = 0  # L2 access index (position in the miss stream)
 
-        for i, addr in enumerate(addresses.tolist()):
-            line = addr >> offset_bits
-            s1 = line & l1_set_mask
-            t1 = line >> l1c.set_bits
-            set_tags = l1_tags[s1]
-            way = -1
-            for w in range(l1c.ways):
-                if set_tags[w] == t1:
-                    way = w
-                    break
-            if way >= 0:
-                l1_impl.on_hit(s1, way, i)
-                l1_hits[i] = True
-                continue
-            # L1I miss: fill L1, bump the line's measured miss count, go to L2.
-            l1_hits[i] = False
-            for w in range(l1c.ways):
-                if set_tags[w] is None:
-                    way = w
-                    break
-            else:
-                way = l1_impl.find_victim(s1, 0.0)
-                l1_impl.replaced(s1, way)
-            set_tags[way] = t1
-            l1_impl.on_fill(s1, way, i, 0.0)
+        # Generic per-(set, way) lifetime accounting, per level, matching
+        # the names the instrumented batched kernels produce.
+        track = tel is not None
+        l1_line_hits = [0] * (l1c.num_sets * l1c.ways) if track else None
+        l2_line_hits = [0] * (l2c.num_sets * l2c.ways) if track else None
+        l1_fills = l1_evictions = l1_dead = 0
+        l2_fills = l2_evictions = l2_dead = 0
 
-            cost_i = miss_counts.get(line, 0) + 1
-            miss_counts[line] = cost_i
-            u_j = rng.random() if rng is not None else 0.0
-
-            s2 = line & l2_set_mask
-            t2 = line >> l2c.set_bits
-            set_tags2 = l2_tags[s2]
-            way = -1
-            for w in range(l2c.ways):
-                if set_tags2[w] == t2:
-                    way = w
-                    break
-            if way >= 0:
-                l2_impl.on_hit(s2, way, j)
-                l2_hits_list.append(True)
-            else:
-                for w in range(l2c.ways):
-                    if set_tags2[w] is None:
+        with span("naive_loop"):
+            for i, addr in enumerate(addresses.tolist()):
+                line = addr >> offset_bits
+                s1 = line & l1_set_mask
+                t1 = line >> l1c.set_bits
+                set_tags = l1_tags[s1]
+                way = -1
+                for w in range(l1c.ways):
+                    if set_tags[w] == t1:
+                        way = w
+                        break
+                if way >= 0:
+                    l1_impl.on_hit(s1, way, i)
+                    if track:
+                        l1_line_hits[s1 * l1c.ways + way] += 1
+                    l1_hits[i] = True
+                    continue
+                # L1I miss: fill L1, bump the line's measured miss count, go to L2.
+                l1_hits[i] = False
+                for w in range(l1c.ways):
+                    if set_tags[w] is None:
                         way = w
                         break
                 else:
-                    way = l2_impl.find_victim(s2, u_j)
-                    l2_impl.replaced(s2, way)
-                set_tags2[way] = t2
-                l2_impl.on_fill(s2, way, j, u_j, cost_i)
-                l2_hits_list.append(False)
-            j += 1
+                    way = l1_impl.find_victim(s1, 0.0)
+                    l1_impl.replaced(s1, way)
+                    if track:
+                        victim_hits = l1_line_hits[s1 * l1c.ways + way]
+                        tel.observe("l1.line_hits", victim_hits)
+                        l1_evictions += 1
+                        if victim_hits == 0:
+                            l1_dead += 1
+                set_tags[way] = t1
+                l1_impl.on_fill(s1, way, i, 0.0)
+                if track:
+                    l1_line_hits[s1 * l1c.ways + way] = 0
+                    l1_fills += 1
+
+                cost_i = miss_counts.get(line, 0) + 1
+                miss_counts[line] = cost_i
+                u_j = rng.random() if rng is not None else 0.0
+
+                s2 = line & l2_set_mask
+                t2 = line >> l2c.set_bits
+                set_tags2 = l2_tags[s2]
+                way = -1
+                for w in range(l2c.ways):
+                    if set_tags2[w] == t2:
+                        way = w
+                        break
+                if way >= 0:
+                    l2_impl.on_hit(s2, way, j)
+                    if track:
+                        l2_line_hits[s2 * l2c.ways + way] += 1
+                    l2_hits_list.append(True)
+                else:
+                    for w in range(l2c.ways):
+                        if set_tags2[w] is None:
+                            way = w
+                            break
+                    else:
+                        way = l2_impl.find_victim(s2, u_j)
+                        l2_impl.replaced(s2, way)
+                        if track:
+                            victim_hits = l2_line_hits[s2 * l2c.ways + way]
+                            tel.observe("l2.line_hits", victim_hits)
+                            l2_evictions += 1
+                            if victim_hits == 0:
+                                l2_dead += 1
+                    set_tags2[way] = t2
+                    l2_impl.on_fill(s2, way, j, u_j, cost_i)
+                    if track:
+                        l2_line_hits[s2 * l2c.ways + way] = 0
+                        l2_fills += 1
+                    l2_hits_list.append(False)
+                j += 1
 
         elapsed = time.perf_counter() - start
         l1_hit_count = int(l1_hits.sum())
         l2_hits = np.array(l2_hits_list, dtype=bool)
         l2_hit_count = int(l2_hits.sum())
+        if track:
+            for prefix, fills, evictions, dead, cfg, tags_table, hits_table in (
+                    ("l1.", l1_fills, l1_evictions, l1_dead, l1c, l1_tags,
+                     l1_line_hits),
+                    ("l2.", l2_fills, l2_evictions, l2_dead, l2c, l2_tags,
+                     l2_line_hits)):
+                tel.inc(prefix + "fills", fills)
+                tel.inc(prefix + "evictions", evictions)
+                tel.inc(prefix + "dead_on_fill", dead)
+                for s in range(cfg.num_sets):
+                    for w in range(cfg.ways):
+                        if tags_table[s][w] is not None:
+                            tel.observe(prefix + "resident_line_hits",
+                                        hits_table[s * cfg.ways + w])
+            tel.inc("l1.hits", l1_hit_count)
+            tel.inc("l1.misses", n - l1_hit_count)
+            tel.inc("l2.hits", l2_hit_count)
+            tel.inc("l2.misses", j - l2_hit_count)
+            tel.inc("engine.accesses", n)
+            l1_impl.telemetry_finalize(tel, prefix="l1.")
+            l2_impl.telemetry_finalize(tel, prefix="l2.")
         l1_result = SimResult(policy=config.l1_policy, n=n, hit_count=l1_hit_count,
                               miss_count=n - l1_hit_count, elapsed_s=elapsed,
                               hits=l1_hits if keep_hits else None, policy_stats={})
@@ -288,7 +376,8 @@ class HierarchyReferenceEngine:
                               hits=l2_hits if keep_hits else None,
                               policy_stats={"unique_l1_miss_lines": len(miss_counts)})
         return HierarchyResult(policy=spec.name, n=n, l1=l1_result, l2=l2_result,
-                               elapsed_s=elapsed)
+                               elapsed_s=elapsed,
+                               telemetry=tel.to_dict() if tel is not None else None)
 
 
 def simulate_hierarchy(addresses: np.ndarray, policy: Union[PolicySpec, str],

@@ -20,14 +20,25 @@ a single ``--seed``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from emissary.telemetry import Telemetry
 
 
 class PolicyKernel:
-    """Batched set-major kernel: processes one set's access chunk at a time."""
+    """Batched set-major kernel: processes one set's access chunk at a time.
+
+    Telemetry is opt-in per instance: :meth:`attach_telemetry` swaps
+    ``run_set`` for the kernel's instrumented variant (``_run_set_tel``),
+    so the default fast loops carry **no** telemetry branches — disabled
+    telemetry is structurally free, not just cheap.
+    """
 
     name: str = "base"
     needs_rng: bool = False
+    #: Set by :meth:`attach_telemetry`; instrumented loops record into it.
+    _tel: Optional["Telemetry"] = None
     #: True if the kernel must know whether an access is immediately
     #: re-referenced (same line, no intervening access) — required for
     #: MRU run collapsing to stay exact when a *hit on the fill's
@@ -46,7 +57,8 @@ class PolicyKernel:
     def run_set(self, set_index: int, tags: List[int],
                 u: Optional[Sequence[float]],
                 rep: Optional[Sequence[bool]] = None,
-                cost: Optional[Sequence[int]] = None) -> List[bool]:
+                cost: Optional[Sequence[int]] = None,
+                extra: Optional[Sequence[int]] = None) -> List[bool]:
         """Simulate ``tags`` (in access order) against set ``set_index``.
 
         ``u`` is the per-access uniform slice aligned with ``tags`` (None
@@ -55,9 +67,34 @@ class PolicyKernel:
         immediately afterwards.  ``cost`` (only when ``consumes_cost``
         and the caller measured one) is the per-access cost signal —
         in the L1I -> L2 hierarchy, the line's running L1I miss count.
+        ``extra`` is only supplied to instrumented kernels: the number of
+        MRU-collapsed hits folded into each access, so per-line hit
+        accounting stays exact under run collapsing.
         Returns one hit/miss bool per access.
         """
         raise NotImplementedError
+
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
+        """Enable instrumentation: rebind ``run_set`` to ``_run_set_tel``.
+
+        Must be called before the first access (kernels may allocate
+        accounting state here).  Subclasses extend it; every instrumented
+        loop is semantically identical to its fast twin — the telemetry
+        test suite asserts bit-identical hit vectors either way.
+        """
+        self._tel = telemetry
+        self.run_set = self._run_set_tel  # type: ignore[method-assign]
+
+    def _run_set_tel(self, set_index: int, tags: List[int],
+                     u: Optional[Sequence[float]],
+                     rep: Optional[Sequence[bool]] = None,
+                     cost: Optional[Sequence[int]] = None,
+                     extra: Optional[Sequence[int]] = None) -> List[bool]:
+        raise NotImplementedError(
+            f"{type(self).__name__} has no instrumented loop")
+
+    def telemetry_finalize(self) -> None:
+        """End-of-run accounting (resident-line histograms, occupancy)."""
 
     def extra_stats(self) -> Dict[str, Any]:
         """Policy-specific counters folded into the simulation result."""
@@ -94,3 +131,12 @@ class NaivePolicy:
         """Install bookkeeping.  ``cost_i`` is the access's cost signal
         (line's running L1I miss count) or None when unmeasured."""
         raise NotImplementedError
+
+    def telemetry_finalize(self, telemetry: "Telemetry", prefix: str = "") -> None:
+        """Dump policy-specific counters into ``telemetry``.
+
+        The reference engines do the generic line-lifetime accounting
+        themselves (they resolve tags and victims); this hook contributes
+        only what the policy alone knows (e.g. EMISSARY's priority-class
+        eviction split and per-set HP occupancy).  ``prefix`` namespaces
+        the names in hierarchy runs (``l2.``)."""

@@ -35,9 +35,12 @@ values demand repeat offenders.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from emissary.policies.base import NaivePolicy, PolicyKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from emissary.telemetry import Telemetry
 
 DEFAULT_HP_THRESHOLD = 4
 DEFAULT_PROB_INV = 32
@@ -79,10 +82,16 @@ class EmissaryKernel(PolicyKernel):
         self.hp_promotions = 0
         self.hp_evictions = 0
 
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
+        super().attach_telemetry(telemetry)
+        # Per-set tag -> hits-since-fill, parallel to the priority dicts.
+        self._hits_of: List[Dict[int, int]] = [{} for _ in range(self.num_sets)]
+
     def run_set(self, set_index: int, tags: List[int],
                 u: Optional[Sequence[float]],
                 rep: Optional[Sequence[bool]] = None,
-                cost: Optional[Sequence[int]] = None) -> List[bool]:
+                cost: Optional[Sequence[int]] = None,
+                extra: Optional[Sequence[int]] = None) -> List[bool]:
         assert u is not None
         d = self._sets[set_index]
         ways = self.ways
@@ -130,6 +139,91 @@ class EmissaryKernel(PolicyKernel):
         self.hp_evictions += hp_evictions
         return hits
 
+    def _run_set_tel(self, set_index: int, tags: List[int],
+                     u: Optional[Sequence[float]],
+                     rep: Optional[Sequence[bool]] = None,
+                     cost: Optional[Sequence[int]] = None,
+                     extra: Optional[Sequence[int]] = None) -> List[bool]:
+        """Instrumented twin of ``run_set``: identical two-class victim
+        search, plus the paper's diagnostic accounting (eviction split by
+        priority class, promotions, demotions, dead-on-fill lines)."""
+        tel = self._tel
+        assert u is not None and tel is not None and extra is not None
+        d = self._sets[set_index]
+        hits_of = self._hits_of[set_index]
+        ways = self.ways
+        threshold = self.hp_threshold
+        min_cost = self.min_l1_misses
+        p_hit = 1.0 / self.prob_inv
+        hp = self.hp_counts[set_index]
+        promotions = 0
+        hp_evictions = 0
+        hits: List[bool] = []
+        hit_append = hits.append
+        pop = d.pop
+        observe = tel.observe
+        fills = evictions = dead = lp_evictions = 0
+        if cost is None:
+            cost = (min_cost,) * len(tags)
+        for tag, u_i, c_i, extra_i in zip(tags, u, cost, extra):
+            prio = pop(tag, -1)
+            if prio >= 0:
+                d[tag] = prio  # reinsert at the MRU end
+                hits_of[tag] += 1 + extra_i
+                hit_append(True)
+            else:
+                if len(d) == ways:
+                    want = 1 if hp >= threshold else 0
+                    victim = -1
+                    for vt, vp in d.items():
+                        if vp == want:
+                            victim = vt
+                            break
+                    if victim < 0:
+                        victim = next(iter(d))  # preferred class empty: overall LRU
+                    victim_hits = hits_of.pop(victim)
+                    observe("line_hits", victim_hits)
+                    evictions += 1
+                    if victim_hits == 0:
+                        dead += 1
+                    if pop(victim):
+                        hp -= 1
+                        hp_evictions += 1
+                    else:
+                        lp_evictions += 1
+                if c_i >= min_cost and u_i < p_hit and hp < threshold:
+                    d[tag] = 1
+                    hp += 1
+                    promotions += 1
+                else:
+                    d[tag] = 0
+                hits_of[tag] = extra_i
+                fills += 1
+                hit_append(False)
+        self.hp_counts[set_index] = hp
+        self.hp_promotions += promotions
+        self.hp_evictions += hp_evictions
+        tel.inc("fills", fills)
+        tel.inc("evictions", evictions)
+        tel.inc("dead_on_fill", dead)
+        tel.inc("evictions_hp", hp_evictions)
+        tel.inc("evictions_lp", lp_evictions)
+        tel.inc("hp_promotions", promotions)
+        # A line loses HP protection only by eviction, so demotions are
+        # exactly the HP evictions — kept as a named counter so reports
+        # and cross-engine parity checks read one canonical name.
+        tel.inc("hp_demotions", hp_evictions)
+        return hits
+
+    def telemetry_finalize(self) -> None:
+        tel = self._tel
+        if tel is None:
+            return
+        for hits_of in self._hits_of:
+            tel.observe_many("resident_line_hits", hits_of.values())
+        tel.observe_many("hp_set_occupancy", self.hp_counts)
+        tel.inc("hp_lines_final", sum(self.hp_counts))
+
     def set_contents(self, set_index: int) -> List[tuple]:
         """(tag, priority) pairs in recency order (LRU first) — for tests."""
         return list(self._sets[set_index].items())
@@ -162,6 +256,9 @@ class NaiveEmissary(NaivePolicy):
         self.timestamps = [0] * (num_sets * ways)
         self.priority = [0] * (num_sets * ways)
         self.hp_counts = [0] * num_sets
+        self.hp_promotions = 0
+        self.evictions_hp = 0
+        self.evictions_lp = 0
         self._clock = 1
 
     def _touch(self, set_index: int, way: int) -> None:
@@ -197,6 +294,9 @@ class NaiveEmissary(NaivePolicy):
         if self.priority[idx]:
             self.priority[idx] = 0
             self.hp_counts[set_index] -= 1
+            self.evictions_hp += 1
+        else:
+            self.evictions_lp += 1
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
                 cost_i: Optional[int] = None) -> None:
@@ -206,6 +306,15 @@ class NaiveEmissary(NaivePolicy):
                 and self.hp_counts[set_index] < self.hp_threshold:
             self.priority[idx] = 1
             self.hp_counts[set_index] += 1
+            self.hp_promotions += 1
         else:
             self.priority[idx] = 0
         self._touch(set_index, way)
+
+    def telemetry_finalize(self, telemetry: "Telemetry", prefix: str = "") -> None:
+        telemetry.inc(prefix + "evictions_hp", self.evictions_hp)
+        telemetry.inc(prefix + "evictions_lp", self.evictions_lp)
+        telemetry.inc(prefix + "hp_promotions", self.hp_promotions)
+        telemetry.inc(prefix + "hp_demotions", self.evictions_hp)
+        telemetry.observe_many(prefix + "hp_set_occupancy", self.hp_counts)
+        telemetry.inc(prefix + "hp_lines_final", sum(self.hp_counts))

@@ -29,7 +29,8 @@ class LRUKernel(PolicyKernel):
     def run_set(self, set_index: int, tags: List[int],
                 u: Optional[Sequence[float]],
                 rep: Optional[Sequence[bool]] = None,
-                cost: Optional[Sequence[int]] = None) -> List[bool]:
+                cost: Optional[Sequence[int]] = None,
+                extra: Optional[Sequence[int]] = None) -> List[bool]:
         d = self._sets[set_index]
         ways = self.ways
         hits: List[bool] = []
@@ -45,6 +46,49 @@ class LRUKernel(PolicyKernel):
                 d[tag] = None  # reinsert at the MRU end
                 hit_append(True)
         return hits
+
+    def _run_set_tel(self, set_index: int, tags: List[int],
+                     u: Optional[Sequence[float]],
+                     rep: Optional[Sequence[bool]] = None,
+                     cost: Optional[Sequence[int]] = None,
+                     extra: Optional[Sequence[int]] = None) -> List[bool]:
+        """Instrumented twin of ``run_set``: identical replacement
+        decisions, with dict values repurposed as per-line hit counts."""
+        tel = self._tel
+        assert tel is not None and extra is not None
+        d = self._sets[set_index]
+        ways = self.ways
+        hits: List[bool] = []
+        hit_append = hits.append
+        pop = d.pop
+        observe = tel.observe
+        fills = evictions = dead = 0
+        for tag, extra_i in zip(tags, extra):
+            count = pop(tag, -1)
+            if count < 0:
+                if len(d) == ways:
+                    victim_hits = pop(next(iter(d)))
+                    observe("line_hits", victim_hits)
+                    evictions += 1
+                    if victim_hits == 0:
+                        dead += 1
+                d[tag] = extra_i  # collapsed re-touches hit the fresh fill
+                fills += 1
+                hit_append(False)
+            else:
+                d[tag] = count + 1 + extra_i  # reinsert at the MRU end
+                hit_append(True)
+        tel.inc("fills", fills)
+        tel.inc("evictions", evictions)
+        tel.inc("dead_on_fill", dead)
+        return hits
+
+    def telemetry_finalize(self) -> None:
+        tel = self._tel
+        if tel is None:
+            return
+        for d in self._sets:
+            tel.observe_many("resident_line_hits", d.values())
 
 
 class NaiveLRU(NaivePolicy):

@@ -11,9 +11,12 @@ lookup, eviction, and fill all O(1).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from emissary.policies.base import NaivePolicy, PolicyKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from emissary.telemetry import Telemetry
 
 
 class RandomKernel(PolicyKernel):
@@ -28,7 +31,8 @@ class RandomKernel(PolicyKernel):
     def run_set(self, set_index: int, tags: List[int],
                 u: Optional[Sequence[float]],
                 rep: Optional[Sequence[bool]] = None,
-                cost: Optional[Sequence[int]] = None) -> List[bool]:
+                cost: Optional[Sequence[int]] = None,
+                extra: Optional[Sequence[int]] = None) -> List[bool]:
         assert u is not None
         ways_of = self._ways_of[set_index]
         tag_at = self._tag_at[set_index]
@@ -50,6 +54,63 @@ class RandomKernel(PolicyKernel):
                     tag_at[victim] = tag
                 hit_append(False)
         return hits
+
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
+        super().attach_telemetry(telemetry)
+        # Per-set, per-way hit counts, parallel to ``_tag_at``.
+        self._way_hits: List[List[int]] = [[] for _ in range(self.num_sets)]
+
+    def _run_set_tel(self, set_index: int, tags: List[int],
+                     u: Optional[Sequence[float]],
+                     rep: Optional[Sequence[bool]] = None,
+                     cost: Optional[Sequence[int]] = None,
+                     extra: Optional[Sequence[int]] = None) -> List[bool]:
+        """Instrumented twin of ``run_set`` with per-way hit accounting."""
+        tel = self._tel
+        assert u is not None and tel is not None and extra is not None
+        ways_of = self._ways_of[set_index]
+        tag_at = self._tag_at[set_index]
+        way_hits = self._way_hits[set_index]
+        ways = self.ways
+        hits: List[bool] = []
+        hit_append = hits.append
+        observe = tel.observe
+        fills = evictions = dead = 0
+        for tag, u_i, extra_i in zip(tags, u, extra):
+            way = ways_of.get(tag)
+            if way is not None:
+                way_hits[way] += 1 + extra_i
+                hit_append(True)
+            else:
+                size = len(tag_at)
+                if size < ways:
+                    ways_of[tag] = size
+                    tag_at.append(tag)
+                    way_hits.append(extra_i)
+                else:
+                    victim = int(u_i * ways)
+                    victim_hits = way_hits[victim]
+                    observe("line_hits", victim_hits)
+                    evictions += 1
+                    if victim_hits == 0:
+                        dead += 1
+                    del ways_of[tag_at[victim]]
+                    ways_of[tag] = victim
+                    tag_at[victim] = tag
+                    way_hits[victim] = extra_i
+                fills += 1
+                hit_append(False)
+        tel.inc("fills", fills)
+        tel.inc("evictions", evictions)
+        tel.inc("dead_on_fill", dead)
+        return hits
+
+    def telemetry_finalize(self) -> None:
+        tel = self._tel
+        if tel is None:
+            return
+        for way_hits in self._way_hits:
+            tel.observe_many("resident_line_hits", way_hits)
 
 
 class NaiveRandom(NaivePolicy):

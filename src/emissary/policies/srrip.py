@@ -24,11 +24,14 @@ RRPV 0 by that hit, so the kernel consumes the engine's repeat flags
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from emissary.policies.base import NaivePolicy, PolicyKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from emissary.telemetry import Telemetry
 
 RRPV_BITS = 2
 RRPV_MAX = (1 << RRPV_BITS) - 1
@@ -75,10 +78,21 @@ class SRRIPKernel(PolicyKernel):
         else:
             self._rrpv: List[List[int]] = [[] for _ in range(num_sets)]
 
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
+        """Instrumented runs always take the wide (list-based) path — one
+        instrumented loop instead of two, with semantics the equivalence
+        suite already proves identical to the packed fast path."""
+        super().attach_telemetry(telemetry)
+        if self._packed_ok:
+            self._packed_ok = False
+            self._rrpv = [[] for _ in range(self.num_sets)]
+        self._way_hits: List[List[int]] = [[] for _ in range(self.num_sets)]
+
     def run_set(self, set_index: int, tags: List[int],
                 u: Optional[Sequence[float]],
                 rep: Optional[Sequence[bool]] = None,
-                cost: Optional[Sequence[int]] = None) -> List[bool]:
+                cost: Optional[Sequence[int]] = None,
+                extra: Optional[Sequence[int]] = None) -> List[bool]:
         assert rep is not None
         if not self._packed_ok:
             return self._run_set_wide(set_index, tags, rep)
@@ -153,6 +167,69 @@ class SRRIPKernel(PolicyKernel):
                     rrpv[victim] = insert
                 hit_append(False)
         return hits
+
+    def _run_set_tel(self, set_index: int, tags: List[int],
+                     u: Optional[Sequence[float]],
+                     rep: Optional[Sequence[bool]] = None,
+                     cost: Optional[Sequence[int]] = None,
+                     extra: Optional[Sequence[int]] = None) -> List[bool]:
+        """Instrumented twin of ``_run_set_wide`` with per-way hit counts."""
+        tel = self._tel
+        assert rep is not None and tel is not None and extra is not None
+        ways_of = self._ways_of[set_index]
+        tag_at = self._tag_at[set_index]
+        rrpv = self._rrpv[set_index]
+        way_hits = self._way_hits[set_index]
+        ways = self.ways
+        hits: List[bool] = []
+        hit_append = hits.append
+        get = ways_of.get
+        observe = tel.observe
+        fills = evictions = dead = 0
+        for tag, repeated, extra_i in zip(tags, rep, extra):
+            way = get(tag)
+            if way is not None:
+                rrpv[way] = 0
+                way_hits[way] += 1 + extra_i
+                hit_append(True)
+            else:
+                insert = 0 if repeated else RRPV_INSERT
+                size = len(tag_at)
+                if size < ways:
+                    ways_of[tag] = size
+                    tag_at.append(tag)
+                    rrpv.append(insert)
+                    way_hits.append(extra_i)
+                else:
+                    top = max(rrpv)
+                    if top < RRPV_MAX:
+                        aging = RRPV_MAX - top
+                        for k in range(ways):
+                            rrpv[k] += aging
+                    victim = rrpv.index(RRPV_MAX)
+                    victim_hits = way_hits[victim]
+                    observe("line_hits", victim_hits)
+                    evictions += 1
+                    if victim_hits == 0:
+                        dead += 1
+                    del ways_of[tag_at[victim]]
+                    ways_of[tag] = victim
+                    tag_at[victim] = tag
+                    rrpv[victim] = insert
+                    way_hits[victim] = extra_i
+                fills += 1
+                hit_append(False)
+        tel.inc("fills", fills)
+        tel.inc("evictions", evictions)
+        tel.inc("dead_on_fill", dead)
+        return hits
+
+    def telemetry_finalize(self) -> None:
+        tel = self._tel
+        if tel is None:
+            return
+        for way_hits in self._way_hits:
+            tel.observe_many("resident_line_hits", way_hits)
 
     def effective_rrpv(self, set_index: int) -> List[int]:
         """Per-way RRPVs for the set's resident ways — for tests."""

@@ -1,0 +1,213 @@
+"""Structured run-report renderer for sweep output.
+
+``python -m emissary.sweep --telemetry --out sweep.json`` writes a
+schema-versioned envelope (see
+:data:`~emissary.sweep.SWEEP_SCHEMA_VERSION`); this module turns it back
+into something a human can read::
+
+    python -m emissary.report sweep.json
+    python -m emissary.report sweep.json --trace-out trace.json
+
+The text report shows the sweep header (seed, wall time, grid size,
+fresh/cached/error counts, results-cache hit/miss), the per-config
+results table, per-worker wall-time totals, and — for instrumented rows
+— the policy telemetry the paper's argument rests on: evictions split by
+priority class, HP promotions/demotions, dead-on-fill lines, final HP
+set occupancy, and the per-line hit-count distribution.
+
+``--trace-out`` merges every row's engine phase spans into one Chrome
+trace-event JSON file (pid = worker process, tid = config index),
+loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+
+Legacy (version 1) output — a bare row list with no envelope — still
+loads; missing header fields simply render as absent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from emissary.sweep import SWEEP_SCHEMA_VERSION, _format_table
+from emissary.telemetry import spans_to_chrome_trace
+
+
+def load_sweep_output(path: str) -> Dict[str, Any]:
+    """Read sweep ``--out`` JSON, normalizing to the envelope form.
+
+    Accepts the current schema-versioned envelope or the legacy bare row
+    list (pre-envelope output), which is wrapped as a version-1 envelope
+    with only ``rows`` populated.
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    if isinstance(payload, list):
+        return {"schema_version": 1, "rows": payload}
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ValueError(f"{path}: not sweep output (expected an envelope "
+                         f"with 'rows' or a bare row list)")
+    version = payload.get("schema_version")
+    if version is not None and version > SWEEP_SCHEMA_VERSION:
+        raise ValueError(f"{path}: envelope schema_version {version} is newer "
+                         f"than supported ({SWEEP_SCHEMA_VERSION})")
+    return payload
+
+
+def _config_label(config: Dict[str, Any], index: int) -> str:
+    policy = config.get("policy", {})
+    params = ",".join(f"{k}={v}" for k, v in sorted(policy.get("params", {}).items()))
+    trace = config.get("trace", {}).get("kind", "?")
+    level = "hier" if "l1" in config.get("config", {}) else "single"
+    label = f"[{index}] {trace}/{policy.get('name', '?')}"
+    if params:
+        label += f"({params})"
+    return f"{label} {level}"
+
+
+def _hist_summary(hist: Dict[str, int], max_buckets: int = 6) -> str:
+    """Render ``value:count`` pairs, eliding the middle of wide histograms."""
+    items = sorted(((int(v), c) for v, c in hist.items()), key=lambda vc: vc[0])
+    shown = [f"{v}:{c}" for v, c in items]
+    if len(shown) > max_buckets:
+        head = max_buckets // 2
+        shown = shown[:head] + [f"... ({len(items) - max_buckets} more)"] + shown[-head:]
+    total = sum(c for _, c in items)
+    mass = sum(v * c for v, c in items)
+    mean = mass / total if total else 0.0
+    return f"{{{', '.join(shown)}}} (n={total}, mean={mean:.2f})"
+
+
+def _telemetry_lines(telemetry: Dict[str, Any]) -> List[str]:
+    """The policy-facing counter/histogram digest for one config."""
+    counters: Dict[str, int] = telemetry.get("counters", {})
+    histograms: Dict[str, Dict[str, int]] = telemetry.get("histograms", {})
+    lines: List[str] = []
+    # A hierarchy payload holds both levels under l1./l2. prefixes; a
+    # single-level payload holds unprefixed names.  Render whichever
+    # prefixes are actually present, engine.* internals last.
+    prefixes = sorted({name.split(".", 1)[0] + "."
+                       for name in counters if "." in name and
+                       not name.startswith("engine.")}) or [""]
+    for prefix in prefixes:
+        tag = f"  {prefix.rstrip('.')}: " if prefix else "  "
+
+        def c(name: str, p: str = prefix) -> Optional[int]:
+            return counters.get(p + name)
+
+        core = [(label, c(name)) for label, name in (
+            ("hits", "hits"), ("misses", "misses"), ("fills", "fills"),
+            ("evictions", "evictions"), ("dead_on_fill", "dead_on_fill"))]
+        lines.append(tag + "  ".join(f"{label}={value}" for label, value in core
+                                     if value is not None))
+        hp = [(label, c(name)) for label, name in (
+            ("evictions_hp", "evictions_hp"), ("evictions_lp", "evictions_lp"),
+            ("hp_promotions", "hp_promotions"), ("hp_demotions", "hp_demotions"),
+            ("hp_lines_final", "hp_lines_final"))]
+        if any(value is not None for _, value in hp):
+            lines.append(tag + "  ".join(f"{label}={value}" for label, value in hp
+                                         if value is not None))
+        for hist_name in ("line_hits", "resident_line_hits", "hp_set_occupancy"):
+            hist = histograms.get(prefix + hist_name)
+            if hist:
+                lines.append(f"{tag}{hist_name} {_hist_summary(hist)}")
+    engine = {name: value for name, value in counters.items() if "engine." in name}
+    if engine:
+        lines.append("  " + "  ".join(f"{name}={value}"
+                                      for name, value in sorted(engine.items())))
+    return lines
+
+
+def render_report(envelope: Dict[str, Any]) -> str:
+    """Render the full text report for a loaded sweep envelope."""
+    rows: List[Dict[str, Any]] = envelope["rows"]
+    out: List[str] = ["emissary sweep report"]
+    header_bits = []
+    for key, label in (("schema_version", "schema"), ("seed", "seed"),
+                       ("grid_size", "configs"), ("fresh", "fresh"),
+                       ("cached", "cached"), ("errors", "errors")):
+        if key in envelope:
+            header_bits.append(f"{label}={envelope[key]}")
+    if "elapsed_s" in envelope:
+        header_bits.append(f"elapsed={envelope['elapsed_s']:.2f}s")
+    cache_stats = envelope.get("cache_stats") or {}
+    if cache_stats:
+        header_bits.append(f"results-cache hits={cache_stats.get('hits', 0)} "
+                           f"misses={cache_stats.get('misses', 0)}")
+    if header_bits:
+        out.append("  " + "  ".join(header_bits))
+    out += ["", _format_table(rows)]
+
+    workers = envelope.get("workers") or {}
+    if workers:
+        out += ["", "per-worker wall time:"]
+        for pid, meta in sorted(workers.items()):
+            out.append(f"  pid {pid}: {meta['configs']} configs "
+                       f"in {meta['elapsed_s']:.2f}s")
+
+    telemetry_rows = [(i, row) for i, row in enumerate(rows)
+                      if isinstance(row.get("result"), dict)
+                      and row["result"].get("telemetry")]
+    if telemetry_rows:
+        out += ["", "telemetry:"]
+        for i, row in telemetry_rows:
+            out.append(_config_label(row["config"], i))
+            out += _telemetry_lines(row["result"]["telemetry"])
+    errors = [(i, row) for i, row in enumerate(rows) if "error" in row]
+    if errors:
+        out += ["", "errors:"]
+        for i, row in errors:
+            out.append(f"  {_config_label(row['config'], i)}: {row['error']}")
+    return "\n".join(out)
+
+
+def export_chrome_trace(envelope: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge every row's engine phase spans into one Chrome trace.
+
+    Tracks: pid = the worker process that ran the config (0 for cached or
+    legacy rows), tid = the config's index in the sweep grid.
+    """
+    spans: List[Dict[str, Any]] = []
+    for i, row in enumerate(envelope["rows"]):
+        result = row.get("result")
+        if not isinstance(result, dict):
+            continue
+        telemetry = result.get("telemetry")
+        if not telemetry:
+            continue
+        pid = (row.get("worker") or {}).get("pid", 0)
+        for span in telemetry.get("spans", []):
+            tagged = dict(span)
+            tagged["pid"] = pid
+            tagged["tid"] = i
+            spans.append(tagged)
+    return spans_to_chrome_trace(spans)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="emissary.report", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("path", help="sweep --out JSON (envelope or legacy row list)")
+    parser.add_argument("--trace-out", default=None,
+                        help="also write merged engine phase spans as Chrome "
+                             "trace-event JSON (open in Perfetto)")
+    args = parser.parse_args(argv)
+
+    try:
+        envelope = load_sweep_output(args.path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(envelope))
+    if args.trace_out:
+        trace = export_chrome_trace(envelope)
+        with open(args.trace_out, "w") as fh:
+            json.dump(trace, fh, indent=1)
+        print(f"\nchrome trace ({len(trace['traceEvents'])} events) "
+              f"written to {args.trace_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

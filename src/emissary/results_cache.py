@@ -57,6 +57,15 @@ def _result_checksum(result: Dict[str, Any]) -> str:
 class ResultsCache:
     def __init__(self, cache_dir: str | Path = DEFAULT_CACHE_DIR) -> None:
         self.cache_dir = Path(cache_dir)
+        # Lifetime load outcomes for this handle; the sweep's run report
+        # surfaces them as the results-cache hit/miss counts.
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Load outcomes since construction: ``{"hits": ..., "misses": ...}``
+        (a corrupt or mismatched entry counts as a miss)."""
+        return {"hits": self.hits, "misses": self.misses}
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
@@ -91,13 +100,20 @@ class ResultsCache:
         key = config_key(config)
         path = self._path(key)
         if not path.exists():
+            self.misses += 1
             return None
         try:
             entry = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             logger.warning("results cache: failed to read %s (%s); skipping", path, exc)
+            self.misses += 1
             return None
-        return self._validate(entry, key, path)
+        result = self._validate(entry, key, path)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
 
     def store(self, config: Any, result: Dict[str, Any]) -> Path:
         config = _as_config_dict(config)

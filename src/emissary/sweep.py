@@ -38,11 +38,16 @@ from emissary.engine import BatchedEngine, CacheConfig
 from emissary.hierarchy import BatchedHierarchyEngine, HierarchyConfig
 from emissary.policies import POLICY_NAMES
 from emissary.results_cache import DEFAULT_CACHE_DIR, ResultsCache
+from emissary.telemetry import Telemetry
 from emissary.traces import TraceSpec
 
 logger = logging.getLogger(__name__)
 
 AnyCacheConfig = Union[CacheConfig, HierarchyConfig]
+
+#: Version of the ``--out`` / run-report JSON envelope.  Version 1 was a
+#: bare row list (still readable by ``python -m emissary.report``).
+SWEEP_SCHEMA_VERSION = 2
 
 
 def make_config(trace: Any, policy: Optional[str] = None,
@@ -67,20 +72,38 @@ def make_config(trace: Any, policy: Optional[str] = None,
 
 
 def run_config(config: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: simulate one configuration, return plain dicts."""
+    """Worker entry point: simulate one configuration, return plain dicts.
+
+    A config with ``"telemetry": true`` runs instrumented; its result
+    dict then carries the telemetry payload.
+    """
     request = SimRequest.from_dict(config)
     addresses = request.trace.generate()
+    telemetry = Telemetry() if request.telemetry else None
     if request.is_hierarchy:
-        engine: Any = BatchedHierarchyEngine(request.config)
+        engine: Any = BatchedHierarchyEngine(request.config, telemetry=telemetry)
     else:
-        engine = BatchedEngine(request.config)
+        engine = BatchedEngine(request.config, telemetry=telemetry)
     result = engine.run(addresses, request.policy, seed=request.seed, keep_hits=False)
     return result.to_dict()
 
 
-def _run_indexed(item: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any]]:
+def _run_indexed(item: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any],
+                                                            Dict[str, Any]]:
+    """Run one indexed config, never letting an exception escape the
+    worker: a raising config becomes an ``{"error": ...}`` payload so one
+    bad point cannot kill the pool and discard in-flight results.
+
+    The third element is worker metadata (pid, wall time) for the run
+    report."""
     index, config = item
-    return index, run_config(config)
+    started = time.perf_counter()
+    try:
+        payload = {"result": run_config(config)}
+    except Exception as exc:  # noqa: BLE001 - isolate arbitrary config failures
+        payload = {"error": f"{type(exc).__name__}: {exc}"}
+    worker = {"pid": os.getpid(), "elapsed_s": time.perf_counter() - started}
+    return index, payload, worker
 
 
 def build_grid(traces: Sequence[TraceSpec], policies: Sequence[str],
@@ -109,15 +132,34 @@ def build_grid(traces: Sequence[TraceSpec], policies: Sequence[str],
 
 
 def run_sweep(grid: Sequence[Union[SimRequest, Dict[str, Any]]], workers: int = 0,
-              cache_dir: str = DEFAULT_CACHE_DIR) -> List[Dict[str, Any]]:
+              cache_dir: str = DEFAULT_CACHE_DIR,
+              telemetry: bool = False,
+              store: Optional[ResultsCache] = None) -> List[Dict[str, Any]]:
     """Run every configuration, reusing cached results; returns one row per config.
 
     Fresh results are persisted to the cache *as each worker completes*
     (not in one batch at the end), so interrupting a sweep loses only the
-    configurations still in flight.
+    configurations still in flight.  A configuration that *raises* does
+    not kill the pool: its row carries ``"error"`` instead of
+    ``"result"``, is logged, and the remaining configurations keep
+    running (the CLI exits nonzero if any row errored).
+
+    ``telemetry=True`` re-keys every grid point with the telemetry flag
+    (instrumented results cache separately from default ones) and fresh
+    rows then carry the telemetry payload inside ``row["result"]``.
+    Fresh rows also record ``row["worker"]`` metadata (pid, wall time)
+    for the run report.
+
+    Pass ``store`` to supply (and afterwards inspect, via
+    :meth:`~emissary.results_cache.ResultsCache.stats`) the results-cache
+    handle; otherwise one is opened on ``cache_dir``.
     """
-    store = ResultsCache(cache_dir)
-    configs = [g.to_dict() if isinstance(g, SimRequest) else g for g in grid]
+    if store is None:
+        store = ResultsCache(cache_dir)
+    configs = [g.to_dict() if isinstance(g, SimRequest) else dict(g) for g in grid]
+    if telemetry:
+        for config in configs:
+            config["telemetry"] = True
     rows: List[Optional[Dict[str, Any]]] = [None] * len(configs)
     pending: List[int] = []
     for i, config in enumerate(configs):
@@ -127,23 +169,66 @@ def run_sweep(grid: Sequence[Union[SimRequest, Dict[str, Any]]], workers: int = 
         else:
             pending.append(i)
 
+    def record(i: int, payload: Dict[str, Any], worker: Dict[str, Any]) -> None:
+        row = {"config": configs[i], "cached": False, "worker": worker}
+        if "error" in payload:
+            logger.error("config %d failed: %s", i, payload["error"])
+            row["error"] = payload["error"]
+        else:
+            store.store(configs[i], payload["result"])
+            row["result"] = payload["result"]
+        rows[i] = row
+
     if pending:
         if workers <= 0:
             workers = min(len(pending), os.cpu_count() or 1)
+        items = [(i, configs[i]) for i in pending]
         if workers == 1:
-            for i in pending:
-                result = run_config(configs[i])
-                store.store(configs[i], result)
-                rows[i] = {"config": configs[i], "result": result, "cached": False}
+            for item in items:
+                record(*_run_indexed(item))
         else:
             with mp.Pool(processes=workers) as pool:
-                items = [(i, configs[i]) for i in pending]
-                for i, result in pool.imap_unordered(_run_indexed, items):
-                    store.store(configs[i], result)
-                    rows[i] = {"config": configs[i], "result": result, "cached": False}
+                for i, payload, worker in pool.imap_unordered(_run_indexed, items):
+                    record(i, payload, worker)
 
     assert all(row is not None for row in rows)
     return rows  # type: ignore[return-value]
+
+
+def build_envelope(rows: List[Dict[str, Any]], seed: int, elapsed_s: float,
+                   cache_stats: Optional[Dict[str, int]] = None,
+                   telemetry: bool = False) -> Dict[str, Any]:
+    """Assemble the schema-versioned run-report envelope around sweep rows.
+
+    This is what ``--out`` writes and ``python -m emissary.report``
+    renders: grid size, fresh/cached/error counts, per-worker wall time,
+    and the results-cache hit/miss counts, with the row list (and any
+    per-config telemetry) nested under ``"rows"``.
+    """
+    fresh = sum(1 for r in rows if not r["cached"] and "error" not in r)
+    errors = sum(1 for r in rows if "error" in r)
+    workers: Dict[str, Dict[str, Any]] = {}
+    for row in rows:
+        meta = row.get("worker")
+        if meta is None:
+            continue
+        per = workers.setdefault(str(meta["pid"]), {"configs": 0, "elapsed_s": 0.0})
+        per["configs"] += 1
+        per["elapsed_s"] += meta["elapsed_s"]
+    return {
+        "schema_version": SWEEP_SCHEMA_VERSION,
+        "generated_by": "emissary.sweep",
+        "seed": seed,
+        "elapsed_s": elapsed_s,
+        "grid_size": len(rows),
+        "fresh": fresh,
+        "cached": sum(1 for r in rows if r["cached"]),
+        "errors": errors,
+        "telemetry_enabled": telemetry,
+        "cache_stats": dict(cache_stats or {}),
+        "workers": workers,
+        "rows": rows,
+    }
 
 
 def _format_table(rows: List[Dict[str, Any]]) -> str:
@@ -156,8 +241,13 @@ def _format_table(rows: List[Dict[str, Any]]) -> str:
               f"{'L2hit%':>7} {'MPKI':>8} {'Macc/s':>8} {'cached':>6}")
     lines = [header, "-" * len(header)]
     for row in rows:
-        cfg, res = row["config"], row["result"]
+        cfg = row["config"]
         params = params_of(cfg)
+        prefix = f"{cfg['trace']['kind']:<8} {cfg['policy']['name']:<10} {params:<{pw}} "
+        if "error" in row:
+            lines.append(prefix + f"ERROR: {row['error']}")
+            continue
+        res = row["result"]
         if "l1" in res:  # hierarchy row: per-level stats
             l1_hit = f"{100.0 * res['l1_hit_rate']:>6.2f}%"
             l2_hit = f"{100.0 * res['l2_local_hit_rate']:>6.2f}%"
@@ -166,10 +256,11 @@ def _format_table(rows: List[Dict[str, Any]]) -> str:
             l1_hit = f"{'-':>7}"
             l2_hit = f"{100.0 * res['hit_rate']:>6.2f}%"
             mpki = res["mpki"]
+        rate = res.get("accesses_per_s")
+        macc = f"{rate / 1e6:>8.2f}" if rate is not None else f"{'-':>8}"
         lines.append(
-            f"{cfg['trace']['kind']:<8} {cfg['policy']['name']:<10} {params:<{pw}} "
-            f"{l1_hit} {l2_hit} {mpki:>8.2f} "
-            f"{res['accesses_per_s'] / 1e6:>8.2f} {str(row['cached']):>6}"
+            f"{prefix}{l1_hit} {l2_hit} {mpki:>8.2f} "
+            f"{macc} {str(row['cached']):>6}"
         )
     return "\n".join(lines)
 
@@ -226,7 +317,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (0 = one per CPU)")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
-    parser.add_argument("--out", default=None, help="write full results JSON here")
+    parser.add_argument("--out", default=None,
+                        help="write the schema-versioned run-report envelope "
+                             "(results + telemetry) as JSON here")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="run every configuration instrumented: rows carry "
+                             "policy counters, histograms, and engine phase spans")
     args = parser.parse_args(argv)
 
     logging.basicConfig(level=logging.INFO, format="%(levelname)s %(message)s")
@@ -254,19 +350,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                           [int(x) for x in args.prob_invs.split(",") if x],
                           min_l1_misses=args.min_l1_misses)
 
+    store = ResultsCache(args.cache_dir)
     start = time.perf_counter()
-    rows = run_sweep(grid, workers=args.workers, cache_dir=args.cache_dir)
+    rows = run_sweep(grid, workers=args.workers, cache_dir=args.cache_dir,
+                     telemetry=args.telemetry, store=store)
     elapsed = time.perf_counter() - start
 
     print(_format_table(rows))
-    fresh = sum(1 for r in rows if not r["cached"])
-    print(f"\n{len(rows)} configs ({fresh} simulated, {len(rows) - fresh} cached) "
+    errors = sum(1 for r in rows if "error" in r)
+    fresh = sum(1 for r in rows if not r["cached"]) - errors
+    print(f"\n{len(rows)} configs ({fresh} simulated, "
+          f"{len(rows) - fresh - errors} cached, {errors} errored) "
           f"in {elapsed:.2f}s")
 
     if args.out:
+        envelope = build_envelope(rows, seed=args.seed, elapsed_s=elapsed,
+                                  cache_stats=store.stats(),
+                                  telemetry=args.telemetry)
         with open(args.out, "w") as fh:
-            json.dump(rows, fh, indent=1, sort_keys=True)
-        print(f"results written to {args.out}")
+            json.dump(envelope, fh, indent=1, sort_keys=True)
+        print(f"results written to {args.out} "
+              f"(render with: python -m emissary.report {args.out})")
+    if errors:
+        logger.error("%d of %d configurations failed", errors, len(rows))
+        return 1
     return 0
 
 

@@ -1,0 +1,126 @@
+"""Tests for the run-report CLI (``python -m emissary.report``)."""
+
+import json
+
+import pytest
+
+from emissary.report import (export_chrome_trace, load_sweep_output, main,
+                             render_report)
+from emissary.sweep import main as sweep_main
+
+
+def _envelope():
+    """A handcrafted schema-2 envelope: one instrumented fresh row, one
+    cached row, one error row."""
+    telemetry = {
+        "schema_version": 1,
+        "counters": {"hits": 90, "misses": 10, "fills": 10, "evictions": 4,
+                     "dead_on_fill": 1, "evictions_hp": 1, "evictions_lp": 3,
+                     "hp_promotions": 2, "hp_demotions": 1, "hp_lines_final": 1,
+                     "engine.accesses": 100},
+        "histograms": {"line_hits": {"0": 1, "3": 3},
+                       "hp_set_occupancy": {"0": 1, "1": 1}},
+        "spans": [{"name": "kernel_loop", "ts_us": 10.0, "dur_us": 5.0, "args": {}}],
+    }
+
+    def config(policy, params):
+        return {"trace": {"kind": "loop", "n": 100, "seed": 0, "params": {}},
+                "policy": {"name": policy, "params": params},
+                "config": {"num_sets": 2, "ways": 2, "line_size": 64}, "seed": 0}
+
+    def result(**extra):
+        return {"policy": "emissary", "n": 100, "hit_count": 90, "miss_count": 10,
+                "hit_rate": 0.9, "mpki": 100.0, "elapsed_s": 0.5,
+                "accesses_per_s": 200.0, "policy_stats": {}, **extra}
+
+    rows = [
+        {"config": config("emissary", {"hp_threshold": 1}),
+         "result": result(telemetry=telemetry), "cached": False,
+         "worker": {"pid": 41, "elapsed_s": 0.5}},
+        {"config": config("lru", {}),
+         "result": result(accesses_per_s=None), "cached": True},
+        {"config": config("srrip", {}), "error": "ValueError: boom",
+         "cached": False, "worker": {"pid": 42, "elapsed_s": 0.1}},
+    ]
+    return {"schema_version": 2, "generated_by": "emissary.sweep", "seed": 7,
+            "elapsed_s": 1.25, "grid_size": 3, "fresh": 1, "cached": 1,
+            "errors": 1, "telemetry_enabled": True,
+            "cache_stats": {"hits": 1, "misses": 2},
+            "workers": {"41": {"configs": 1, "elapsed_s": 0.5},
+                        "42": {"configs": 1, "elapsed_s": 0.1}},
+            "rows": rows}
+
+
+def test_render_report_golden_sections():
+    report = render_report(_envelope())
+    # Header facts.
+    assert "seed=7" in report and "errors=1" in report
+    assert "results-cache hits=1 misses=2" in report
+    # Table: cached row has no throughput (rendered as -), error row shown.
+    assert "ERROR: ValueError: boom" in report
+    # Per-worker wall time.
+    assert "pid 41: 1 configs in 0.50s" in report
+    assert "pid 42: 1 configs in 0.10s" in report
+    # Telemetry digest: class-split evictions, promotions, occupancy.
+    assert "evictions_hp=1" in report and "evictions_lp=3" in report
+    assert "hp_promotions=2" in report and "hp_demotions=1" in report
+    assert "dead_on_fill=1" in report
+    assert "hp_set_occupancy {0:1, 1:1} (n=2, mean=0.50)" in report
+    assert "line_hits {0:1, 3:3} (n=4, mean=2.25)" in report
+    assert "engine.accesses=100" in report
+    # Error section names the failing config.
+    assert "[2] loop/srrip single: ValueError: boom" in report
+
+
+def test_load_sweep_output_accepts_legacy_bare_list(tmp_path):
+    rows = _envelope()["rows"][:1]
+    path = tmp_path / "legacy.json"
+    path.write_text(json.dumps(rows))
+    envelope = load_sweep_output(str(path))
+    assert envelope["schema_version"] == 1
+    assert envelope["rows"] == rows
+    render_report(envelope)  # renders without the header facts
+
+
+def test_load_sweep_output_rejects_garbage_and_future_schema(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"nope": 1}))
+    with pytest.raises(ValueError):
+        load_sweep_output(str(bad))
+    future = tmp_path / "future.json"
+    future.write_text(json.dumps({"schema_version": 99, "rows": []}))
+    with pytest.raises(ValueError):
+        load_sweep_output(str(future))
+
+
+def test_export_chrome_trace_assigns_tracks():
+    trace = export_chrome_trace(_envelope())
+    events = trace["traceEvents"]
+    assert len(events) == 1  # only the instrumented row has spans
+    assert events[0]["pid"] == 41  # worker pid
+    assert events[0]["tid"] == 0  # config index
+
+
+def test_cli_end_to_end_with_sweep_output(tmp_path, capsys):
+    out = tmp_path / "sweep.json"
+    rc = sweep_main(["--traces", "loop", "--n", "1000", "--policies", "lru,emissary",
+                     "--hp-thresholds", "2", "--prob-invs", "8",
+                     "--num-sets", "16", "--ways", "4", "--workers", "1",
+                     "--cache-dir", str(tmp_path / "rc"), "--telemetry",
+                     "--out", str(out)])
+    assert rc == 0
+    capsys.readouterr()
+    trace_out = tmp_path / "trace.json"
+    rc = main([str(out), "--trace-out", str(trace_out)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "emissary sweep report" in text
+    assert "telemetry:" in text and "hp_promotions=" in text
+    trace = json.loads(trace_out.read_text())
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert "kernel_loop" in names
+
+
+def test_cli_reports_unreadable_input(tmp_path, capsys):
+    assert main([str(tmp_path / "missing.json")]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -7,8 +7,8 @@ import pytest
 from emissary.api import PolicySpec, SimRequest
 from emissary.engine import CacheConfig
 from emissary.hierarchy import HierarchyConfig
-from emissary.sweep import (build_grid, demo_grid, main, make_config, run_config,
-                            run_sweep)
+from emissary.sweep import (SWEEP_SCHEMA_VERSION, build_envelope, build_grid,
+                            demo_grid, main, make_config, run_config, run_sweep)
 from emissary.traces import TraceSpec
 
 
@@ -106,10 +106,52 @@ def test_interrupted_sweep_keeps_completed_results(tmp_path):
     good = small_grid()[0]
     bad = dict(good.to_dict())
     bad["trace"] = {"kind": "loop", "n": -1, "seed": 0, "params": {}}
-    with pytest.raises(ValueError):
-        run_sweep([good, bad], workers=1, cache_dir=tmp_path)
-    rows = run_sweep([good], workers=1, cache_dir=tmp_path)
-    assert rows[0]["cached"]  # the config that completed before the crash survived
+    rows = run_sweep([good, bad], workers=1, cache_dir=tmp_path)
+    assert "result" in rows[0] and "error" in rows[1]
+    again = run_sweep([good], workers=1, cache_dir=tmp_path)
+    assert again[0]["cached"]  # the config that completed survived the bad one
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_sweep_isolates_failing_configs(tmp_path, workers, caplog):
+    """One raising config yields an error row; the rest keep running,
+    succeed, and get cached — the pool is never killed."""
+    grid = [g.to_dict() for g in small_grid()]
+    bad = dict(grid[0])
+    bad["policy"] = {"name": "lru", "params": {"bogus": 1}}
+    rows = run_sweep([grid[0], bad, grid[1]], workers=workers, cache_dir=tmp_path)
+    assert [("error" in r) for r in rows] == [False, True, False]
+    assert "bogus" in rows[1]["error"]
+    assert "result" not in rows[1]
+    assert any("failed" in rec.message for rec in caplog.records)
+    # Error payloads are never cached; good ones are.
+    again = run_sweep([grid[0], bad, grid[1]], workers=1, cache_dir=tmp_path)
+    assert [r["cached"] for r in again] == [True, False, True]
+
+
+def test_sweep_fresh_rows_carry_worker_metadata(tmp_path):
+    rows = run_sweep(small_grid(), workers=2, cache_dir=tmp_path)
+    for row in rows:
+        assert row["worker"]["pid"] > 0
+        assert row["worker"]["elapsed_s"] >= 0.0
+    cached = run_sweep(small_grid(), workers=2, cache_dir=tmp_path)
+    assert all("worker" not in row for row in cached)
+
+
+def test_sweep_telemetry_flag_rekeys_and_instruments(tmp_path):
+    plain = run_sweep(small_grid(), workers=1, cache_dir=tmp_path)
+    instrumented = run_sweep(small_grid(), workers=1, cache_dir=tmp_path,
+                             telemetry=True)
+    # Separate cache keys: the instrumented pass found nothing cached.
+    assert all(not r["cached"] for r in instrumented)
+    assert all(r["result"].get("telemetry") is None for r in plain)
+    for row in instrumented:
+        telemetry = row["result"]["telemetry"]
+        assert telemetry["counters"]["fills"] > 0
+        assert row["config"]["telemetry"] is True
+    # Outcomes are not perturbed by instrumentation.
+    assert ([r["result"]["hit_rate"] for r in plain]
+            == [r["result"]["hit_rate"] for r in instrumented])
 
 
 def test_demo_grid_covers_all_policies_and_both_levels():
@@ -140,8 +182,14 @@ def test_cli_demo_writes_results(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "configs" in captured.out
     assert "L1hit%" in captured.out  # per-level columns in the table
-    rows = json.loads(out.read_text())
-    assert len(rows) == len(demo_grid(n=1000))
+    envelope = json.loads(out.read_text())
+    assert envelope["schema_version"] == SWEEP_SCHEMA_VERSION
+    assert envelope["errors"] == 0
+    assert envelope["telemetry_enabled"] is False
+    assert "hits" in envelope["cache_stats"]
+    rows = envelope["rows"]
+    assert len(rows) == envelope["grid_size"] == len(demo_grid(n=1000))
+    assert envelope["fresh"] + envelope["cached"] == len(rows)
     assert all("result" in r for r in rows)
     assert any("l1" in r["result"] for r in rows)  # hierarchy rows present
 
@@ -155,7 +203,7 @@ def test_cli_hierarchy_axes(tmp_path, capsys):
                "--workers", "1", "--cache-dir", str(tmp_path / "rc"),
                "--out", str(out)])
     assert rc == 0
-    rows = json.loads(out.read_text())
+    rows = json.loads(out.read_text())["rows"]
     assert len(rows) == 1
     cfg = rows[0]["config"]
     assert cfg["config"]["l1"] == {"num_sets": 8, "ways": 2, "line_size": 64}
@@ -163,6 +211,54 @@ def test_cli_hierarchy_axes(tmp_path, capsys):
     assert cfg["policy"]["params"]["min_l1_misses"] == 2
     assert rows[0]["result"]["l2"]["policy_stats"]["min_l1_misses"] == 2
     assert "MPKI" in capsys.readouterr().out
+
+
+def test_build_envelope_aggregates_rows():
+    rows = [
+        {"config": {}, "result": {}, "cached": True},
+        {"config": {}, "result": {}, "cached": False,
+         "worker": {"pid": 11, "elapsed_s": 0.5}},
+        {"config": {}, "error": "ValueError: boom", "cached": False,
+         "worker": {"pid": 11, "elapsed_s": 0.25}},
+    ]
+    env = build_envelope(rows, seed=7, elapsed_s=1.5,
+                         cache_stats={"hits": 1, "misses": 2}, telemetry=True)
+    assert env["schema_version"] == SWEEP_SCHEMA_VERSION
+    assert (env["grid_size"], env["fresh"], env["cached"], env["errors"]) == (3, 1, 1, 1)
+    assert env["seed"] == 7 and env["telemetry_enabled"] is True
+    assert env["workers"]["11"] == {"configs": 2, "elapsed_s": 0.75}
+    assert env["cache_stats"] == {"hits": 1, "misses": 2}
+
+
+def test_cli_telemetry_flag_embeds_payload(tmp_path):
+    out = tmp_path / "results.json"
+    rc = main(["--traces", "loop", "--n", "1000", "--policies", "emissary",
+               "--hp-thresholds", "2", "--prob-invs", "8",
+               "--num-sets", "16", "--ways", "4", "--workers", "1",
+               "--cache-dir", str(tmp_path / "rc"), "--telemetry",
+               "--out", str(out)])
+    assert rc == 0
+    envelope = json.loads(out.read_text())
+    assert envelope["telemetry_enabled"] is True
+    telemetry = envelope["rows"][0]["result"]["telemetry"]
+    assert telemetry["counters"]["hp_promotions"] >= 0
+    assert [s["name"] for s in telemetry["spans"]].count("kernel_loop") == 1
+
+
+def test_cli_exits_nonzero_on_config_error(tmp_path, capsys, monkeypatch):
+    import emissary.sweep as sweep_mod
+
+    bad = dict(small_grid()[0].to_dict())
+    bad["trace"] = {"kind": "loop", "n": -1, "seed": 0, "params": {}}
+    monkeypatch.setattr(sweep_mod, "demo_grid", lambda n, seed: [bad])
+    out = tmp_path / "results.json"
+    rc = main(["--demo", "--workers", "1", "--cache-dir", str(tmp_path / "rc"),
+               "--out", str(out)])
+    assert rc == 1
+    assert "ERROR" in capsys.readouterr().out  # the table shows the error row
+    envelope = json.loads(out.read_text())
+    assert envelope["errors"] == 1  # the envelope is still written
+    assert "error" in envelope["rows"][0]
 
 
 def test_cli_single_level_argument_parsing(tmp_path, capsys):
