@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from emissary.policies import PARAM_SCHEMAS, REGISTRY
-from emissary.traces import TraceSpec
+from emissary.traces import FILE_KIND, FrozenParams, TraceSpec
 
 
 class EmissaryDeprecationWarning(DeprecationWarning):
@@ -44,7 +44,7 @@ class PolicySpec:
     """Validated replacement-policy selection: registered name + typed params."""
 
     name: str
-    params: Dict[str, Any] = field(default_factory=dict)
+    params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.name not in REGISTRY:
@@ -60,12 +60,15 @@ class PolicySpec:
                 raise TypeError(
                     f"policy {self.name!r} parameter {key!r} must be "
                     f"{expected.__name__}, got {type(value).__name__}")
-        # Freeze a private copy so later mutation of the caller's dict
-        # cannot change an already-validated spec.
-        object.__setattr__(self, "params", dict(self.params))
+        # Freeze into a canonical immutable mapping: the spec is hashable
+        # and later mutation of the caller's dict cannot change an
+        # already-validated spec (or its results-cache key) in place.
+        object.__setattr__(self, "params", FrozenParams(self.params))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"name": self.name, "params": dict(self.params)}
+        params = self.params.thaw() if isinstance(self.params, FrozenParams) \
+            else dict(self.params)
+        return {"name": self.name, "params": params}
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "PolicySpec":
@@ -172,8 +175,19 @@ class SimRequest:
                    telemetry=bool(d.get("telemetry", False)))
 
 
+def _array_chunks(addresses: Any, chunk_bytes: int):
+    """Split an in-memory address array into chunk-budget-sized views."""
+    import numpy as np
+
+    arr = np.ascontiguousarray(addresses, dtype=np.uint64)
+    step = max(1, chunk_bytes // arr.itemsize)
+    for start in range(0, len(arr), step):
+        yield arr[start:start + step]
+
+
 def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
              engine: str = "batched", telemetry: bool = False,
+             stream: bool = False, chunk_bytes: Optional[int] = None,
              **policy_params: Any):
     """Unified entry point.
 
@@ -181,6 +195,14 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
     dispatches on the config type (single-level vs hierarchy).  The
     legacy array form ``simulate(addresses, policy, ...)`` still works;
     with a string policy it emits :class:`EmissaryDeprecationWarning`.
+
+    ``stream=True`` feeds the trace through the engine in fixed-size
+    chunks (``chunk_bytes``, default :data:`emissary.trace_io.DEFAULT_CHUNK_BYTES`)
+    instead of one array.  For a request whose trace is file-backed
+    (``kind="file"``) the file is read incrementally, so peak memory is
+    bounded by the chunk budget rather than the trace size; synthetic
+    traces are generated once and then split.  Outcomes are bit-identical
+    to the one-shot path.  Streaming requires the batched engine.
 
     ``telemetry=True`` (or a request with ``telemetry=True``) enables
     the instrumentation layer: the returned result's ``telemetry``
@@ -192,13 +214,28 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
                                     HierarchyReferenceEngine)
     from emissary.telemetry import Telemetry
 
+    if chunk_bytes is not None and not stream:
+        raise TypeError("chunk_bytes only applies to stream=True")
+    if stream and engine != "batched":
+        raise ValueError("stream=True requires engine='batched' "
+                         "(the reference engines have no streaming path)")
+
+    chunks: Any = None
     if isinstance(target, SimRequest):
         if policy is not None or config is not None or policy_params:
             raise TypeError("simulate(SimRequest) takes no policy/config/params "
                             "arguments — they live inside the request")
-        addresses = target.trace.generate()
         spec, config, seed = target.policy, target.config, target.seed
         telemetry = telemetry or target.telemetry
+        if stream and target.trace.kind == FILE_KIND:
+            from emissary import trace_io
+
+            chunks = trace_io.spec_source(
+                target.trace,
+                chunk_bytes=chunk_bytes or trace_io.DEFAULT_CHUNK_BYTES)
+            addresses = None
+        else:
+            addresses = target.trace.generate()
     else:
         addresses = target
         spec = coerce_policy_spec(policy, policy_params, caller="simulate")
@@ -210,5 +247,12 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
         cls = HierarchyReferenceEngine if hierarchy else ReferenceEngine
     else:
         raise ValueError(f"unknown engine {engine!r} (expected 'batched' or 'reference')")
-    return cls(config, telemetry=Telemetry() if telemetry else None).run(
-        addresses, spec, seed=seed)
+    eng = cls(config, telemetry=Telemetry() if telemetry else None)
+    if stream:
+        if chunks is None:
+            from emissary import trace_io
+
+            chunks = _array_chunks(
+                addresses, chunk_bytes or trace_io.DEFAULT_CHUNK_BYTES)
+        return eng.simulate_stream(chunks, spec, seed=seed)
+    return eng.run(addresses, spec, seed=seed)

@@ -9,11 +9,17 @@ engines (``BatchedHierarchyEngine`` vs the per-access
 ``HierarchyReferenceEngine``), comparing L1 hit vectors and L2 outcomes,
 and writes ``BENCH_hierarchy.json``.
 
+With ``--stream`` the same trace is written to disk (ChampSim gzip and
+``.npy``), streamed back through ``simulate_stream`` at several chunk
+budgets, checked bit-identical against the in-memory one-shot run, and
+the streamed throughput is written to ``BENCH_stream.json``.
+
 Usage::
 
     python -m emissary.bench                 # 1M accesses, all policies
     python -m emissary.bench --n 100000 --policies lru,emissary
     python -m emissary.bench --hierarchy     # two-level engine benchmark
+    python -m emissary.bench --stream        # chunked streaming benchmark
 """
 
 from __future__ import annotations
@@ -23,7 +29,9 @@ import datetime
 import json
 import platform
 import sys
-from typing import Any, Dict, List, Optional
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -157,6 +165,113 @@ def run_hierarchy_bench(n: int = 1_000_000, policies: Optional[List[str]] = None
     report = _report_header("hierarchy_throughput", spec)
     report["hierarchy"] = config.to_dict()
     return _finalize(report, rows, skip_reference)
+
+
+#: Chunk budgets exercised by the streaming benchmark: small enough that
+#: a 1M-access trace crosses many chunk boundaries, up to the reader
+#: default (8 MiB).
+STREAM_CHUNK_BYTES = (256 << 10, 1 << 20, 8 << 20)
+STREAM_FORMATS = ("champsim.gz", "npy")
+
+
+def run_stream_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
+                     trace_kind: str = "loop", seed: int = 42,
+                     config: Optional[CacheConfig] = None,
+                     chunk_sizes: Sequence[int] = STREAM_CHUNK_BYTES,
+                     formats: Sequence[str] = STREAM_FORMATS,
+                     repeats: int = 3) -> Dict[str, Any]:
+    """Benchmark chunked streaming against the in-memory one-shot path.
+
+    The synthetic trace is materialized once, written to disk in each
+    ``formats`` entry, then for every policy x format x chunk budget the
+    file is re-opened and fed through
+    :meth:`~emissary.engine.BatchedEngine.simulate_stream`.  Each
+    streamed run's hit vector and policy stats must be bit-identical to
+    the one-shot run — the report carries ``outcomes_identical`` per
+    combination and CI fails on any mismatch.  Streamed timings include
+    file decode, so ``relative_throughput`` is the honest cost of
+    bounding memory by the chunk budget.
+    """
+    from emissary import trace_io
+
+    config = config or CacheConfig()
+    policies = policies or list(POLICY_NAMES)
+    footprint = int(config.num_sets * config.ways * 1.5)
+    spec = TraceSpec(trace_kind, n, seed, {"footprint_lines": footprint}
+                     if trace_kind in ("loop", "shift") else {})
+    addresses = spec.generate()
+
+    rows: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="emissary_bench_") as td:
+        files = {}
+        for fmt in formats:
+            path = Path(td) / f"trace.{fmt}"
+            trace_io.write_trace(path, [addresses], format=fmt)
+            files[fmt] = path
+
+        for policy_spec in _bench_specs(policies):
+            baseline = _best_of(BatchedEngine(config), addresses, policy_spec,
+                                seed, repeats)
+            row: Dict[str, Any] = {
+                "policy": policy_spec.name,
+                "in_memory": baseline.to_dict(),
+                "hit_rate": baseline.hit_rate,
+                "mpki": baseline.mpki,
+                "streams": [],
+            }
+            for fmt, path in files.items():
+                for chunk_bytes in chunk_sizes:
+                    best = None
+                    for _ in range(max(1, repeats)):
+                        source = trace_io.open_trace(path, chunk_bytes=chunk_bytes)
+                        result = BatchedEngine(config).simulate_stream(
+                            source, policy_spec, seed=seed)
+                        if best is None or result.elapsed_s < best.elapsed_s:
+                            best = result
+                    identical = bool(
+                        np.array_equal(best.hits, baseline.hits)
+                        and best.policy_stats == baseline.policy_stats)
+                    row["streams"].append({
+                        "format": fmt,
+                        "chunk_bytes": chunk_bytes,
+                        "elapsed_s": best.elapsed_s,
+                        "accesses_per_s": best.accesses_per_s,
+                        "relative_throughput":
+                            best.accesses_per_s / baseline.accesses_per_s,
+                        "outcomes_identical": identical,
+                    })
+            row["outcomes_identical"] = all(s["outcomes_identical"]
+                                            for s in row["streams"])
+            rows.append(row)
+
+    report = _report_header("stream_throughput", spec)
+    report["cache"] = config.to_dict()
+    report["chunk_bytes"] = list(chunk_sizes)
+    report["formats"] = list(formats)
+    report["policies"] = rows
+    report["all_outcomes_identical"] = all(r["outcomes_identical"] for r in rows)
+    return report
+
+
+def _summarize_stream(report: Dict[str, Any]) -> str:
+    lines = [f"trace={report['trace']['kind']} n={report['trace']['n']} "
+             f"cache={report['cache']} formats={','.join(report['formats'])}"]
+    header = (f"{'policy':<10} {'format':<12} {'chunk':>8} {'Macc/s':>8} "
+              f"{'vs memory':>10} {'identical':>9}")
+    lines += [header, "-" * len(header)]
+    for row in report["policies"]:
+        mem = row["in_memory"]["accesses_per_s"]
+        lines.append(f"{row['policy']:<10} {'(in memory)':<12} {'-':>8} "
+                     f"{mem / 1e6:>8.2f} {'1.00x':>10} {'-':>9}")
+        for s in row["streams"]:
+            chunk = f"{s['chunk_bytes'] >> 10}K"
+            lines.append(f"{'':<10} {s['format']:<12} {chunk:>8} "
+                         f"{s['accesses_per_s'] / 1e6:>8.2f} "
+                         f"{s['relative_throughput']:>9.2f}x "
+                         f"{str(s['outcomes_identical']):>9}")
+    lines.append(f"\nall streamed outcomes identical: "
+                 f"{report['all_outcomes_identical']}")
+    return "\n".join(lines)
 
 
 def run_telemetry_overhead_bench(n: int = 200_000,
@@ -297,6 +412,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--l1-ways", type=int, default=8)
     parser.add_argument("--skip-reference", action="store_true",
                         help="benchmark only the batched engine (no oracle cross-check)")
+    parser.add_argument("--stream", action="store_true",
+                        help="benchmark chunked trace streaming (file formats x "
+                             "chunk budgets) against the in-memory path")
+    parser.add_argument("--chunk-bytes",
+                        default=",".join(str(c) for c in STREAM_CHUNK_BYTES),
+                        help="comma-separated chunk budgets (bytes) for --stream")
     parser.add_argument("--telemetry-overhead", action="store_true",
                         help="run the telemetry-off overhead guard instead of "
                              "the throughput benchmark")
@@ -324,6 +445,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"ERROR: telemetry-off overhead "
                   f"{100 * report['max_off_overhead']:.2f}% exceeds "
                   f"{100 * args.max_overhead:.2f}% budget", file=sys.stderr)
+            return 1
+        return 0
+    if args.stream:
+        report = run_stream_bench(
+            n=args.n, policies=policies, trace_kind=args.trace, seed=args.seed,
+            config=l2,
+            chunk_sizes=[int(c) for c in args.chunk_bytes.split(",") if c],
+            repeats=args.repeats)
+        out = args.out or "BENCH_stream.json"
+        print(_summarize_stream(report))
+        write_report(report, out)
+        print(f"report written to {out}")
+        if not report["all_outcomes_identical"]:
+            print("ERROR: streamed outcomes differ from the in-memory run",
+                  file=sys.stderr)
             return 1
         return 0
     if args.hierarchy:

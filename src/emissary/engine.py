@@ -25,13 +25,21 @@ Randomness: the engine pre-generates one uniform per trace access from a
 single ``numpy.random.Generator`` seeded once per run.  Policies index
 it by global access position, so RNG consumption is identical no matter
 the execution order.
+
+Streaming: :meth:`BatchedEngine.simulate_stream` (and the incremental
+:class:`EngineStream` behind it) accepts the trace as a sequence of
+``uint64`` address chunks — e.g. a :class:`~emissary.trace_io.
+TraceSource` reading a multi-GB file under a memory budget — and carries
+all replacement state, the RNG stream, and the MRU run collapsing across
+chunk boundaries, producing hit vectors and stats bit-identical to the
+one-shot :meth:`BatchedEngine.run` path.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -306,6 +314,271 @@ class BatchedEngine:
             elapsed_s=elapsed,
             hits=hits if keep_hits else None,
             policy_stats=kernel.extra_stats(),
+            telemetry=tel.to_dict() if tel is not None else None,
+        )
+
+    def stream(self, policy: Union[PolicySpec, str], seed: int = 0,
+               keep_hits: bool = True, **policy_params: Any) -> "EngineStream":
+        """Open an incremental :class:`EngineStream` for chunked feeding."""
+        spec = coerce_policy_spec(policy, policy_params,
+                                  caller="BatchedEngine.stream")
+        return EngineStream(self, spec, seed=seed, keep_hits=keep_hits)
+
+    def simulate_stream(self, chunks: Iterable[np.ndarray],
+                        policy: Union[PolicySpec, str], seed: int = 0,
+                        keep_hits: bool = True,
+                        cost_chunks: Optional[Iterable[np.ndarray]] = None,
+                        **policy_params: Any) -> SimResult:
+        """Run ``policy`` over a chunked trace in bounded memory.
+
+        ``chunks`` is any iterable of ``uint64`` address arrays in trace
+        order — typically a :class:`~emissary.trace_io.TraceSource`
+        reading a file under a memory budget.  Outcomes (hit vector,
+        counts, policy stats) are bit-identical to :meth:`run` on the
+        concatenated trace.  ``cost_chunks``, when given, must yield one
+        cost array per address chunk (aligned lengths).
+        """
+        stream = self.stream(policy, seed=seed, keep_hits=keep_hits,
+                             **policy_params)
+        span = span_factory(self.telemetry)
+        cost_iter = iter(cost_chunks) if cost_chunks is not None else None
+        chunk_iter = iter(chunks)
+        while True:
+            with span("stream_ingest"):
+                chunk = next(chunk_iter, None)
+            if chunk is None:
+                break
+            cost = next(cost_iter) if cost_iter is not None else None
+            stream.feed(chunk, cost=cost)
+        return stream.finish()
+
+
+class EngineStream:
+    """Incremental counterpart of :meth:`BatchedEngine.run`.
+
+    Feed ``uint64`` address chunks in trace order with :meth:`feed`; all
+    replacement state (per-set kernel state, the RNG stream, MRU run
+    collapsing) carries across chunk boundaries, so the assembled result
+    is bit-identical to running the concatenated trace in one shot —
+    while only one chunk (plus O(1) carried state) is resident at a time.
+
+    The subtlety is run collapsing at chunk boundaries: an access's
+    repeat flag (a fill immediately re-referenced — SRRIP inserts it at
+    RRPV 0) and its folded-hit count are only knowable once its MRU run
+    *ends*, which may be several chunks later.  The stream therefore
+    holds back each chunk's trailing run as a compressed carry
+    ``(line, u, cost, length)`` — O(1) memory however long the run —
+    and dispatches it the moment a different line arrives (or the
+    stream is flushed).  Consequently :meth:`feed` returns outcomes for
+    the accesses it *resolved*, which can trail the accesses fed so far
+    by one run.
+    """
+
+    def __init__(self, engine: "BatchedEngine", spec: PolicySpec, seed: int = 0,
+                 keep_hits: bool = True) -> None:
+        config = engine.config
+        self.config = config
+        self.spec = spec
+        self.keep_hits = keep_hits
+        self.collapse_runs = engine.collapse_runs
+        self.telemetry = engine.telemetry
+        self._span = span_factory(self.telemetry)
+        self.kernel = make_kernel(spec.name, config.num_sets, config.ways,
+                                  **spec.params)
+        if self.telemetry is not None:
+            self.kernel.attach_telemetry(self.telemetry)
+        self._rng = (np.random.default_rng(seed)
+                     if policy_needs_rng(spec.name) else None)
+        self.n = 0
+        self._edge_count = 0
+        self._hit_count = 0
+        self._hit_chunks: List[np.ndarray] = []
+        self._chunk_index = 0
+        #: Trailing unresolved MRU run: (line, u, cost, length) or None.
+        self._pending: Optional[Tuple[int, Optional[float], Optional[int], int]] = None
+        self._flushed = False
+        self._start = time.perf_counter()
+
+    def feed(self, addresses: np.ndarray,
+             cost: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Process the next chunk of addresses (with optional per-access cost).
+
+        Returns ``(hits, miss_lines)`` for the accesses *resolved* by
+        this call: ``hits`` is their hit/miss outcomes in access order
+        (cumulatively concatenating to the one-shot hit vector), and
+        ``miss_lines`` the line numbers of the missing accesses in
+        order — what a hierarchy feeds to the next level.
+        """
+        if self._flushed:
+            raise RuntimeError("stream already flushed; start a new stream")
+        addrs = np.ascontiguousarray(addresses, dtype=np.uint64)
+        k_total = len(addrs)
+        if cost is not None:
+            if len(cost) != k_total:
+                raise ValueError(f"cost has {len(cost)} entries for "
+                                 f"{k_total} accesses")
+            if self.kernel.consumes_cost:
+                cost = np.ascontiguousarray(cost, dtype=np.int64)
+            else:
+                cost = None
+        u_chunk = self._rng.random(k_total) if self._rng is not None else None
+        self.n += k_total
+        index = self._chunk_index
+        self._chunk_index += 1
+        if k_total == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.uint64)
+        with self._span("stream_chunk", chunk=index, accesses=k_total):
+            lines = addrs >> np.uint64(self.config.offset_bits)
+
+            if not self.collapse_runs:
+                # Every access is its own length-1 run; nothing is carried.
+                return self._dispatch(lines, u_chunk, cost,
+                                      np.ones(k_total, dtype=np.int64))
+
+            pending = self._pending
+            if pending is not None:
+                pline, pu, pcost, pcount = pending
+                differs = np.flatnonzero(lines != np.uint64(pline))
+                if differs.size == 0:
+                    # Whole chunk continues the carried run.
+                    self._pending = (pline, pu, pcost, pcount + k_total)
+                    return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.uint64)
+                k = int(differs[0])
+                pcount += k
+            else:
+                k = 0
+
+            sub = lines[k:]
+            edge_mask = np.empty(len(sub), dtype=bool)
+            edge_mask[0] = True
+            np.not_equal(sub[1:], sub[:-1], out=edge_mask[1:])
+            edge_pos = np.flatnonzero(edge_mask) + k
+            last_edge = int(edge_pos[-1])
+            inner = edge_pos[:-1]
+
+            run_lines = lines[inner]
+            run_u = u_chunk[inner] if u_chunk is not None else None
+            run_cost = cost[inner] if cost is not None else None
+            run_lengths = np.diff(edge_pos).astype(np.int64)
+            if pending is not None:
+                run_lines = np.concatenate(
+                    [np.array([pline], dtype=np.uint64), run_lines])
+                run_lengths = np.concatenate(
+                    [np.array([pcount], dtype=np.int64), run_lengths])
+                if run_u is not None:
+                    run_u = np.concatenate([np.array([pu]), run_u])
+                if run_cost is not None:
+                    run_cost = np.concatenate(
+                        [np.array([pcost], dtype=np.int64), run_cost])
+            self._pending = (
+                int(lines[last_edge]),
+                float(u_chunk[last_edge]) if u_chunk is not None else None,
+                int(cost[last_edge]) if cost is not None else None,
+                k_total - last_edge,
+            )
+            return self._dispatch(run_lines, run_u, run_cost, run_lengths)
+
+    def _dispatch(self, run_lines: np.ndarray, run_u: Optional[np.ndarray],
+                  run_cost: Optional[np.ndarray],
+                  run_lengths: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the resolved runs' edge accesses through the kernel
+        (set-major, exactly like the one-shot path) and expand outcomes
+        back to per-access hits."""
+        m = len(run_lines)
+        if m == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.uint64)
+        config = self.config
+        kernel = self.kernel
+        tel = self.telemetry
+        rep = run_lengths > 1 if kernel.needs_repeat_flags else None
+        extra = run_lengths - 1 if tel is not None else None
+
+        set_idx = (run_lines & np.uint64(config.num_sets - 1)).astype(np.int64)
+        tags = (run_lines >> np.uint64(config.set_bits)).astype(np.int64)
+        order = np.argsort(set_idx, kind="stable")
+        sorted_sets = set_idx[order]
+        sorted_tags = tags[order]
+        sorted_u = run_u[order] if run_u is not None else None
+        sorted_rep = rep[order] if rep is not None else None
+        sorted_cost = run_cost[order] if run_cost is not None else None
+        sorted_extra = extra[order] if extra is not None else None
+
+        # Only the sets this batch actually touches (chunks are usually
+        # much smaller than the whole trace, so scanning every set per
+        # chunk would dominate).
+        present, first = np.unique(sorted_sets, return_index=True)
+        bounds = np.append(first, m)
+        sorted_hits = np.empty(m, dtype=bool)
+        for which, s in enumerate(present.tolist()):
+            lo = int(bounds[which])
+            hi = int(bounds[which + 1])
+            chunk_u = sorted_u[lo:hi].tolist() if sorted_u is not None else None
+            chunk_rep = (sorted_rep[lo:hi].tolist()
+                         if sorted_rep is not None else None)
+            chunk_cost = (sorted_cost[lo:hi].tolist()
+                          if sorted_cost is not None else None)
+            chunk_extra = (sorted_extra[lo:hi].tolist()
+                           if sorted_extra is not None else None)
+            sorted_hits[lo:hi] = kernel.run_set(s, sorted_tags[lo:hi].tolist(),
+                                                chunk_u, chunk_rep, chunk_cost,
+                                                chunk_extra)
+        edge_hits = np.empty(m, dtype=bool)
+        edge_hits[order] = sorted_hits
+
+        # Expand run outcomes to per-access hits: each run contributes
+        # its edge outcome followed by (length - 1) collapsed hits.
+        total = int(run_lengths.sum())
+        hits = np.ones(total, dtype=bool)
+        starts = np.cumsum(run_lengths) - run_lengths
+        hits[starts] = edge_hits
+        self._edge_count += m
+        self._hit_count += int(hits.sum())
+        if self.keep_hits:
+            self._hit_chunks.append(hits)
+        return hits, run_lines[~edge_hits]
+
+    def flush(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Resolve the carried trailing run (stream end).  Returns its
+        ``(hits, miss_lines)``; :meth:`feed` is an error afterwards."""
+        if self._flushed:
+            raise RuntimeError("stream already flushed")
+        self._flushed = True
+        pending = self._pending
+        self._pending = None
+        if pending is None:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.uint64)
+        pline, pu, pcost, pcount = pending
+        return self._dispatch(
+            np.array([pline], dtype=np.uint64),
+            np.array([pu]) if pu is not None else None,
+            np.array([pcost], dtype=np.int64) if pcost is not None else None,
+            np.array([pcount], dtype=np.int64))
+
+    def finish(self) -> SimResult:
+        """Flush (if not already flushed) and assemble the SimResult."""
+        if not self._flushed:
+            self.flush()
+        tel = self.telemetry
+        if tel is not None:
+            self.kernel.telemetry_finalize()
+            tel.inc("engine.accesses", self.n)
+            tel.inc("engine.edge_accesses", self._edge_count)
+            tel.inc("engine.collapsed_hits", self.n - self._edge_count)
+            tel.inc("engine.stream_chunks", self._chunk_index)
+            tel.inc("hits", self._hit_count)
+            tel.inc("misses", self.n - self._hit_count)
+        hits: Optional[np.ndarray] = None
+        if self.keep_hits:
+            hits = (np.concatenate(self._hit_chunks) if self._hit_chunks
+                    else np.zeros(0, dtype=bool))
+        return SimResult(
+            policy=self.spec.name,
+            n=self.n,
+            hit_count=self._hit_count,
+            miss_count=self.n - self._hit_count,
+            elapsed_s=time.perf_counter() - self._start,
+            hits=hits,
+            policy_stats=self.kernel.extra_stats(),
             telemetry=tel.to_dict() if tel is not None else None,
         )
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
 
 import numpy as np
 
@@ -220,6 +220,84 @@ class BatchedHierarchyEngine:
             telemetry_payload = tel.to_dict()
         return HierarchyResult(policy=spec.name, n=n, l1=l1_result, l2=l2_result,
                                elapsed_s=elapsed, telemetry=telemetry_payload)
+
+    def simulate_stream(self, chunks: Iterable[np.ndarray],
+                        policy: Union[PolicySpec, str], seed: int = 0,
+                        keep_hits: bool = True,
+                        **policy_params: Any) -> HierarchyResult:
+        """Run the two-level hierarchy over a chunked trace in bounded memory.
+
+        ``chunks`` is any iterable of ``uint64`` address arrays in trace
+        order (e.g. a :class:`~emissary.trace_io.TraceSource`).  Both
+        stages run as incremental :class:`~emissary.engine.EngineStream`\\ s:
+        each resolved L1I chunk's miss lines flow straight into the L2
+        stream together with their running L1I miss counts, which carry
+        across chunk boundaries in a per-line counter table.  L1/L2 hit
+        vectors and per-level stats are bit-identical to :meth:`run` on
+        the concatenated trace.
+        """
+        spec = coerce_policy_spec(policy, policy_params,
+                                  caller="BatchedHierarchyEngine.simulate_stream")
+        config = self.config
+        tel = self.telemetry
+        span = span_factory(tel)
+        l1_tel = Telemetry() if tel is not None else None
+        l2_tel = Telemetry() if tel is not None else None
+        start = time.perf_counter()
+
+        l1_engine = BatchedEngine(config.l1, collapse_runs=self.collapse_runs,
+                                  telemetry=l1_tel)
+        l2_engine = BatchedEngine(config.l2, collapse_runs=self.collapse_runs,
+                                  telemetry=l2_tel)
+        l1_stream = l1_engine.stream(PolicySpec(config.l1_policy), seed=seed,
+                                     keep_hits=keep_hits)
+        l2_stream = l2_engine.stream(spec, seed=seed, keep_hits=keep_hits)
+
+        offset_bits = np.uint64(config.l1.offset_bits)
+        miss_counts: Dict[int, int] = {}
+
+        def advance(miss_lines: np.ndarray) -> None:
+            """Extend the running per-line L1I miss counts and feed the
+            resolved miss stream (with measured costs) into L2."""
+            if len(miss_lines) == 0:
+                return
+            with span("miss_extract"):
+                uniq, inverse = np.unique(miss_lines, return_inverse=True)
+                prior = np.fromiter((miss_counts.get(int(line), 0)
+                                     for line in uniq.tolist()),
+                                    dtype=np.int64, count=len(uniq))
+                cost = prior[inverse] + running_miss_counts(miss_lines)
+                totals = prior + np.bincount(inverse, minlength=len(uniq))
+                for line, total in zip(uniq.tolist(), totals.tolist()):
+                    miss_counts[line] = int(total)
+            l2_stream.feed(miss_lines << offset_bits, cost=cost)
+
+        chunk_iter = iter(chunks)
+        while True:
+            with span("stream_ingest"):
+                chunk = next(chunk_iter, None)
+            if chunk is None:
+                break
+            _, miss_lines = l1_stream.feed(chunk)
+            advance(miss_lines)
+        _, tail_miss = l1_stream.flush()
+        advance(tail_miss)
+
+        l1_result = l1_stream.finish()
+        l2_result = l2_stream.finish()
+        l2_result.policy_stats.setdefault("unique_l1_miss_lines",
+                                          len(miss_counts))
+        elapsed = time.perf_counter() - start
+        telemetry_payload = None
+        if tel is not None:
+            tel.merge_prefixed(l1_tel, "l1.")
+            tel.merge_prefixed(l2_tel, "l2.")
+            l1_result.telemetry = None
+            l2_result.telemetry = None
+            telemetry_payload = tel.to_dict()
+        return HierarchyResult(policy=spec.name, n=l1_result.n, l1=l1_result,
+                               l2=l2_result, elapsed_s=elapsed,
+                               telemetry=telemetry_payload)
 
 
 class HierarchyReferenceEngine:

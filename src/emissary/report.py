@@ -116,7 +116,34 @@ def _telemetry_lines(telemetry: Dict[str, Any]) -> List[str]:
     if engine:
         lines.append("  " + "  ".join(f"{name}={value}"
                                       for name, value in sorted(engine.items())))
+    stream = _stream_digest(telemetry.get("spans", []))
+    if stream:
+        lines.append(stream)
     return lines
+
+
+def _stream_digest(spans: List[Dict[str, Any]]) -> Optional[str]:
+    """One-line chunk-ingest summary for streamed (chunked) runs.
+
+    Streaming engines emit ``stream_ingest`` spans around pulling each
+    chunk from the trace source and ``stream_chunk`` spans around
+    simulating it (hierarchy payloads carry them under ``l1.``/``l2.``
+    prefixes).  Sums both so I/O-bound vs simulate-bound streamed runs
+    are distinguishable straight from the report.
+    """
+    ingest_us = chunk_us = 0.0
+    chunk_count = 0
+    for span in spans:
+        base = span.get("name", "").rsplit(".", 1)[-1]
+        if base == "stream_ingest":
+            ingest_us += span.get("dur_us", 0.0)
+        elif base == "stream_chunk":
+            chunk_us += span.get("dur_us", 0.0)
+            chunk_count += 1
+    if not chunk_count:
+        return None
+    return (f"  stream: {chunk_count} chunk spans, "
+            f"ingest {ingest_us / 1e3:.1f}ms, simulate {chunk_us / 1e3:.1f}ms")
 
 
 def render_report(envelope: Dict[str, Any]) -> str:

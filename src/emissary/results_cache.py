@@ -6,6 +6,17 @@ Each entry stores the config it was computed from, the result payload,
 and a checksum over the payload.  Loading validates the schema, the
 filename/key binding, and the checksum; anything corrupt is skipped with
 a warning (and the sweep recomputes) instead of crashing the run.
+
+Config fields whose name starts with ``_`` are *advisory*: they are
+stored with the entry but excluded from the content key.  File-backed
+trace specs use this for the trace's on-disk location
+(``params["_path"]``) — the key binds to the file's SHA-256, so moving
+or renaming the file never invalidates cached results.
+
+Stores are concurrency-safe: each writer stages the entry under its own
+unique temp name and atomically renames it into place, so concurrent
+workers publishing the same key can never interleave writes into one
+temp file and expose torn JSON.
 """
 
 from __future__ import annotations
@@ -13,6 +24,8 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import os
+import uuid
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -46,8 +59,20 @@ def _as_config_dict(config: Any) -> Dict[str, Any]:
                     f"got {type(config).__name__}")
 
 
+def strip_advisory(obj: Any) -> Any:
+    """Drop ``_``-prefixed dict keys recursively (they carry location
+    hints, not content identity, and must not affect the cache key)."""
+    if isinstance(obj, dict):
+        return {k: strip_advisory(v) for k, v in obj.items()
+                if not k.startswith("_")}
+    if isinstance(obj, list):
+        return [strip_advisory(v) for v in obj]
+    return obj
+
+
 def config_key(config: Any) -> str:
-    return hashlib.sha256(canonical_json(_as_config_dict(config)).encode()).hexdigest()
+    canonical = canonical_json(strip_advisory(_as_config_dict(config)))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def _result_checksum(result: Dict[str, Any]) -> str:
@@ -127,7 +152,14 @@ class ResultsCache:
             "checksum": _result_checksum(result),
         }
         path = self._path(key)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(entry, indent=1, sort_keys=True))
-        tmp.replace(path)  # atomic publish: readers never see partial JSON
+        # Unique per-writer staging name: a shared tmp path would let two
+        # workers storing the same key interleave writes and publish torn
+        # JSON.  pid + uuid keeps names unique across processes and
+        # threads; the final rename is the atomic publish either way.
+        tmp = path.with_name(f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        try:
+            tmp.write_text(json.dumps(entry, indent=1, sort_keys=True))
+            tmp.replace(path)  # atomic publish: readers never see partial JSON
+        finally:
+            tmp.unlink(missing_ok=True)
         return path

@@ -39,7 +39,7 @@ from emissary.hierarchy import BatchedHierarchyEngine, HierarchyConfig
 from emissary.policies import POLICY_NAMES
 from emissary.results_cache import DEFAULT_CACHE_DIR, ResultsCache
 from emissary.telemetry import Telemetry
-from emissary.traces import TraceSpec
+from emissary.traces import FILE_KIND, TraceSpec
 
 logger = logging.getLogger(__name__)
 
@@ -75,16 +75,27 @@ def run_config(config: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: simulate one configuration, return plain dicts.
 
     A config with ``"telemetry": true`` runs instrumented; its result
-    dict then carries the telemetry payload.
+    dict then carries the telemetry payload.  File-backed traces
+    (``kind="file"``) are *streamed* from disk in chunk-budget-sized
+    pieces rather than materialized, so a worker's peak memory stays
+    bounded by the chunk budget however large the trace file is.
     """
     request = SimRequest.from_dict(config)
-    addresses = request.trace.generate()
     telemetry = Telemetry() if request.telemetry else None
     if request.is_hierarchy:
         engine: Any = BatchedHierarchyEngine(request.config, telemetry=telemetry)
     else:
         engine = BatchedEngine(request.config, telemetry=telemetry)
-    result = engine.run(addresses, request.policy, seed=request.seed, keep_hits=False)
+    if request.trace.kind == FILE_KIND:
+        from emissary import trace_io
+
+        source = trace_io.spec_source(request.trace)
+        result = engine.simulate_stream(source, request.policy,
+                                        seed=request.seed, keep_hits=False)
+    else:
+        addresses = request.trace.generate()
+        result = engine.run(addresses, request.policy, seed=request.seed,
+                            keep_hits=False)
     return result.to_dict()
 
 
@@ -294,7 +305,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--demo", action="store_true",
                         help="run the built-in demonstration sweep")
     parser.add_argument("--traces", default="loop,shift,call",
-                        help="comma-separated trace kinds")
+                        help="comma-separated trace kinds (pass '' to sweep "
+                             "only --trace-file traces)")
+    parser.add_argument("--trace-file", action="append", default=[],
+                        metavar="PATH",
+                        help="add a trace file (ChampSim binary, .gz variant, "
+                             ".npy, or .npz) as a sweep trace; repeatable. "
+                             "Workers stream the file in bounded-memory chunks")
     parser.add_argument("--n", type=int, default=200_000, help="accesses per trace")
     parser.add_argument("--policies", default=",".join(POLICY_NAMES),
                         help="comma-separated policy names")
@@ -328,6 +345,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     logging.basicConfig(level=logging.INFO, format="%(levelname)s %(message)s")
 
     if args.demo:
+        if args.trace_file:
+            parser.error("--trace-file cannot be combined with --demo")
         grid = demo_grid(n=args.n, seed=args.seed)
     else:
         l2 = CacheConfig(num_sets=args.num_sets, ways=args.ways)
@@ -344,6 +363,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         }
         traces = [TraceSpec(kind, args.n, args.seed, defaults.get(kind, {}))
                   for kind in args.traces.split(",") if kind]
+        if args.trace_file:
+            from emissary import trace_io
+
+            traces += [trace_io.file_spec(path) for path in args.trace_file]
         policies = [p for p in args.policies.split(",") if p]
         grid = build_grid(traces, policies, cache, args.seed,
                           [int(x) for x in args.hp_thresholds.split(",") if x],

@@ -1,0 +1,485 @@
+"""Trace file I/O: ChampSim-style binary, gzip variants, ``.npy``/``.npz``.
+
+EMISSARY's evaluation lives on real instruction streams, and the
+trace-driven simulator ecosystem (ChampSim, MANA, the BSC front-end
+studies) exchanges them as packed binary instruction records.  This
+module reads and writes those files and exposes every format as a
+:class:`TraceSource`: an iterable of fixed-size ``uint64`` byte-address
+chunks under a configurable memory budget, which the engines'
+``simulate_stream`` entry points consume so multi-GB traces run in
+bounded memory.
+
+Formats
+-------
+
+``champsim``
+    Packed 64-byte instruction records (little-endian), matching
+    ChampSim's ``trace_instr_format``: ``ip`` (u64), ``is_branch`` /
+    ``branch_taken`` (u8), 2 destination + 4 source register ids (u8),
+    2 destination + 4 source memory operands (u64).  Only ``ip`` — the
+    instruction fetch address — drives an instruction-cache simulation;
+    the writer zero-fills the rest.
+``champsim.gz``
+    The same records gzip-compressed (``.gz`` suffix), decompressed
+    incrementally while streaming.
+``npy``
+    A 1-D unsigned integer array of byte addresses, memory-mapped so
+    chunks are sliced straight off the file without loading it.
+``npz``
+    The same array inside a (compressed) NumPy archive under the key
+    ``"addresses"``.  Zip members cannot be memory-mapped, so this
+    format decompresses fully on open — prefer ``npy`` or
+    ``champsim.gz`` for traces that must stream in bounded memory.
+
+File-backed trace specs
+-----------------------
+
+:func:`file_spec` turns a trace file into a
+:class:`~emissary.traces.TraceSpec` with ``kind="file"``.  The spec's
+content identity — and therefore its results-cache key — is the file's
+SHA-256 (``params["sha256"]``); the on-disk location travels in the
+advisory ``params["_path"]``, which the cache excludes from the key, so
+a moved or renamed trace file keeps every cached result.
+
+CLI
+---
+
+::
+
+    python -m emissary.trace_io inspect trace.champsim.gz
+    python -m emissary.trace_io convert trace.champsim trace.npy
+    python -m emissary.trace_io convert synth:call out.champsim.gz \
+        --n 1000000 --seed 42 --param num_callees=128
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import hashlib
+import sys
+from pathlib import Path
+from typing import Any, BinaryIO, Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from emissary.traces import FILE_KIND, GENERATORS, LINE_BYTES, TraceSpec
+
+#: Default streaming memory budget: 8 MiB of addresses per chunk.
+DEFAULT_CHUNK_BYTES = 8 << 20
+
+#: ChampSim's packed ``trace_instr_format`` (64 bytes per instruction).
+CHAMPSIM_DTYPE = np.dtype([
+    ("ip", "<u8"),
+    ("is_branch", "u1"),
+    ("branch_taken", "u1"),
+    ("destination_registers", "u1", (2,)),
+    ("source_registers", "u1", (4,)),
+    ("destination_memory", "<u8", (2,)),
+    ("source_memory", "<u8", (4,)),
+])
+assert CHAMPSIM_DTYPE.itemsize == 64
+
+FORMATS = ("champsim", "champsim.gz", "npy", "npz")
+
+#: Raw (uncompressed) ChampSim record suffixes.
+_RAW_SUFFIXES = (".champsim", ".bin", ".trace")
+
+
+def detect_format(path: str | Path) -> str:
+    """Infer the trace format from the file name."""
+    name = str(path).lower()
+    if name.endswith(".npy"):
+        return "npy"
+    if name.endswith(".npz"):
+        return "npz"
+    if name.endswith(".gz"):
+        return "champsim.gz"
+    if name.endswith(_RAW_SUFFIXES):
+        return "champsim"
+    raise ValueError(
+        f"cannot infer trace format from {str(path)!r}; expected a suffix in "
+        f"{_RAW_SUFFIXES} (raw ChampSim records), .gz (gzip ChampSim), "
+        f".npy, or .npz")
+
+
+def file_sha256(path: str | Path) -> str:
+    """Streaming SHA-256 of the file's on-disk bytes (the content key)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+class TraceSource:
+    """One trace file, iterable as bounded ``uint64`` address chunks.
+
+    ``chunk_bytes`` is the memory budget for a single yielded chunk (the
+    engines hold at most one chunk plus carried state at a time).  Every
+    yielded array is a fresh contiguous ``uint64`` buffer — safe to hold
+    across iterations.
+    """
+
+    format: str = "?"
+
+    def __init__(self, path: str | Path,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        if chunk_bytes < 8:
+            raise ValueError("chunk_bytes must be at least 8 (one address)")
+        self.path = Path(path)
+        self.chunk_bytes = chunk_bytes
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        raise NotImplementedError
+
+    def count(self) -> int:
+        """Number of accesses in the trace (may scan the file once)."""
+        raise NotImplementedError
+
+    def read_all(self) -> np.ndarray:
+        """The whole trace in memory (chunks concatenated)."""
+        chunks = list(self)
+        if not chunks:
+            return np.zeros(0, dtype=np.uint64)
+        return np.concatenate(chunks)
+
+
+class ChampSimSource(TraceSource):
+    """Raw or gzip-compressed packed instruction records -> fetch addresses."""
+
+    def __init__(self, path: str | Path,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                 compressed: Optional[bool] = None) -> None:
+        super().__init__(path, chunk_bytes)
+        if compressed is None:
+            compressed = str(path).lower().endswith(".gz")
+        self.compressed = compressed
+        self.format = "champsim.gz" if compressed else "champsim"
+
+    def _open(self) -> BinaryIO:
+        if self.compressed:
+            return gzip.open(self.path, "rb")  # type: ignore[return-value]
+        return open(self.path, "rb")
+
+    def _records_per_chunk(self) -> int:
+        return max(1, self.chunk_bytes // CHAMPSIM_DTYPE.itemsize)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        record_bytes = CHAMPSIM_DTYPE.itemsize
+        read_bytes = self._records_per_chunk() * record_bytes
+        with self._open() as fh:
+            while True:
+                buf = fh.read(read_bytes)
+                if not buf:
+                    return
+                if len(buf) % record_bytes:
+                    raise ValueError(
+                        f"{self.path}: truncated ChampSim trace — trailing "
+                        f"{len(buf) % record_bytes} bytes do not form a "
+                        f"{record_bytes}-byte record")
+                records = np.frombuffer(buf, dtype=CHAMPSIM_DTYPE)
+                yield np.ascontiguousarray(records["ip"], dtype=np.uint64)
+
+    def count(self) -> int:
+        record_bytes = CHAMPSIM_DTYPE.itemsize
+        if not self.compressed:
+            size = self.path.stat().st_size
+            if size % record_bytes:
+                raise ValueError(f"{self.path}: size {size} is not a multiple "
+                                 f"of the {record_bytes}-byte record")
+            return size // record_bytes
+        # Compressed: the payload size is only knowable by decompressing.
+        total = 0
+        with self._open() as fh:
+            for block in iter(lambda: fh.read(1 << 20), b""):
+                total += len(block)
+        if total % record_bytes:
+            raise ValueError(f"{self.path}: decompressed size {total} is not "
+                             f"a multiple of the {record_bytes}-byte record")
+        return total // record_bytes
+
+
+class NpySource(TraceSource):
+    """``.npy`` address array, memory-mapped and sliced per chunk."""
+
+    format = "npy"
+
+    def _mmap(self) -> np.ndarray:
+        arr = np.load(self.path, mmap_mode="r")
+        if arr.ndim != 1 or arr.dtype.kind not in "ui":
+            raise ValueError(f"{self.path}: expected a 1-D unsigned/integer "
+                             f"address array, got {arr.dtype} {arr.shape}")
+        return arr
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        arr = self._mmap()
+        step = max(1, self.chunk_bytes // 8)
+        for lo in range(0, len(arr), step):
+            yield np.ascontiguousarray(arr[lo:lo + step], dtype=np.uint64)
+
+    def count(self) -> int:
+        return int(len(self._mmap()))
+
+
+class NpzSource(TraceSource):
+    """``.npz`` archive holding the address array under ``"addresses"``.
+
+    Zip members cannot be memory-mapped; the array is materialized on
+    first use (chunking then only bounds the handoff size, not the
+    resident set — prefer ``npy`` / ``champsim.gz`` for huge traces).
+    """
+
+    format = "npz"
+
+    def _load(self) -> np.ndarray:
+        with np.load(self.path) as archive:
+            names = archive.files
+            key = "addresses" if "addresses" in names else None
+            if key is None:
+                if len(names) != 1:
+                    raise ValueError(
+                        f"{self.path}: expected an 'addresses' array (or a "
+                        f"single-array archive), found {sorted(names)}")
+                key = names[0]
+            arr = archive[key]
+        if arr.ndim != 1 or arr.dtype.kind not in "ui":
+            raise ValueError(f"{self.path}: expected a 1-D unsigned/integer "
+                             f"address array, got {arr.dtype} {arr.shape}")
+        return np.ascontiguousarray(arr, dtype=np.uint64)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        arr = self._load()
+        step = max(1, self.chunk_bytes // 8)
+        for lo in range(0, len(arr), step):
+            yield arr[lo:lo + step].copy()
+
+    def count(self) -> int:
+        return int(len(self._load()))
+
+
+def open_trace(path: str | Path, chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+               format: Optional[str] = None) -> TraceSource:
+    """Open a trace file as a chunked :class:`TraceSource`."""
+    fmt = format or detect_format(path)
+    if fmt == "champsim":
+        return ChampSimSource(path, chunk_bytes, compressed=False)
+    if fmt == "champsim.gz":
+        return ChampSimSource(path, chunk_bytes, compressed=True)
+    if fmt == "npy":
+        return NpySource(path, chunk_bytes)
+    if fmt == "npz":
+        return NpzSource(path, chunk_bytes)
+    raise ValueError(f"unknown trace format {fmt!r}; known: {FORMATS}")
+
+
+# -- writers ---------------------------------------------------------------
+
+
+def _champsim_records(addresses: np.ndarray) -> np.ndarray:
+    records = np.zeros(len(addresses), dtype=CHAMPSIM_DTYPE)
+    records["ip"] = np.asarray(addresses, dtype=np.uint64)
+    return records
+
+
+def write_trace(path: str | Path, chunks: Iterable[np.ndarray],
+                format: Optional[str] = None) -> int:
+    """Write address chunks to ``path`` (format from suffix unless given).
+
+    ChampSim formats stream chunk by chunk; ``npy``/``npz`` buffer the
+    full array (NumPy's writers are not incremental).  Returns the
+    number of addresses written.
+    """
+    fmt = format or detect_format(path)
+    if isinstance(chunks, np.ndarray):
+        chunks = [chunks]
+    written = 0
+    if fmt in ("champsim", "champsim.gz"):
+        opener = gzip.open if fmt == "champsim.gz" else open
+        with opener(path, "wb") as fh:  # type: ignore[operator]
+            for chunk in chunks:
+                fh.write(_champsim_records(chunk).tobytes())
+                written += len(chunk)
+        return written
+    buffered = [np.ascontiguousarray(c, dtype=np.uint64) for c in chunks]
+    addresses = (np.concatenate(buffered) if buffered
+                 else np.zeros(0, dtype=np.uint64))
+    if fmt == "npy":
+        np.save(path, addresses)
+    elif fmt == "npz":
+        np.savez_compressed(path, addresses=addresses)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}; known: {FORMATS}")
+    return len(addresses)
+
+
+def convert(src: str | Path | TraceSource, dst: str | Path,
+            chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> int:
+    """Convert a trace file (or an opened source) to another format."""
+    source = src if isinstance(src, TraceSource) else open_trace(src, chunk_bytes)
+    return write_trace(dst, iter(source))
+
+
+# -- file-backed TraceSpec -------------------------------------------------
+
+
+def file_spec(path: str | Path, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> TraceSpec:
+    """Describe a trace file as an immutable ``kind="file"`` spec.
+
+    The spec's params carry the content identity (``sha256``, ``format``)
+    plus the advisory ``_path`` (excluded from results-cache keys); its
+    ``n`` is the file's access count.
+    """
+    source = open_trace(path, chunk_bytes)
+    return TraceSpec(FILE_KIND, source.count(), seed=0, params={
+        "sha256": file_sha256(path),
+        "format": source.format,
+        "_path": str(Path(path).resolve()),
+    })
+
+
+def spec_source(spec: TraceSpec,
+                chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                verify: bool = True) -> TraceSource:
+    """Open the :class:`TraceSource` behind a ``kind="file"`` spec.
+
+    ``verify`` re-hashes the file and demands it still matches the
+    spec's ``sha256`` — the spec *is* the cache key, so simulating a
+    file that drifted from its recorded content would poison the cache.
+    """
+    if spec.kind != FILE_KIND:
+        raise ValueError(f"spec kind {spec.kind!r} is not {FILE_KIND!r}")
+    path = spec.params.get("_path")
+    if not path:
+        raise ValueError(
+            "file trace spec carries no '_path' advisory param (it was "
+            "probably rebuilt from a cache entry on another machine); "
+            "re-create it with emissary.trace_io.file_spec(<path>)")
+    if verify:
+        actual = file_sha256(path)
+        if actual != spec.params["sha256"]:
+            raise ValueError(
+                f"{path}: content hash {actual[:16]}... does not match the "
+                f"spec's sha256 {spec.params['sha256'][:16]}... — the file "
+                f"changed since file_spec() recorded it")
+    return open_trace(path, chunk_bytes, format=spec.params.get("format"))
+
+
+def load_spec_addresses(spec: TraceSpec, verify: bool = True) -> np.ndarray:
+    """Load a ``kind="file"`` spec fully into memory (TraceSpec.generate)."""
+    addresses = spec_source(spec, verify=verify).read_all()
+    if len(addresses) != spec.n:
+        raise ValueError(f"{spec.params.get('_path')}: holds {len(addresses)} "
+                         f"accesses but the spec records n={spec.n}")
+    return addresses
+
+
+# -- CLI -------------------------------------------------------------------
+
+_SYNTH_PREFIX = "synth:"
+
+
+def _parse_param(text: str) -> tuple[str, Any]:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"--param needs key=value, got {text!r}")
+    key, raw = text.split("=", 1)
+    try:
+        value: Any = int(raw)
+    except ValueError:
+        try:
+            value = float(raw)
+        except ValueError:
+            value = raw
+    return key, value
+
+
+def _synth_chunks(kind: str, n: int, seed: int,
+                  params: Dict[str, Any]) -> Iterable[np.ndarray]:
+    if kind not in GENERATORS:
+        raise SystemExit(f"unknown synthetic trace kind {kind!r}; "
+                         f"known: {sorted(GENERATORS)}")
+    spec = TraceSpec(kind, n, seed, params)
+    return [spec.generate()]
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    params = dict(args.param or [])
+    if args.src.startswith(_SYNTH_PREFIX):
+        kind = args.src[len(_SYNTH_PREFIX):]
+        chunks = _synth_chunks(kind, args.n, args.seed, params)
+        src_label = f"{kind} (synthetic, n={args.n}, seed={args.seed})"
+    else:
+        if params or args.n != DEFAULT_SYNTH_N or args.seed != 0:
+            print("note: --n/--seed/--param only apply to synth: sources",
+                  file=sys.stderr)
+        chunks = iter(open_trace(args.src, args.chunk_bytes))
+        src_label = args.src
+    written = write_trace(args.dst, chunks)
+    spec = file_spec(args.dst, args.chunk_bytes)
+    print(f"{src_label} -> {args.dst} [{spec.params['format']}]: "
+          f"{written} accesses, sha256 {spec.params['sha256'][:16]}...")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    source = open_trace(args.path, args.chunk_bytes)
+    total = 0
+    lines: set = set()
+    head: List[int] = []
+    for chunk in source:
+        if len(head) < args.head:
+            head.extend(chunk[:args.head - len(head)].tolist())
+        total += len(chunk)
+        lines.update(np.unique(chunk >> np.uint64(
+            LINE_BYTES.bit_length() - 1)).tolist())
+    sha = file_sha256(args.path)
+    print(f"path:         {args.path}")
+    print(f"format:       {source.format}")
+    print(f"accesses:     {total}")
+    print(f"unique lines: {len(lines)} "
+          f"({len(lines) * LINE_BYTES / 1024:.1f} KiB footprint)")
+    print(f"sha256:       {sha}")
+    if head:
+        shown = "  ".join(f"0x{a:x}" for a in head)
+        print(f"head:         {shown}")
+    return 0
+
+
+DEFAULT_SYNTH_N = 1_000_000
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="emissary.trace_io", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    convert_p = sub.add_parser(
+        "convert", help="convert a trace file (or synth:<kind>) to another format")
+    convert_p.add_argument("src", help=f"source trace file, or "
+                                       f"'{_SYNTH_PREFIX}<kind>' for a synthetic "
+                                       f"trace ({', '.join(sorted(GENERATORS))})")
+    convert_p.add_argument("dst", help="destination file (format from suffix)")
+    convert_p.add_argument("--n", type=int, default=DEFAULT_SYNTH_N,
+                           help="synthetic trace length (synth: sources)")
+    convert_p.add_argument("--seed", type=int, default=0,
+                           help="synthetic trace seed (synth: sources)")
+    convert_p.add_argument("--param", type=_parse_param, action="append",
+                           help="synthetic generator parameter key=value "
+                                "(repeatable)")
+    convert_p.add_argument("--chunk-bytes", type=int, default=DEFAULT_CHUNK_BYTES,
+                           help="streaming memory budget per chunk")
+    convert_p.set_defaults(func=_cmd_convert)
+
+    inspect_p = sub.add_parser("inspect", help="summarize a trace file")
+    inspect_p.add_argument("path")
+    inspect_p.add_argument("--head", type=int, default=4,
+                           help="leading addresses to print")
+    inspect_p.add_argument("--chunk-bytes", type=int, default=DEFAULT_CHUNK_BYTES)
+    inspect_p.set_defaults(func=_cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,21 +1,38 @@
-"""Synthetic instruction-stream trace generators.
+"""Synthetic instruction-stream trace generators and trace specs.
 
 Each generator returns a NumPy ``uint64`` array of byte addresses that
 mimics a class of L2 instruction-access behaviour, so the simulator is
 exercisable without external trace files.  Generators are deterministic
 for a given :class:`TraceSpec` (kind, size, params, seed), which is also
 what the sweep runner uses as the content key for its results cache.
+
+Beyond the synthetic kinds, a spec with ``kind="file"`` describes a
+trace stored on disk (ChampSim-style binary, gzip variant, or
+``.npy``/``.npz`` — see :mod:`emissary.trace_io`).  Its content identity
+is the file's SHA-256, carried in ``params["sha256"]``; the location on
+disk travels in the advisory ``params["_path"]`` field, which the
+results cache excludes from the content key, so moving or renaming a
+trace file never invalidates cached results.
+
+:class:`TraceSpec` is genuinely immutable: ``params`` is canonicalized
+into a :class:`FrozenParams` mapping at construction, so a spec is
+hashable and its results-cache key cannot be changed in place after the
+spec has been handed out.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Iterator
 
 import numpy as np
 
 LINE_BYTES = 64
 INSTR_BYTES = 4
+
+#: Spec kind for file-backed traces (read via :mod:`emissary.trace_io`).
+FILE_KIND = "file"
 
 
 def _rng(seed: int) -> np.random.Generator:
@@ -106,6 +123,14 @@ def call_heavy(
     """
     if n <= 0:
         raise ValueError("n must be positive")
+    if caller_lines <= 0:
+        raise ValueError("caller_lines must be positive")
+    if num_callees <= 0:
+        raise ValueError("num_callees must be positive")
+    if callee_lines <= 0:
+        raise ValueError("callee_lines must be positive")
+    if call_period <= 0:
+        raise ValueError("call_period must be positive")
     rng = _rng(seed)
     instrs_per_line = LINE_BYTES // INSTR_BYTES
     callee_base = base + caller_lines * LINE_BYTES * 4
@@ -139,26 +164,116 @@ GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
 }
 
 
+def _freeze_value(value: Any) -> Any:
+    """Recursively convert ``value`` into an immutable, hashable form."""
+    if isinstance(value, FrozenParams):
+        return value
+    if isinstance(value, Mapping):
+        return FrozenParams(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    if isinstance(value, (str, bytes, int, float, bool, type(None))):
+        return value
+    raise TypeError(f"trace/policy parameter values must be JSON-like scalars, "
+                    f"mappings, or sequences; got {type(value).__name__}")
+
+
+def _thaw_value(value: Any) -> Any:
+    if isinstance(value, FrozenParams):
+        return value.thaw()
+    if isinstance(value, tuple):
+        return [_thaw_value(v) for v in value]
+    return value
+
+
+class FrozenParams(Mapping):
+    """Canonical immutable parameter mapping (sorted keys, frozen values).
+
+    Used by :class:`TraceSpec` and :class:`emissary.api.PolicySpec` so
+    the "frozen" dataclasses actually are: the mapping is hashable (the
+    spec can key dicts/sets) and cannot be edited in place, which would
+    silently change the spec's results-cache key after construction.
+    Compares equal to any mapping with the same items, so existing
+    ``spec.params == {...}`` call sites keep working.
+    """
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, mapping: Mapping[str, Any] = ()) -> None:
+        data = {}
+        for key, value in dict(mapping).items():
+            if not isinstance(key, str):
+                raise TypeError(f"parameter names must be strings, got "
+                                f"{type(key).__name__}")
+            data[key] = _freeze_value(value)
+        self._data = {key: data[key] for key in sorted(data)}
+        self._hash = hash(tuple(self._data.items()))
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: Any) -> Any:
+        if isinstance(other, Mapping):
+            return dict(self._data) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"FrozenParams({dict(self._data)!r})"
+
+    def thaw(self) -> Dict[str, Any]:
+        """Plain (mutable, JSON-ready) dict copy with values recursively thawed."""
+        return {key: _thaw_value(value) for key, value in self._data.items()}
+
+
 @dataclass(frozen=True)
 class TraceSpec:
-    """Declarative, immutable description of a synthetic trace."""
+    """Declarative, immutable, hashable description of a trace.
+
+    Synthetic kinds (``loop`` / ``shift`` / ``call``) generate on demand;
+    ``kind="file"`` loads a trace file via :mod:`emissary.trace_io` —
+    build those with :func:`emissary.trace_io.file_spec`, which fills in
+    the content identity (``sha256``, ``format``, record count) and the
+    advisory ``_path``.
+    """
 
     kind: str
     n: int
     seed: int = 0
-    params: Dict[str, Any] = field(default_factory=dict)
+    params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind not in GENERATORS:
-            raise ValueError(f"unknown trace kind {self.kind!r}; known: {sorted(GENERATORS)}")
+        known = sorted(GENERATORS) + [FILE_KIND]
+        if self.kind not in known:
+            raise ValueError(f"unknown trace kind {self.kind!r}; known: {known}")
+        object.__setattr__(self, "params", FrozenParams(self.params))
+        if self.kind == FILE_KIND:
+            sha = self.params.get("sha256")
+            if not isinstance(sha, str) or len(sha) != 64:
+                raise ValueError(
+                    "file trace specs need params['sha256'] (the 64-hex-digit "
+                    "content hash); build them with emissary.trace_io.file_spec()")
 
     def generate(self) -> np.ndarray:
+        if self.kind == FILE_KIND:
+            from emissary import trace_io
+
+            return trace_io.load_spec_addresses(self)
         return GENERATORS[self.kind](self.n, seed=self.seed, **self.params)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"kind": self.kind, "n": self.n, "seed": self.seed, "params": dict(self.params)}
+        return {"kind": self.kind, "n": self.n, "seed": self.seed,
+                "params": self.params.thaw()}
 
     @classmethod
-    def from_dict(cls, d: Dict[str, Any]) -> "TraceSpec":
+    def from_dict(cls, d: Mapping[str, Any]) -> "TraceSpec":
         return cls(kind=d["kind"], n=int(d["n"]), seed=int(d.get("seed", 0)),
                    params=dict(d.get("params", {})))

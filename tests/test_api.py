@@ -46,6 +46,14 @@ class TestPolicySpec:
     def test_round_trip(self):
         spec = PolicySpec("emissary", {"hp_threshold": 4, "prob_inv": 16})
         assert PolicySpec.from_dict(spec.to_dict()) == spec
+        assert isinstance(spec.to_dict()["params"], dict)
+
+    def test_spec_is_frozen_and_hashable(self):
+        a = PolicySpec("emissary", {"hp_threshold": 4})
+        b = PolicySpec("emissary", {"hp_threshold": 4})
+        assert hash(a) == hash(b) and {a: 1}[b] == 1
+        with pytest.raises(TypeError):
+            a.params["hp_threshold"] = 99
 
 
 class TestSimRequest:
@@ -147,3 +155,42 @@ class TestUnifiedSimulate:
                              config=CacheConfig(num_sets=16, ways=4),
                              engine="reference")
         assert np.array_equal(batched.hits, reference.hits)
+
+
+class TestStreamingSimulate:
+    def test_stream_matches_oneshot_for_synthetic_request(self):
+        request = SimRequest(TRACE, PolicySpec("srrip"),
+                             CacheConfig(num_sets=16, ways=4), seed=5)
+        oneshot = simulate(request)
+        streamed = simulate(request, stream=True, chunk_bytes=1024)
+        assert np.array_equal(streamed.hits, oneshot.hits)
+        assert streamed.policy_stats == oneshot.policy_stats
+
+    def test_stream_file_trace_from_disk(self, tmp_path):
+        from emissary import trace_io
+
+        path = tmp_path / "t.champsim.gz"
+        trace_io.write_trace(path, [TRACE.generate()])
+        request = SimRequest(trace_io.file_spec(path), PolicySpec("srrip"),
+                             CacheConfig(num_sets=16, ways=4), seed=5)
+        oneshot = simulate(SimRequest(TRACE, PolicySpec("srrip"),
+                                      CacheConfig(num_sets=16, ways=4), seed=5))
+        streamed = simulate(request, stream=True, chunk_bytes=2048)
+        assert np.array_equal(streamed.hits, oneshot.hits)
+
+    def test_stream_hierarchy_request(self):
+        request = SimRequest(TRACE, PolicySpec("lru"),
+                             HierarchyConfig(l1=CacheConfig(num_sets=8, ways=2),
+                                             l2=CacheConfig(num_sets=16, ways=4)),
+                             seed=5)
+        oneshot = simulate(request)
+        streamed = simulate(request, stream=True, chunk_bytes=1024)
+        assert np.array_equal(streamed.l1.hits, oneshot.l1.hits)
+        assert np.array_equal(streamed.l2.hits, oneshot.l2.hits)
+
+    def test_stream_guards(self):
+        request = SimRequest(TRACE, PolicySpec("lru"))
+        with pytest.raises(TypeError, match="chunk_bytes"):
+            simulate(request, chunk_bytes=1024)
+        with pytest.raises(ValueError, match="batched"):
+            simulate(request, stream=True, engine="reference")

@@ -2,7 +2,7 @@
 
 import json
 
-from emissary.bench import main, run_bench, run_hierarchy_bench
+from emissary.bench import main, run_bench, run_hierarchy_bench, run_stream_bench
 from emissary.engine import CacheConfig
 from emissary.hierarchy import HierarchyConfig
 
@@ -62,6 +62,32 @@ def test_cli_writes_bench_json(tmp_path, capsys):
     assert report["all_outcomes_identical"] is True
     assert report["trace"]["n"] == 3000
     assert capsys.readouterr().out  # summary table printed
+
+
+def test_run_stream_bench_cross_checks_streamed_outcomes():
+    report = run_stream_bench(n=4_000, policies=["lru", "emissary"], seed=3,
+                              config=CacheConfig(num_sets=64, ways=4),
+                              chunk_sizes=[1024, 64 << 10], repeats=1)
+    assert report["benchmark"] == "stream_throughput"
+    assert report["all_outcomes_identical"] is True
+    for row in report["policies"]:
+        # Every format x chunk-budget combination ran and matched.
+        assert len(row["streams"]) == len(report["formats"]) * 2
+        assert all(s["outcomes_identical"] for s in row["streams"])
+        assert all(s["accesses_per_s"] > 0 for s in row["streams"])
+
+
+def test_cli_stream_writes_bench_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_stream_test.json"
+    rc = main(["--stream", "--n", "3000", "--policies", "lru,srrip",
+               "--num-sets", "64", "--ways", "4", "--repeats", "1",
+               "--chunk-bytes", "2048,65536", "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "stream_throughput"
+    assert report["all_outcomes_identical"] is True
+    assert report["chunk_bytes"] == [2048, 65536]
+    assert "identical" in capsys.readouterr().out
 
 
 def test_cli_hierarchy_writes_bench_json(tmp_path, capsys):

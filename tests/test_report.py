@@ -72,6 +72,22 @@ def test_render_report_golden_sections():
     assert "[2] loop/srrip single: ValueError: boom" in report
 
 
+def test_render_report_stream_digest():
+    """Streamed rows (stream_ingest/stream_chunk spans, possibly under
+    l1./l2. prefixes) get a one-line ingest-vs-simulate summary."""
+    envelope = _envelope()
+    telemetry = envelope["rows"][0]["result"]["telemetry"]
+    telemetry["spans"] += [
+        {"name": "l1.stream_chunk", "ts_us": 0.0, "dur_us": 4000.0, "args": {}},
+        {"name": "l2.stream_chunk", "ts_us": 5.0, "dur_us": 2000.0, "args": {}},
+        {"name": "stream_ingest", "ts_us": 9.0, "dur_us": 1500.0, "args": {}},
+    ]
+    report = render_report(envelope)
+    assert "stream: 2 chunk spans, ingest 1.5ms, simulate 6.0ms" in report
+    # Rows without stream spans don't grow the line.
+    assert render_report(_envelope()).count("stream:") == 0
+
+
 def test_load_sweep_output_accepts_legacy_bare_list(tmp_path):
     rows = _envelope()["rows"][:1]
     path = tmp_path / "legacy.json"

@@ -1,8 +1,14 @@
 """Tests for the on-disk results cache and its integrity guard."""
 
 import json
+import threading
 
-from emissary.results_cache import SCHEMA_VERSION, ResultsCache, config_key
+from emissary.results_cache import (
+    SCHEMA_VERSION,
+    ResultsCache,
+    config_key,
+    strip_advisory,
+)
 
 
 CONFIG = {"policy": "lru", "trace": {"kind": "loop", "n": 100}, "seed": 1}
@@ -94,3 +100,65 @@ def test_recompute_after_corruption_heals_cache(tmp_path):
     assert cache.load(CONFIG) is None
     cache.store(CONFIG, RESULT)  # sweep recomputes and overwrites
     assert cache.load(CONFIG) == RESULT
+
+
+def test_concurrent_stores_never_publish_torn_entries(tmp_path):
+    """Regression: writers used to share one ``.<key>.tmp`` staging path,
+    so two threads storing the same key could interleave writes and
+    rename a torn half-written entry into place.  With per-writer unique
+    staging names every published entry is one writer's complete JSON."""
+    cache = ResultsCache(tmp_path)
+    threads_n, rounds = 8, 25
+    errors = []
+
+    def writer(worker: int) -> None:
+        try:
+            for round_no in range(rounds):
+                # Same key every time; payload differs per writer/round so a
+                # torn mix of two writers cannot checksum-validate.
+                cache.store(CONFIG, {**RESULT, "worker": worker,
+                                     "round": round_no})
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,))
+               for i in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # The surviving entry must be exactly one writer's intact payload.
+    loaded = cache.load(CONFIG)
+    assert loaded is not None
+    assert loaded["round"] == rounds - 1
+    assert loaded["worker"] in range(threads_n)
+    # No staging litter left behind.
+    assert not list(tmp_path.glob("*.tmp"))
+    assert not list(tmp_path.glob(".*.tmp"))
+
+
+def test_advisory_fields_excluded_from_key():
+    base = {"trace": {"kind": "file", "n": 10,
+                      "params": {"sha256": "a" * 64, "_path": "/here/t.bin"}}}
+    moved = {"trace": {"kind": "file", "n": 10,
+                       "params": {"sha256": "a" * 64, "_path": "/there/t.bin"}}}
+    edited = {"trace": {"kind": "file", "n": 10,
+                        "params": {"sha256": "b" * 64, "_path": "/here/t.bin"}}}
+    assert config_key(base) == config_key(moved)  # location is advisory
+    assert config_key(base) != config_key(edited)  # content is identity
+
+
+def test_strip_advisory_recurses_and_preserves_rest():
+    obj = {"_top": 1, "keep": {"_inner": 2, "x": [{"_deep": 3, "y": 4}]}}
+    assert strip_advisory(obj) == {"keep": {"x": [{"y": 4}]}}
+
+
+def test_advisory_fields_survive_roundtrip_storage(tmp_path):
+    """The advisory field is stripped from the *key*, not from the stored
+    config, and a spec with a different advisory value still loads."""
+    cache = ResultsCache(tmp_path)
+    config = {"policy": "lru", "_note": "scratch-location"}
+    cache.store(config, RESULT)
+    assert cache.load({"policy": "lru", "_note": "other-location"}) == RESULT
+    assert cache.load({"policy": "lru"}) == RESULT

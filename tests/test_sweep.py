@@ -67,6 +67,55 @@ def test_run_config_hierarchy_returns_per_level_stats():
     assert 0.0 <= result["l2_local_hit_rate"] <= 1.0
 
 
+def _scrub_timing(d):
+    if isinstance(d, dict):
+        return {k: _scrub_timing(v) for k, v in d.items()
+                if k != "elapsed_s" and "per_s" not in k}
+    return d
+
+
+def test_run_config_streams_file_traces(tmp_path):
+    """A file-backed config must produce the same stats as the same
+    addresses simulated from memory (workers stream it chunk by chunk)."""
+    from emissary import trace_io
+
+    synth = small_grid()[0]
+    path = tmp_path / "t.champsim.gz"
+    trace_io.write_trace(path, [synth.trace.generate()])
+    file_request = SimRequest(trace_io.file_spec(path), synth.policy,
+                              synth.config, seed=synth.seed)
+    assert _scrub_timing(run_config(file_request.to_dict())) == \
+        _scrub_timing(run_config(synth.to_dict()))
+
+
+def test_cli_trace_file_sweeps_and_caches(tmp_path, capsys):
+    from emissary import trace_io
+
+    path = tmp_path / "t.npy"
+    trace_io.write_trace(
+        path, [TraceSpec("loop", 2_000, 1, {"footprint_lines": 100}).generate()])
+    args = ["--traces", "", "--trace-file", str(path), "--policies", "lru",
+            "--num-sets", "16", "--ways", "4", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "out.json")]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "file" in out and "1 simulated" in out
+    rows = json.loads((tmp_path / "out.json").read_text())["rows"]
+    assert rows[0]["config"]["trace"]["kind"] == "file"
+    # Second run: everything cached, even after the file moves.
+    moved = tmp_path / "moved.npy"
+    path.rename(moved)
+    args[3] = str(moved)
+    assert main(args) == 0
+    assert "1 cached" in capsys.readouterr().out
+
+
+def test_cli_trace_file_rejected_with_demo(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["--demo", "--trace-file", str(tmp_path / "t.npy")])
+
+
 def test_sweep_serial_and_cached_rerun(tmp_path):
     grid = small_grid()
     rows = run_sweep(grid, workers=1, cache_dir=tmp_path)

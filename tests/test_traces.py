@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from emissary.traces import (
+    FILE_KIND,
     GENERATORS,
     LINE_BYTES,
+    FrozenParams,
     TraceSpec,
     call_heavy,
     looping_code,
@@ -67,3 +69,71 @@ def test_spec_rejects_unknown_kind():
 def test_rejects_nonpositive_n(kind):
     with pytest.raises(ValueError):
         GENERATORS[kind](0)
+
+
+@pytest.mark.parametrize("bad", [
+    {"caller_lines": 0}, {"caller_lines": -3}, {"num_callees": 0},
+    {"callee_lines": 0}, {"callee_lines": -1}, {"call_period": 0},
+    {"call_period": -24},
+])
+def test_call_heavy_rejects_nonpositive_params(bad):
+    # Regression: callee_lines=0 used to crash deep inside rng.integers
+    # (empty range) and call_period<=0 span forever; both now fail fast.
+    (name, _value), = bad.items()
+    with pytest.raises(ValueError, match=name):
+        call_heavy(1000, **bad)
+
+
+class TestFrozenSpec:
+    """TraceSpec is genuinely immutable: params cannot be edited in place."""
+
+    def test_params_frozen_against_source_dict_mutation(self):
+        params = {"footprint_lines": 32}
+        spec = TraceSpec("loop", 1000, 5, params)
+        params["footprint_lines"] = 9999  # caller's dict, not the spec's
+        assert spec.params["footprint_lines"] == 32
+        assert spec.to_dict()["params"] == {"footprint_lines": 32}
+
+    def test_params_reject_in_place_mutation(self):
+        spec = TraceSpec("loop", 1000, 5, {"footprint_lines": 32})
+        with pytest.raises(TypeError):
+            spec.params["footprint_lines"] = 9999
+        with pytest.raises(TypeError):
+            del spec.params["footprint_lines"]
+
+    def test_spec_is_hashable_and_usable_as_key(self):
+        a = TraceSpec("loop", 1000, 5, {"footprint_lines": 32})
+        b = TraceSpec("loop", 1000, 5, {"footprint_lines": 32})
+        c = TraceSpec("loop", 1000, 5, {"footprint_lines": 64})
+        assert a == b and hash(a) == hash(b)
+        assert {a: "x"}[b] == "x"
+        assert len({a, b, c}) == 2
+
+    def test_frozen_params_compare_equal_to_plain_dicts(self):
+        spec = TraceSpec("loop", 1000, 5, {"footprint_lines": 32})
+        assert spec.params == {"footprint_lines": 32}
+        assert dict(spec.params) == {"footprint_lines": 32}
+
+    def test_nested_values_frozen_and_thawed(self):
+        fp = FrozenParams({"b": [1, {"c": 2}], "a": True})
+        assert list(fp) == ["a", "b"]  # canonical sorted order
+        assert isinstance(fp["b"], tuple)
+        thawed = fp.thaw()
+        assert thawed == {"a": True, "b": [1, {"c": 2}]}
+        thawed["b"].append(3)  # thawed copies are plain mutable objects
+        assert fp["b"] == (1, FrozenParams({"c": 2}))
+
+    def test_rejects_unhashable_param_values(self):
+        with pytest.raises(TypeError):
+            FrozenParams({"x": object()})
+        with pytest.raises(TypeError):
+            FrozenParams({1: "non-string key"})
+
+
+def test_file_kind_requires_sha256():
+    with pytest.raises(ValueError, match="sha256"):
+        TraceSpec(FILE_KIND, 100)
+    with pytest.raises(ValueError, match="sha256"):
+        TraceSpec(FILE_KIND, 100, params={"sha256": "tooshort"})
+    spec = TraceSpec(FILE_KIND, 100, params={"sha256": "0" * 64})
+    assert spec.kind == FILE_KIND
