@@ -18,8 +18,12 @@ Policy for L2 Instruction Caching" (ISCA 2023).  The package provides:
   counters/histograms, engine phase spans, Chrome trace export
 - :mod:`emissary.report` — run-report CLI rendering sweep ``--out`` JSON
 - :mod:`emissary.bench` — throughput benchmark harness emitting BENCH_*.json
+- :mod:`emissary.analysis` — static analysis (the EMI determinism lint
+  suite, ``python -m emissary.analysis``) and the opt-in runtime kernel
+  state :class:`Sanitizer`
 """
 
+from emissary.analysis.sanitizer import Sanitizer, SanitizerError
 from emissary.api import (EmissaryDeprecationWarning, PolicySpec, SimRequest,
                           simulate)
 from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine, SimResult
@@ -40,6 +44,8 @@ __all__ = [
     "HierarchyResult",
     "PolicySpec",
     "ReferenceEngine",
+    "Sanitizer",
+    "SanitizerError",
     "SimRequest",
     "SimResult",
     "TELEMETRY_SCHEMA_VERSION",

@@ -1,0 +1,50 @@
+"""Static analysis and runtime sanitization for the EMISSARY codebase.
+
+The engine's headline guarantee — batched, streamed, and hierarchy runs
+are bit-identical to the per-access oracle — rests on invariants the
+paper states but plain Python only implies: a single seeded RNG stream,
+no wall-clock reads in kernels, genuinely immutable specs, stable NumPy
+dtypes, per-set HP budgets that are never exceeded.  This package turns
+those implicit contracts into machine-checked ones:
+
+:mod:`emissary.analysis.lint`
+    A project-specific AST lint framework with the EMI rule catalog
+    (unseeded RNG, wall-clock in hot paths, mutable frozen-dataclass
+    state, missing ``from_dict`` round-trips, silent ``except``, implicit
+    dtype narrowing).  Run it with ``python -m emissary.analysis lint
+    src tests``; suppress a finding in place with ``# emi:
+    ignore[EMI001]``.
+
+:mod:`emissary.analysis.rules`
+    The rule implementations, one module per concern, registered in
+    :data:`emissary.analysis.rules.ALL_RULES`.
+
+:mod:`emissary.analysis.sanitizer`
+    A debug-mode runtime invariant checker attachable to every engine
+    (``sanitizer=`` parameter, mirroring ``telemetry=``).  After each
+    kernel dispatch it validates per-set replacement state — HP
+    occupancy within budget, RRPVs in range, residency maps bijective —
+    and raises :class:`~emissary.analysis.sanitizer.SanitizerError`
+    naming the set and access position on the first violation.  Detached
+    (the default) it is structurally free: engines hold ``sanitizer=None``
+    and never import this package on the hot path.
+"""
+
+from emissary.analysis.lint import (
+    LintReport,
+    Rule,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from emissary.analysis.sanitizer import Sanitizer, SanitizerError
+
+__all__ = [
+    "LintReport",
+    "Rule",
+    "Sanitizer",
+    "SanitizerError",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,74 @@
+"""CLI for the analysis package.
+
+    python -m emissary.analysis lint [paths...] [--select EMI001,EMI005]
+    python -m emissary.analysis rules
+
+``lint`` exits 0 on a clean tree, 1 when violations were found, and 2
+on usage errors or unreadable input.  ``rules`` prints the EMI catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from emissary.analysis.lint import lint_paths
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    select = None
+    if args.select:
+        select = [code for chunk in args.select for code in chunk.split(",")]
+    try:
+        report = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for violation in report.violations:
+        print(violation.format())
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.clean:
+        print(f"OK: {report.files_checked} {noun} clean", file=sys.stderr)
+        return 0
+    print(f"{len(report.violations)} violation(s) in "
+          f"{report.files_checked} {noun}", file=sys.stderr)
+    return 1
+
+
+def _cmd_rules(_args: argparse.Namespace) -> int:
+    from emissary.analysis.rules import ALL_RULES
+
+    for cls in ALL_RULES:
+        print(f"{cls.code}  {cls.summary}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m emissary.analysis",
+        description="Project-specific static analysis (EMI rule catalog).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint_p = sub.add_parser("lint", help="lint Python files or directories")
+    lint_p.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories (default: src tests)")
+    lint_p.add_argument("--select", action="append", default=[],
+                        metavar="CODES",
+                        help="comma-separated rule codes to run (default: all)")
+    lint_p.set_defaults(func=_cmd_lint)
+
+    rules_p = sub.add_parser("rules", help="list the EMI rule catalog")
+    rules_p.set_defaults(func=_cmd_rules)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    result: int = args.func(args)
+    return result
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Project-specific AST lint framework (the EMI rule catalog).
+
+Generic linters cannot know that this codebase's determinism guarantee
+forbids *any* RNG outside the blessed seeded-``Generator`` plumbing, or
+that a ``frozen=True`` dataclass carrying a plain dict is a results-cache
+key waiting to drift.  This module provides the scaffolding those checks
+run on:
+
+- :class:`Rule` — one named check (``EMI001`` ...) over a parsed file.
+- :class:`FileContext` — a parsed source file plus the metadata rules
+  need: the AST, per-line ``# emi: ignore[...]`` suppressions, and
+  whether the file is a kernel/engine hot-path module.
+- :func:`lint_paths` / :func:`lint_source` — runners returning sorted
+  :class:`Violation` records.
+
+Suppressions are surgical and auditable: ``# emi: ignore[EMI002]`` on
+the offending line silences exactly that rule there, ``# emi: ignore``
+silences every rule on the line, and nothing else is ever skipped.  The
+CLI (``python -m emissary.analysis lint``) exits 0 on a clean tree, 1
+when violations are found, and 2 on unreadable/unparseable input.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Engine/kernel hot-path modules: determinism rules (wall-clock, dtype
+#: stability) apply with full strictness here.
+KERNEL_MODULE_NAMES = frozenset({"engine.py", "hierarchy.py"})
+
+#: Modules whose NumPy arrays feed kernels directly: implicit dtype
+#: narrowing here changes simulated outcomes across platforms.
+NUMPY_MODULE_NAMES = KERNEL_MODULE_NAMES | frozenset({"traces.py", "trace_io.py"})
+
+_IGNORE_RE = re.compile(r"#\s*emi:\s*ignore(?:\[\s*([A-Za-z0-9_,\s]*?)\s*\])?")
+
+#: Pseudo-rule code attached to files the linter cannot parse.
+SYNTAX_ERROR_CODE = "EMI000"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: ``path:line:col: CODE message``."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class FileContext:
+    """A parsed source file plus everything a :class:`Rule` may ask of it."""
+
+    def __init__(self, path: str | Path, source: str, tree: ast.Module) -> None:
+        self.path = Path(path)
+        self.source = source
+        self.tree = tree
+        #: line number -> set of suppressed rule codes ("*" = all rules).
+        self.ignores: dict[int, set[str]] = _parse_ignores(source)
+        parts = self.path.parts
+        name = self.path.name
+        #: Kernel/engine hot-path module (policies/ plus the engines).
+        self.is_kernel_module = name in KERNEL_MODULE_NAMES or "policies" in parts
+        #: Module whose array dtypes feed kernels (superset of the above).
+        self.is_numpy_module = (self.is_kernel_module
+                                or name in NUMPY_MODULE_NAMES)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        codes = self.ignores.get(line)
+        return codes is not None and ("*" in codes or code in codes)
+
+
+def _parse_ignores(source: str) -> dict[int, set[str]]:
+    ignores: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(text)
+        if match is None:
+            continue
+        listed = match.group(1)
+        if listed is None:
+            ignores[lineno] = {"*"}
+        else:
+            ignores[lineno] = {code.strip().upper()
+                               for code in listed.split(",") if code.strip()}
+    return ignores
+
+
+class Rule:
+    """One named check.  Subclasses set ``code``/``summary`` and yield
+    violations from :meth:`check`; the runner handles suppression."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(code=self.code, path=str(ctx.path),
+                         line=getattr(node, "lineno", 0),
+                         col=getattr(node, "col_offset", 0) + 1,
+                         message=message)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render an ``a.b.c`` attribute chain, or None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run: findings plus how much was covered."""
+
+    violations: tuple[Violation, ...]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``.py`` files, skipping
+    hidden directories and ``__pycache__``."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(p for p in path.rglob("*.py")
+                                if not any(part.startswith(".") or part == "__pycache__"
+                                           for part in p.parts))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"{path}: not a Python file or directory")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def _select_rules(select: Iterable[str] | None) -> list[Rule]:
+    from emissary.analysis.rules import ALL_RULES
+
+    rules = [cls() for cls in ALL_RULES]
+    if select is None:
+        return rules
+    wanted = {code.strip().upper() for code in select if code.strip()}
+    unknown = wanted - {rule.code for rule in rules}
+    if unknown:
+        known = ", ".join(sorted(rule.code for rule in rules))
+        raise ValueError(f"unknown rule code(s) {sorted(unknown)}; known: {known}")
+    return [rule for rule in rules if rule.code in wanted]
+
+
+def lint_source(source: str, path: str | Path = "<string>",
+                select: Iterable[str] | None = None) -> list[Violation]:
+    """Lint one in-memory source blob (the fixture-test entry point)."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation(code=SYNTAX_ERROR_CODE, path=str(path),
+                          line=exc.lineno or 0, col=(exc.offset or 0),
+                          message=f"syntax error: {exc.msg}")]
+    ctx = FileContext(path, source, tree)
+    found: list[Violation] = []
+    for rule in _select_rules(select):
+        for violation in rule.check(ctx):
+            if not ctx.suppressed(violation.code, violation.line):
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return found
+
+
+def lint_paths(paths: Sequence[str | Path],
+               select: Iterable[str] | None = None) -> LintReport:
+    """Lint every Python file under ``paths``; violations come back
+    sorted by location for stable, diffable output."""
+    violations: list[Violation] = []
+    files = 0
+    for path in iter_python_files(paths):
+        files += 1
+        source = path.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, path=path, select=select))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return LintReport(violations=tuple(violations), files_checked=files)

@@ -1,0 +1,34 @@
+"""The EMI rule catalog.
+
+One module per concern; every rule class is registered in
+:data:`ALL_RULES`, which is the single source of truth for the runner
+and the CLI ``rules`` listing.
+"""
+
+from __future__ import annotations
+
+from emissary.analysis.lint import Rule
+from emissary.analysis.rules.dataclass_rules import FrozenMutableField, MissingFromDict
+from emissary.analysis.rules.determinism import UnseededRandom, WallClockInKernel
+from emissary.analysis.rules.exception_rules import SilentExcept
+from emissary.analysis.rules.numpy_rules import ImplicitDtype
+
+#: Every rule, in catalog order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    UnseededRandom,       # EMI001
+    WallClockInKernel,    # EMI002
+    FrozenMutableField,   # EMI003
+    MissingFromDict,      # EMI004
+    SilentExcept,         # EMI005
+    ImplicitDtype,        # EMI006
+)
+
+__all__ = [
+    "ALL_RULES",
+    "FrozenMutableField",
+    "ImplicitDtype",
+    "MissingFromDict",
+    "SilentExcept",
+    "UnseededRandom",
+    "WallClockInKernel",
+]

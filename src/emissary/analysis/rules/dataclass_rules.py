@@ -1,0 +1,144 @@
+"""Dataclass contract rules: EMI003 (mutable state on frozen
+dataclasses) and EMI004 (``to_dict`` without ``from_dict``).
+
+Frozen specs are results-cache keys: a ``frozen=True`` dataclass whose
+field is a plain ``dict`` is only shallowly immutable — its hash-equal
+copies can drift apart after construction, silently corrupting cache
+lookups.  The blessed pattern (see ``PolicySpec``/``TraceSpec``) is to
+canonicalize such fields in ``__post_init__`` via
+``object.__setattr__(self, "field", FrozenParams(...))`` or another
+immutable constructor.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from emissary.analysis.lint import FileContext, Rule, Violation, dotted_name
+
+#: Annotation base names that denote mutable containers.
+MUTABLE_ANNOTATIONS = frozenset({
+    "dict", "Dict", "defaultdict", "OrderedDict", "Counter",
+    "list", "List", "deque",
+    "set", "Set", "MutableMapping", "MutableSequence", "MutableSet",
+    "bytearray",
+})
+
+#: Constructors that make a field value genuinely immutable when
+#: assigned in ``__post_init__``.
+IMMUTABLE_CONSTRUCTORS = frozenset({
+    "FrozenParams", "tuple", "frozenset", "MappingProxyType", "bytes",
+})
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        name = dotted_name(dec.func)
+        if name is None or name.split(".")[-1] != "dataclass":
+            continue
+        for kw in dec.keywords:
+            if kw.arg == "frozen" and isinstance(kw.value, ast.Constant) \
+                    and kw.value.value is True:
+                return True
+    return False
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target)
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _annotation_base(node: ast.expr) -> str | None:
+    """Base name of an annotation: ``dict[str, int]`` -> ``dict``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split("[")[0].strip()
+    name = dotted_name(node)
+    if name is not None:
+        return name.split(".")[-1]
+    return None
+
+
+def _canonicalized_fields(cls: ast.ClassDef) -> set[str]:
+    """Fields reassigned to an immutable constructor in ``__post_init__``."""
+    fields: set[str] = set()
+    for item in cls.body:
+        if not (isinstance(item, ast.FunctionDef) and item.name == "__post_init__"):
+            continue
+        for node in ast.walk(item):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) != "object.__setattr__":
+                continue
+            if len(node.args) != 3:
+                continue
+            target = node.args[1]
+            value = node.args[2]
+            if not (isinstance(target, ast.Constant)
+                    and isinstance(target.value, str)):
+                continue
+            if isinstance(value, ast.Call):
+                ctor = dotted_name(value.func)
+                if ctor is not None \
+                        and ctor.split(".")[-1] in IMMUTABLE_CONSTRUCTORS:
+                    fields.add(target.value)
+    return fields
+
+
+class FrozenMutableField(Rule):
+    """EMI003: mutable container fields on ``frozen=True`` dataclasses."""
+
+    code = "EMI003"
+    summary = ("mutable container field on a frozen dataclass without "
+               "__post_init__ canonicalization to FrozenParams/tuple/frozenset")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.ClassDef) and _is_frozen_dataclass(node)):
+                continue
+            canonical = _canonicalized_fields(node)
+            for item in node.body:
+                if not (isinstance(item, ast.AnnAssign)
+                        and isinstance(item.target, ast.Name)):
+                    continue
+                base = _annotation_base(item.annotation)
+                if base in MUTABLE_ANNOTATIONS \
+                        and item.target.id not in canonical:
+                    yield self.violation(
+                        ctx, item,
+                        f"frozen dataclass `{node.name}` field "
+                        f"`{item.target.id}: {base}` is mutable; freeze it in "
+                        "__post_init__ (FrozenParams/tuple/frozenset) or use "
+                        "an immutable type")
+
+
+class MissingFromDict(Rule):
+    """EMI004: serializable dataclasses must round-trip.
+
+    A dataclass exposing ``to_dict`` (it participates in cache keys or
+    report envelopes) with no matching ``from_dict`` cannot be rebuilt
+    from its own serialization, so round-trip drift goes untested.
+    """
+
+    code = "EMI004"
+    summary = "dataclass defines to_dict but no from_dict round-trip"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.ClassDef) and _is_dataclass(node)):
+                continue
+            methods = {item.name for item in node.body
+                       if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))}
+            if "to_dict" in methods and "from_dict" not in methods:
+                yield self.violation(
+                    ctx, node,
+                    f"dataclass `{node.name}` has to_dict but no from_dict; "
+                    "serialized forms must round-trip")

@@ -1,0 +1,42 @@
+"""Exception hygiene: EMI005 (silent ``except`` blocks).
+
+A handler whose body is nothing but ``pass``/``...`` swallows evidence.
+In this codebase that pattern has real teeth: a silent ``except`` around
+a kernel dispatch or cache publish would turn a correctness bug into a
+quietly wrong sweep row.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from emissary.analysis.lint import FileContext, Rule, Violation
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Pass):
+        return True
+    return (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and (stmt.value.value is Ellipsis
+                 or isinstance(stmt.value.value, str)))
+
+
+class SilentExcept(Rule):
+    """EMI005: ``except`` handlers that swallow exceptions silently."""
+
+    code = "EMI005"
+    summary = "silent except handler (body is only pass/.../docstring)"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.body and all(_is_noop(stmt) for stmt in node.body):
+                caught = "bare except" if node.type is None else \
+                    f"except {ast.unparse(node.type)}"
+                yield self.violation(
+                    ctx, node,
+                    f"{caught} swallows the exception silently; handle it, "
+                    "log it, or narrow and justify with an emi: ignore")

@@ -1,0 +1,65 @@
+"""NumPy dtype stability: EMI006 (implicit dtype narrowing/inference).
+
+``np.arange(n)`` infers C ``long`` — int32 on Windows, int64 on Linux —
+and ``np.array([...])`` infers from contents, so the same trace can
+decode to different widths on different platforms.  ``.astype(int)``
+has the same hazard.  In kernel-feeding modules every array creation
+and cast must pin an explicit numpy dtype.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from emissary.analysis.lint import FileContext, Rule, Violation, dotted_name
+
+#: Array constructors whose dtype is inferred from their arguments.
+INFERRING_CONSTRUCTORS = frozenset({"array", "arange", "asarray"})
+
+#: ``.astype`` arguments that are platform- or context-dependent.
+AMBIGUOUS_CASTS = frozenset({"int", "float", "bool", "complex"})
+
+
+def _has_dtype_kwarg(node: ast.Call) -> bool:
+    return any(kw.arg == "dtype" for kw in node.keywords)
+
+
+class ImplicitDtype(Rule):
+    """EMI006: implicit dtype inference in kernel-feeding modules."""
+
+    code = "EMI006"
+    summary = ("np.array/np.arange/np.asarray without dtype=, or "
+               ".astype(int|float|bool) with a platform-dependent width, "
+               "in kernel-feeding numpy modules")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.is_numpy_module:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is not None:
+                parts = name.split(".")
+                if len(parts) == 2 and parts[0] in ("np", "numpy") \
+                        and parts[1] in INFERRING_CONSTRUCTORS \
+                        and not _has_dtype_kwarg(node):
+                    yield self.violation(
+                        ctx, node,
+                        f"`{name}(...)` without dtype= infers a platform-"
+                        "dependent width; pin an explicit numpy dtype")
+                    continue
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "astype" and node.args:
+                arg = node.args[0]
+                bad: str | None = None
+                if isinstance(arg, ast.Name) and arg.id in AMBIGUOUS_CASTS:
+                    bad = arg.id
+                elif isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    bad = f"{arg.value!r}"
+                if bad is not None:
+                    yield self.violation(
+                        ctx, node,
+                        f".astype({bad}) is ambiguous about width; use an "
+                        "explicit numpy dtype (e.g. np.int64)")

@@ -28,8 +28,9 @@ round-trips through ``to_dict`` / ``from_dict``.
 from __future__ import annotations
 
 import warnings
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any
 
 from emissary.policies import PARAM_SCHEMAS, REGISTRY
 from emissary.traces import FILE_KIND, FrozenParams, TraceSpec
@@ -65,7 +66,7 @@ class PolicySpec:
         # already-validated spec (or its results-cache key) in place.
         object.__setattr__(self, "params", FrozenParams(self.params))
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         params = self.params.thaw() if isinstance(self.params, FrozenParams) \
             else dict(self.params)
         return {"name": self.name, "params": params}
@@ -75,7 +76,7 @@ class PolicySpec:
         return cls(name=d["name"], params=dict(d.get("params", {})))
 
 
-def coerce_policy_spec(policy: Any, params: Optional[Mapping[str, Any]] = None,
+def coerce_policy_spec(policy: Any, params: Mapping[str, Any] | None = None,
                        caller: str = "simulate") -> PolicySpec:
     """Accept a :class:`PolicySpec` or the deprecated ``str, **params`` form.
 
@@ -144,7 +145,7 @@ class SimRequest:
 
         return isinstance(self.config, HierarchyConfig)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """Canonical encoding — also the results-cache content key.
 
         ``telemetry`` appears only when enabled: instrumented results
@@ -187,7 +188,7 @@ def _array_chunks(addresses: Any, chunk_bytes: int):
 
 def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
              engine: str = "batched", telemetry: bool = False,
-             stream: bool = False, chunk_bytes: Optional[int] = None,
+             stream: bool = False, chunk_bytes: int | None = None,
              **policy_params: Any):
     """Unified entry point.
 

@@ -30,8 +30,9 @@ import json
 import platform
 import sys
 import tempfile
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -42,7 +43,7 @@ from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
                                 HierarchyReferenceEngine)
 from emissary.policies import POLICY_NAMES
 from emissary.telemetry import Telemetry
-from emissary.traces import TraceSpec
+from emissary.traces import AddressArray, TraceSpec
 
 #: In the hierarchy bench, EMISSARY gates HP candidacy on measured L1I
 #: miss counts (a line must have cost >= 2 demand misses to qualify).
@@ -50,7 +51,7 @@ from emissary.traces import TraceSpec
 EMISSARY_HIERARCHY_PARAMS = {"min_l1_misses": 2}
 
 
-def _best_of(engine, addresses: np.ndarray, spec: PolicySpec, seed: int, repeats: int):
+def _best_of(engine, addresses: AddressArray, spec: PolicySpec, seed: int, repeats: int):
     """Fastest of ``repeats`` runs (timing noise floor); outcomes are seeded
     so every repeat is bit-identical and any run's hits are representative."""
     best = None
@@ -61,11 +62,11 @@ def _best_of(engine, addresses: np.ndarray, spec: PolicySpec, seed: int, repeats
     return best
 
 
-def bench_policy(addresses: np.ndarray, spec: PolicySpec, config: CacheConfig,
+def bench_policy(addresses: AddressArray, spec: PolicySpec, config: CacheConfig,
                  seed: int, skip_reference: bool = False,
-                 repeats: int = 3) -> Dict[str, Any]:
+                 repeats: int = 3) -> dict[str, Any]:
     batched = _best_of(BatchedEngine(config), addresses, spec, seed, repeats)
-    row: Dict[str, Any] = {
+    row: dict[str, Any] = {
         "policy": spec.name,
         "batched": batched.to_dict(),
         "hit_rate": batched.hit_rate,
@@ -80,12 +81,12 @@ def bench_policy(addresses: np.ndarray, spec: PolicySpec, config: CacheConfig,
     return row
 
 
-def bench_hierarchy_policy(addresses: np.ndarray, spec: PolicySpec,
+def bench_hierarchy_policy(addresses: AddressArray, spec: PolicySpec,
                            config: HierarchyConfig, seed: int,
                            skip_reference: bool = False,
-                           repeats: int = 3) -> Dict[str, Any]:
+                           repeats: int = 3) -> dict[str, Any]:
     batched = _best_of(BatchedHierarchyEngine(config), addresses, spec, seed, repeats)
-    row: Dict[str, Any] = {
+    row: dict[str, Any] = {
         "policy": spec.name,
         "batched": batched.to_dict(),
         "l1_hit_rate": batched.l1_hit_rate,
@@ -103,13 +104,13 @@ def bench_hierarchy_policy(addresses: np.ndarray, spec: PolicySpec,
     return row
 
 
-def _bench_specs(policies: List[str], hierarchy: bool = False) -> List[PolicySpec]:
+def _bench_specs(policies: list[str], hierarchy: bool = False) -> list[PolicySpec]:
     extra = EMISSARY_HIERARCHY_PARAMS if hierarchy else {}
     return [PolicySpec(p, dict(extra) if p == "emissary" else {}) for p in policies]
 
 
-def _finalize(report: Dict[str, Any], rows: List[Dict[str, Any]],
-              skip_reference: bool) -> Dict[str, Any]:
+def _finalize(report: dict[str, Any], rows: list[dict[str, Any]],
+              skip_reference: bool) -> dict[str, Any]:
     report["policies"] = rows
     if not skip_reference:
         report["all_outcomes_identical"] = all(r["outcomes_identical"] for r in rows)
@@ -118,7 +119,7 @@ def _finalize(report: Dict[str, Any], rows: List[Dict[str, Any]],
     return report
 
 
-def _report_header(benchmark: str, spec: TraceSpec) -> Dict[str, Any]:
+def _report_header(benchmark: str, spec: TraceSpec) -> dict[str, Any]:
     return {
         "benchmark": benchmark,
         "emissary_version": __version__,
@@ -130,10 +131,10 @@ def _report_header(benchmark: str, spec: TraceSpec) -> Dict[str, Any]:
     }
 
 
-def run_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
+def run_bench(n: int = 1_000_000, policies: list[str] | None = None,
               trace_kind: str = "loop", seed: int = 42,
-              config: Optional[CacheConfig] = None,
-              skip_reference: bool = False, repeats: int = 3) -> Dict[str, Any]:
+              config: CacheConfig | None = None,
+              skip_reference: bool = False, repeats: int = 3) -> dict[str, Any]:
     config = config or CacheConfig()
     policies = policies or list(POLICY_NAMES)
     footprint = int(config.num_sets * config.ways * 1.5)
@@ -148,11 +149,11 @@ def run_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
     return _finalize(report, rows, skip_reference)
 
 
-def run_hierarchy_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
+def run_hierarchy_bench(n: int = 1_000_000, policies: list[str] | None = None,
                         trace_kind: str = "loop", seed: int = 42,
-                        config: Optional[HierarchyConfig] = None,
+                        config: HierarchyConfig | None = None,
                         skip_reference: bool = False,
-                        repeats: int = 3) -> Dict[str, Any]:
+                        repeats: int = 3) -> dict[str, Any]:
     config = config or HierarchyConfig()
     policies = policies or list(POLICY_NAMES)
     footprint = int(config.l2.num_sets * config.l2.ways * 1.5)
@@ -174,12 +175,12 @@ STREAM_CHUNK_BYTES = (256 << 10, 1 << 20, 8 << 20)
 STREAM_FORMATS = ("champsim.gz", "npy")
 
 
-def run_stream_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
+def run_stream_bench(n: int = 1_000_000, policies: list[str] | None = None,
                      trace_kind: str = "loop", seed: int = 42,
-                     config: Optional[CacheConfig] = None,
+                     config: CacheConfig | None = None,
                      chunk_sizes: Sequence[int] = STREAM_CHUNK_BYTES,
                      formats: Sequence[str] = STREAM_FORMATS,
-                     repeats: int = 3) -> Dict[str, Any]:
+                     repeats: int = 3) -> dict[str, Any]:
     """Benchmark chunked streaming against the in-memory one-shot path.
 
     The synthetic trace is materialized once, written to disk in each
@@ -201,7 +202,7 @@ def run_stream_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
                      if trace_kind in ("loop", "shift") else {})
     addresses = spec.generate()
 
-    rows: List[Dict[str, Any]] = []
+    rows: list[dict[str, Any]] = []
     with tempfile.TemporaryDirectory(prefix="emissary_bench_") as td:
         files = {}
         for fmt in formats:
@@ -212,7 +213,7 @@ def run_stream_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
         for policy_spec in _bench_specs(policies):
             baseline = _best_of(BatchedEngine(config), addresses, policy_spec,
                                 seed, repeats)
-            row: Dict[str, Any] = {
+            row: dict[str, Any] = {
                 "policy": policy_spec.name,
                 "in_memory": baseline.to_dict(),
                 "hit_rate": baseline.hit_rate,
@@ -253,7 +254,7 @@ def run_stream_bench(n: int = 1_000_000, policies: Optional[List[str]] = None,
     return report
 
 
-def _summarize_stream(report: Dict[str, Any]) -> str:
+def _summarize_stream(report: dict[str, Any]) -> str:
     lines = [f"trace={report['trace']['kind']} n={report['trace']['n']} "
              f"cache={report['cache']} formats={','.join(report['formats'])}"]
     header = (f"{'policy':<10} {'format':<12} {'chunk':>8} {'Macc/s':>8} "
@@ -275,10 +276,10 @@ def _summarize_stream(report: Dict[str, Any]) -> str:
 
 
 def run_telemetry_overhead_bench(n: int = 200_000,
-                                 policies: Optional[List[str]] = None,
+                                 policies: list[str] | None = None,
                                  trace_kind: str = "loop", seed: int = 42,
-                                 config: Optional[CacheConfig] = None,
-                                 repeats: int = 5) -> Dict[str, Any]:
+                                 config: CacheConfig | None = None,
+                                 repeats: int = 5) -> dict[str, Any]:
     """Guard the telemetry-off default path against overhead creep.
 
     Telemetry-off is *structurally* free: disabled engines hold
@@ -313,10 +314,10 @@ def run_telemetry_overhead_bench(n: int = 200_000,
     addresses = spec.generate()
 
     arms = ("off", "off_control", "on")
-    rows: List[Dict[str, Any]] = []
+    rows: list[dict[str, Any]] = []
     for policy_spec in _bench_specs(policies):
         BatchedEngine(config).run(addresses, policy_spec, seed=seed)  # warmup
-        times: Dict[str, List[float]] = {arm: [] for arm in arms}
+        times: dict[str, list[float]] = {arm: [] for arm in arms}
         for repeat in range(max(1, repeats)):
             for offset in range(len(arms)):
                 arm = arms[(repeat + offset) % len(arms)]
@@ -344,7 +345,73 @@ def run_telemetry_overhead_bench(n: int = 200_000,
     return report
 
 
-def _summarize_telemetry_overhead(report: Dict[str, Any]) -> str:
+def run_sanitizer_overhead_bench(n: int = 200_000,
+                                 policies: list[str] | None = None,
+                                 trace_kind: str = "loop", seed: int = 42,
+                                 config: CacheConfig | None = None,
+                                 repeats: int = 5) -> dict[str, Any]:
+    """Guard the sanitizer-off default path against overhead creep.
+
+    Mirrors :func:`run_telemetry_overhead_bench`: detached sanitizers are
+    structurally free (engines hold ``sanitizer=None`` and only wrap the
+    kernel dispatch loop when one is attached), so the guard is the
+    best-of ratio between two identical sanitizer-off arms, which must
+    stay under the CI threshold.  The ``on`` arm attaches a
+    :class:`~emissary.analysis.sanitizer.Sanitizer`, is allowed to be
+    expensive, and is tracked as ``on_cost``; its outcomes must stay
+    bit-identical to the unsanitized run (``outcomes_identical``).
+    """
+    from emissary.analysis.sanitizer import Sanitizer
+
+    config = config or CacheConfig()
+    policies = policies or list(POLICY_NAMES)
+    footprint = int(config.num_sets * config.ways * 1.5)
+    spec = TraceSpec(trace_kind, n, seed, {"footprint_lines": footprint}
+                     if trace_kind in ("loop", "shift") else {})
+    addresses = spec.generate()
+
+    arms = ("off", "off_control", "on")
+    rows: list[dict[str, Any]] = []
+    for policy_spec in _bench_specs(policies):
+        baseline = BatchedEngine(config).run(addresses, policy_spec, seed=seed)
+        times: dict[str, list[float]] = {arm: [] for arm in arms}
+        identical = True
+        checks = 0
+        for repeat in range(max(1, repeats)):
+            for offset in range(len(arms)):
+                arm = arms[(repeat + offset) % len(arms)]
+                sanitizer = Sanitizer() if arm == "on" else None
+                result = BatchedEngine(config, sanitizer=sanitizer).run(
+                    addresses, policy_spec, seed=seed)
+                times[arm].append(result.elapsed_s)
+                if sanitizer is not None:
+                    checks = sanitizer.checks
+                    identical = identical and bool(
+                        np.array_equal(result.hits, baseline.hits))
+        off = min(times["off"])
+        control = min(times["off_control"])
+        on = min(times["on"])
+        rows.append({
+            "policy": policy_spec.name,
+            "off_s": off,
+            "off_control_s": control,
+            "on_s": on,
+            "off_overhead": off / control - 1.0,
+            "on_cost": on / min(off, control) - 1.0,
+            "checks": checks,
+            "outcomes_identical": identical,
+        })
+
+    report = _report_header("sanitizer_overhead", spec)
+    report["cache"] = config.to_dict()
+    report["repeats"] = max(1, repeats)
+    report["policies"] = rows
+    report["max_off_overhead"] = max(r["off_overhead"] for r in rows)
+    report["all_outcomes_identical"] = all(r["outcomes_identical"] for r in rows)
+    return report
+
+
+def _summarize_overhead_rows(report: dict[str, Any], off_label: str) -> str:
     lines = [f"trace={report['trace']['kind']} n={report['trace']['n']} "
              f"cache={report['cache']} repeats={report['repeats']}"]
     header = (f"{'policy':<10} {'off ms':>8} {'control ms':>11} {'on ms':>8} "
@@ -355,17 +422,27 @@ def _summarize_telemetry_overhead(report: Dict[str, Any]) -> str:
                      f"{1e3 * row['off_control_s']:>11.2f} {1e3 * row['on_s']:>8.2f} "
                      f"{100 * row['off_overhead']:>+12.2f}% "
                      f"{100 * row['on_cost']:>+8.1f}%")
-    lines.append(f"\nmax telemetry-off overhead: "
+    lines.append(f"\nmax {off_label}-off overhead: "
                  f"{100 * report['max_off_overhead']:+.2f}%")
     return "\n".join(lines)
 
 
-def write_report(report: Dict[str, Any], path: str) -> None:
+def _summarize_sanitizer_overhead(report: dict[str, Any]) -> str:
+    out = _summarize_overhead_rows(report, "sanitizer")
+    return (out + f"\nall sanitized outcomes identical: "
+                  f"{report['all_outcomes_identical']}")
+
+
+def _summarize_telemetry_overhead(report: dict[str, Any]) -> str:
+    return _summarize_overhead_rows(report, "telemetry")
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)
 
 
-def _summarize(report: Dict[str, Any]) -> str:
+def _summarize(report: dict[str, Any]) -> str:
     hierarchy = report["benchmark"] == "hierarchy_throughput"
     geometry = report["hierarchy"] if hierarchy else report["cache"]
     lines = [f"trace={report['trace']['kind']} n={report['trace']['n']} "
@@ -397,7 +474,7 @@ def _summarize(report: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="emissary.bench", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--n", type=int, default=1_000_000, help="trace length")
@@ -421,9 +498,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--telemetry-overhead", action="store_true",
                         help="run the telemetry-off overhead guard instead of "
                              "the throughput benchmark")
+    parser.add_argument("--sanitizer-overhead", action="store_true",
+                        help="run the sanitizer-off overhead guard instead of "
+                             "the throughput benchmark")
     parser.add_argument("--max-overhead", type=float, default=0.05,
-                        help="fail (exit 1) if telemetry-off overhead exceeds "
-                             "this fraction (default 0.05 = 5%%)")
+                        help="fail (exit 1) if the telemetry-/sanitizer-off "
+                             "overhead exceeds this fraction (default 0.05 = 5%%)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per engine (fastest run is reported)")
     parser.add_argument("--out", default=None,
@@ -443,6 +523,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"report written to {out}")
         if report["max_off_overhead"] > args.max_overhead:
             print(f"ERROR: telemetry-off overhead "
+                  f"{100 * report['max_off_overhead']:.2f}% exceeds "
+                  f"{100 * args.max_overhead:.2f}% budget", file=sys.stderr)
+            return 1
+        return 0
+    if args.sanitizer_overhead:
+        report = run_sanitizer_overhead_bench(
+            n=args.n, policies=policies, trace_kind=args.trace, seed=args.seed,
+            config=l2, repeats=args.repeats)
+        out = args.out or "BENCH_sanitizer.json"
+        print(_summarize_sanitizer_overhead(report))
+        write_report(report, out)
+        print(f"report written to {out}")
+        if not report["all_outcomes_identical"]:
+            print("ERROR: sanitized outcomes differ from the unsanitized run",
+                  file=sys.stderr)
+            return 1
+        if report["max_off_overhead"] > args.max_overhead:
+            print(f"ERROR: sanitizer-off overhead "
                   f"{100 * report['max_off_overhead']:.2f}% exceeds "
                   f"{100 * args.max_overhead:.2f}% budget", file=sys.stderr)
             return 1

@@ -38,18 +38,32 @@ one-shot :meth:`BatchedEngine.run` path.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from emissary.api import PolicySpec, coerce_policy_spec
 from emissary.policies import make_kernel, make_naive, policy_needs_rng
 from emissary.telemetry import Telemetry, span_factory
+from emissary.traces import AddressArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from emissary.analysis.sanitizer import Sanitizer
 
 
 def _is_pow2(x: int) -> bool:
     return x > 0 and (x & (x - 1)) == 0
+
+
+#: Per-access hit/miss outcomes.
+BoolArray = NDArray[np.bool_]
+#: Decoded int64 payloads: tags, set indices, costs, run lengths.
+IndexArray = NDArray[np.int64]
+#: Per-access uniform draws aligned with the trace.
+UniformArray = NDArray[np.float64]
 
 
 @dataclass(frozen=True)
@@ -80,7 +94,7 @@ class CacheConfig:
     def capacity_bytes(self) -> int:
         return self.num_sets * self.ways * self.line_size
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> dict[str, int]:
         return {"num_sets": self.num_sets, "ways": self.ways, "line_size": self.line_size}
 
     @classmethod
@@ -103,9 +117,9 @@ class SimResult:
     hit_count: int
     miss_count: int
     elapsed_s: float
-    hits: Optional[np.ndarray] = None
-    policy_stats: Dict[str, Any] = field(default_factory=dict)
-    telemetry: Optional[Dict[str, Any]] = None
+    hits: BoolArray | None = None
+    policy_stats: dict[str, Any] = field(default_factory=dict)
+    telemetry: dict[str, Any] | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -117,13 +131,13 @@ class SimResult:
         return 1000.0 * self.miss_count / self.n if self.n else 0.0
 
     @property
-    def accesses_per_s(self) -> Optional[float]:
+    def accesses_per_s(self) -> float | None:
         """Throughput, or None when no time elapsed — None (JSON null)
         rather than ``inf``, which ``json`` emits as non-roundtrippable
         ``Infinity``.  Tables render it as ``-``."""
         return self.n / self.elapsed_s if self.elapsed_s > 0 else None
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         d = {
             "policy": self.policy,
             "n": self.n,
@@ -154,7 +168,8 @@ class SimResult:
         )
 
 
-def decode_trace(addresses: np.ndarray, config: CacheConfig) -> tuple[np.ndarray, np.ndarray]:
+def decode_trace(addresses: AddressArray,
+                 config: CacheConfig) -> tuple[IndexArray, IndexArray]:
     """Vectorized address -> (tag, set index) decode for the whole trace."""
     addrs = np.ascontiguousarray(addresses, dtype=np.uint64)
     lines = addrs >> np.uint64(config.offset_bits)
@@ -163,7 +178,7 @@ def decode_trace(addresses: np.ndarray, config: CacheConfig) -> tuple[np.ndarray
     return tags, set_idx
 
 
-def _uniforms(n: int, policy: str, seed: int) -> Optional[np.ndarray]:
+def _uniforms(n: int, policy: str, seed: int) -> UniformArray | None:
     if not policy_needs_rng(policy):
         return None
     return np.random.default_rng(seed).random(n)
@@ -189,17 +204,22 @@ class BatchedEngine:
        paying Python dispatch overhead per chunk instead of per access.
     """
 
-    def __init__(self, config: Optional[CacheConfig] = None,
+    def __init__(self, config: CacheConfig | None = None,
                  collapse_runs: bool = True,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 sanitizer: "Sanitizer" | None = None) -> None:
         self.config = config or CacheConfig()
         self.collapse_runs = collapse_runs
         #: Optional :class:`~emissary.telemetry.Telemetry` registry; when
         #: None (the default) the run takes the uninstrumented fast path.
         self.telemetry = telemetry
+        #: Optional :class:`~emissary.analysis.sanitizer.Sanitizer`
+        #: (debug mode): validates per-set kernel state after every
+        #: dispatch.  None (the default) costs one ``is None`` test per run.
+        self.sanitizer = sanitizer
 
-    def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
-            keep_hits: bool = True, cost: Optional[np.ndarray] = None,
+    def run(self, addresses: AddressArray, policy: PolicySpec | str, seed: int = 0,
+            keep_hits: bool = True, cost: IndexArray | None = None,
             **policy_params: Any) -> SimResult:
         spec = coerce_policy_spec(policy, policy_params, caller="BatchedEngine.run")
         config = self.config
@@ -215,6 +235,9 @@ class BatchedEngine:
         kernel = make_kernel(spec.name, config.num_sets, config.ways, **spec.params)
         if tel is not None:
             kernel.attach_telemetry(tel)
+        if self.sanitizer is not None:
+            # After attach_telemetry, so the wrapper sees the bound loop.
+            self.sanitizer.attach_kernel(kernel)
         if cost is not None:
             if len(cost) != n:
                 raise ValueError(f"cost has {len(cost)} entries for {n} accesses")
@@ -223,8 +246,8 @@ class BatchedEngine:
             else:
                 cost = np.ascontiguousarray(cost, dtype=np.int64)
 
-        work_rep: Optional[np.ndarray] = None
-        work_extra: Optional[np.ndarray] = None
+        work_rep: NDArray[np.bool_] | None = None
+        work_extra: IndexArray | None = None
         with span("run_collapse"):
             if self.collapse_runs and n > 1:
                 edge_mask = np.empty(n, dtype=bool)
@@ -269,7 +292,8 @@ class BatchedEngine:
             sorted_extra = work_extra[order] if work_extra is not None else None
 
             # bounds[s] .. bounds[s + 1] is set s's contiguous chunk.
-            bounds = np.searchsorted(sorted_sets, np.arange(config.num_sets + 1))
+            bounds = np.searchsorted(sorted_sets,
+                                     np.arange(config.num_sets + 1, dtype=np.int64))
 
         sorted_hits = np.empty(m, dtype=bool)
         with span("kernel_loop"):
@@ -306,6 +330,8 @@ class BatchedEngine:
             tel.inc("engine.collapsed_hits", n - m)
             tel.inc("hits", hit_count)
             tel.inc("misses", n - hit_count)
+            if self.sanitizer is not None:
+                self.sanitizer.check_counters(tel, n, hit_count)
         return SimResult(
             policy=spec.name,
             n=n,
@@ -317,17 +343,17 @@ class BatchedEngine:
             telemetry=tel.to_dict() if tel is not None else None,
         )
 
-    def stream(self, policy: Union[PolicySpec, str], seed: int = 0,
+    def stream(self, policy: PolicySpec | str, seed: int = 0,
                keep_hits: bool = True, **policy_params: Any) -> "EngineStream":
         """Open an incremental :class:`EngineStream` for chunked feeding."""
         spec = coerce_policy_spec(policy, policy_params,
                                   caller="BatchedEngine.stream")
         return EngineStream(self, spec, seed=seed, keep_hits=keep_hits)
 
-    def simulate_stream(self, chunks: Iterable[np.ndarray],
-                        policy: Union[PolicySpec, str], seed: int = 0,
+    def simulate_stream(self, chunks: Iterable[AddressArray],
+                        policy: PolicySpec | str, seed: int = 0,
                         keep_hits: bool = True,
-                        cost_chunks: Optional[Iterable[np.ndarray]] = None,
+                        cost_chunks: Iterable[AddressArray] | None = None,
                         **policy_params: Any) -> SimResult:
         """Run ``policy`` over a chunked trace in bounded memory.
 
@@ -387,20 +413,24 @@ class EngineStream:
                                   **spec.params)
         if self.telemetry is not None:
             self.kernel.attach_telemetry(self.telemetry)
+        self.sanitizer = engine.sanitizer
+        if self.sanitizer is not None:
+            # After attach_telemetry, so the wrapper sees the bound loop.
+            self.sanitizer.attach_kernel(self.kernel)
         self._rng = (np.random.default_rng(seed)
                      if policy_needs_rng(spec.name) else None)
         self.n = 0
         self._edge_count = 0
         self._hit_count = 0
-        self._hit_chunks: List[np.ndarray] = []
+        self._hit_chunks: list[BoolArray] = []
         self._chunk_index = 0
         #: Trailing unresolved MRU run: (line, u, cost, length) or None.
-        self._pending: Optional[Tuple[int, Optional[float], Optional[int], int]] = None
+        self._pending: tuple[int, float | None, int | None, int] | None = None
         self._flushed = False
         self._start = time.perf_counter()
 
-    def feed(self, addresses: np.ndarray,
-             cost: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+    def feed(self, addresses: AddressArray,
+             cost: IndexArray | None = None) -> tuple[BoolArray, AddressArray]:
         """Process the next chunk of addresses (with optional per-access cost).
 
         Returns ``(hits, miss_lines)`` for the accesses *resolved* by
@@ -466,7 +496,8 @@ class EngineStream:
                 run_lengths = np.concatenate(
                     [np.array([pcount], dtype=np.int64), run_lengths])
                 if run_u is not None:
-                    run_u = np.concatenate([np.array([pu]), run_u])
+                    run_u = np.concatenate(
+                        [np.array([pu], dtype=np.float64), run_u])
                 if run_cost is not None:
                     run_cost = np.concatenate(
                         [np.array([pcost], dtype=np.int64), run_cost])
@@ -478,9 +509,9 @@ class EngineStream:
             )
             return self._dispatch(run_lines, run_u, run_cost, run_lengths)
 
-    def _dispatch(self, run_lines: np.ndarray, run_u: Optional[np.ndarray],
-                  run_cost: Optional[np.ndarray],
-                  run_lengths: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def _dispatch(self, run_lines: AddressArray, run_u: UniformArray | None,
+                  run_cost: IndexArray | None,
+                  run_lengths: IndexArray) -> tuple[BoolArray, AddressArray]:
         """Run the resolved runs' edge accesses through the kernel
         (set-major, exactly like the one-shot path) and expand outcomes
         back to per-access hits."""
@@ -537,7 +568,7 @@ class EngineStream:
             self._hit_chunks.append(hits)
         return hits, run_lines[~edge_hits]
 
-    def flush(self) -> Tuple[np.ndarray, np.ndarray]:
+    def flush(self) -> tuple[BoolArray, AddressArray]:
         """Resolve the carried trailing run (stream end).  Returns its
         ``(hits, miss_lines)``; :meth:`feed` is an error afterwards."""
         if self._flushed:
@@ -550,7 +581,7 @@ class EngineStream:
         pline, pu, pcost, pcount = pending
         return self._dispatch(
             np.array([pline], dtype=np.uint64),
-            np.array([pu]) if pu is not None else None,
+            np.array([pu], dtype=np.float64) if pu is not None else None,
             np.array([pcost], dtype=np.int64) if pcost is not None else None,
             np.array([pcount], dtype=np.int64))
 
@@ -567,7 +598,9 @@ class EngineStream:
             tel.inc("engine.stream_chunks", self._chunk_index)
             tel.inc("hits", self._hit_count)
             tel.inc("misses", self.n - self._hit_count)
-        hits: Optional[np.ndarray] = None
+            if self.sanitizer is not None:
+                self.sanitizer.check_counters(tel, self.n, self._hit_count)
+        hits: BoolArray | None = None
         if self.keep_hits:
             hits = (np.concatenate(self._hit_chunks) if self._hit_chunks
                     else np.zeros(0, dtype=bool))
@@ -594,13 +627,15 @@ class ReferenceEngine:
     telemetry test suite compares across engines.
     """
 
-    def __init__(self, config: Optional[CacheConfig] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+    def __init__(self, config: CacheConfig | None = None,
+                 telemetry: Telemetry | None = None,
+                 sanitizer: "Sanitizer" | None = None) -> None:
         self.config = config or CacheConfig()
         self.telemetry = telemetry
+        self.sanitizer = sanitizer
 
-    def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
-            keep_hits: bool = True, cost: Optional[np.ndarray] = None,
+    def run(self, addresses: AddressArray, policy: PolicySpec | str, seed: int = 0,
+            keep_hits: bool = True, cost: IndexArray | None = None,
             **policy_params: Any) -> SimResult:
         spec = coerce_policy_spec(policy, policy_params, caller="ReferenceEngine.run")
         config = self.config
@@ -615,8 +650,11 @@ class ReferenceEngine:
         start = time.perf_counter()
         u_arr = _uniforms(n, spec.name, seed)
         u_list = u_arr.tolist() if u_arr is not None else None
-        cost_list = (np.asarray(cost).tolist() if cost is not None else None)
+        cost_list = (np.asarray(cost, dtype=np.int64).tolist()
+                     if cost is not None else None)
         impl = make_naive(spec.name, num_sets, ways, **spec.params)
+        if self.sanitizer is not None:
+            self.sanitizer.attach_naive(impl)
         tag_table = [[None] * ways for _ in range(num_sets)]
         hits = np.empty(n, dtype=bool)
         # Per-(set, way) hits-since-fill; only maintained when instrumented.
@@ -679,6 +717,8 @@ class ReferenceEngine:
                     if set_tags[w] is not None:
                         tel.observe("resident_line_hits", line_hits[s * ways + w])
             impl.telemetry_finalize(tel)
+            if self.sanitizer is not None:
+                self.sanitizer.check_counters(tel, n, hit_count)
         return SimResult(
             policy=spec.name,
             n=n,
@@ -691,8 +731,8 @@ class ReferenceEngine:
         )
 
 
-def simulate(addresses: np.ndarray, policy: Union[PolicySpec, str],
-             config: Optional[CacheConfig] = None, seed: int = 0,
+def simulate(addresses: AddressArray, policy: PolicySpec | str,
+             config: CacheConfig | None = None, seed: int = 0,
              engine: str = "batched", **policy_params: Any) -> SimResult:
     """Array-level convenience wrapper: run ``policy`` over ``addresses``.
 

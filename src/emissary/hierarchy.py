@@ -33,15 +33,20 @@ pre-generated array bit for bit.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from emissary.api import PolicySpec, coerce_policy_spec
-from emissary.engine import CacheConfig, BatchedEngine, SimResult
+from emissary.engine import BatchedEngine, CacheConfig, IndexArray, SimResult
 from emissary.policies import make_naive, policy_needs_rng
 from emissary.telemetry import Telemetry, span_factory
+from emissary.traces import AddressArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from emissary.analysis.sanitizer import Sanitizer
 
 #: Default L1I: 64 sets x 8 ways x 64 B lines = 32 KiB, the common size.
 DEFAULT_L1 = CacheConfig(num_sets=64, ways=8)
@@ -68,7 +73,7 @@ class HierarchyConfig:
                 f"l1_policy {self.l1_policy!r} consumes RNG; the L1I filter must "
                 f"be deterministic so the uniform stream belongs to L2 alone")
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {"l1": self.l1.to_dict(), "l2": self.l2.to_dict(),
                 "l1_policy": self.l1_policy}
 
@@ -94,7 +99,7 @@ class HierarchyResult:
     elapsed_s: float
     #: Merged instrumentation payload (``l1.`` / ``l2.`` prefixed names
     #: plus hierarchy-stage spans) when the run was instrumented.
-    telemetry: Optional[Dict[str, Any]] = None
+    telemetry: dict[str, Any] | None = None
 
     @property
     def l1_hit_rate(self) -> float:
@@ -114,12 +119,12 @@ class HierarchyResult:
         return 1000.0 * self.l2.miss_count / self.n if self.n else 0.0
 
     @property
-    def accesses_per_s(self) -> Optional[float]:
+    def accesses_per_s(self) -> float | None:
         """Throughput, or None when no time elapsed (see
         :attr:`emissary.engine.SimResult.accesses_per_s`)."""
         return self.n / self.elapsed_s if self.elapsed_s > 0 else None
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         d = {
             "policy": self.policy,
             "n": self.n,
@@ -143,7 +148,7 @@ class HierarchyResult:
                    elapsed_s=float(d["elapsed_s"]), telemetry=d.get("telemetry"))
 
 
-def running_miss_counts(lines: np.ndarray) -> np.ndarray:
+def running_miss_counts(lines: AddressArray) -> IndexArray:
     """For each position, how many times its value has occurred so far
     (inclusive).  Vectorized: stable-sort groups equal lines, the rank
     within each group is the running count."""
@@ -155,26 +160,31 @@ def running_miss_counts(lines: np.ndarray) -> np.ndarray:
     new_group = np.empty(m, dtype=bool)
     new_group[0] = True
     np.not_equal(sorted_lines[1:], sorted_lines[:-1], out=new_group[1:])
-    starts = np.maximum.accumulate(np.where(new_group, np.arange(m), 0))
+    positions = np.arange(m, dtype=np.int64)
+    starts = np.maximum.accumulate(np.where(new_group, positions, 0))
     counts = np.empty(m, dtype=np.int64)
-    counts[order] = np.arange(m) - starts + 1
+    counts[order] = positions - starts + 1
     return counts
 
 
 class BatchedHierarchyEngine:
     """L1I filter stage + L2 policy stage, both on the batched engine."""
 
-    def __init__(self, config: Optional[HierarchyConfig] = None,
+    def __init__(self, config: HierarchyConfig | None = None,
                  collapse_runs: bool = True,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 sanitizer: "Sanitizer" | None = None) -> None:
         self.config = config or HierarchyConfig()
         self.collapse_runs = collapse_runs
         #: Optional :class:`~emissary.telemetry.Telemetry`; each stage
         #: records into its own child registry, merged here with ``l1.``
         #: / ``l2.`` prefixes.
         self.telemetry = telemetry
+        #: Optional :class:`~emissary.analysis.sanitizer.Sanitizer`,
+        #: shared by both stage engines (one instance checks both levels).
+        self.sanitizer = sanitizer
 
-    def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
+    def run(self, addresses: AddressArray, policy: PolicySpec | str, seed: int = 0,
             keep_hits: bool = True, **policy_params: Any) -> HierarchyResult:
         spec = coerce_policy_spec(policy, policy_params,
                                   caller="BatchedHierarchyEngine.run")
@@ -188,7 +198,7 @@ class BatchedHierarchyEngine:
         addrs = np.ascontiguousarray(addresses, dtype=np.uint64)
 
         l1 = BatchedEngine(config.l1, collapse_runs=self.collapse_runs,
-                           telemetry=l1_tel)
+                           telemetry=l1_tel, sanitizer=self.sanitizer)
         with span("l1_stage"):
             l1_result = l1.run(addrs, PolicySpec(config.l1_policy), seed=seed,
                                keep_hits=True)
@@ -199,7 +209,7 @@ class BatchedHierarchyEngine:
             l1_miss_counts = running_miss_counts(miss_lines)
 
         l2 = BatchedEngine(config.l2, collapse_runs=self.collapse_runs,
-                           telemetry=l2_tel)
+                           telemetry=l2_tel, sanitizer=self.sanitizer)
         with span("l2_stage"):
             l2_result = l2.run(miss_addrs, spec, seed=seed, keep_hits=keep_hits,
                                cost=l1_miss_counts)
@@ -221,8 +231,8 @@ class BatchedHierarchyEngine:
         return HierarchyResult(policy=spec.name, n=n, l1=l1_result, l2=l2_result,
                                elapsed_s=elapsed, telemetry=telemetry_payload)
 
-    def simulate_stream(self, chunks: Iterable[np.ndarray],
-                        policy: Union[PolicySpec, str], seed: int = 0,
+    def simulate_stream(self, chunks: Iterable[AddressArray],
+                        policy: PolicySpec | str, seed: int = 0,
                         keep_hits: bool = True,
                         **policy_params: Any) -> HierarchyResult:
         """Run the two-level hierarchy over a chunked trace in bounded memory.
@@ -246,17 +256,17 @@ class BatchedHierarchyEngine:
         start = time.perf_counter()
 
         l1_engine = BatchedEngine(config.l1, collapse_runs=self.collapse_runs,
-                                  telemetry=l1_tel)
+                                  telemetry=l1_tel, sanitizer=self.sanitizer)
         l2_engine = BatchedEngine(config.l2, collapse_runs=self.collapse_runs,
-                                  telemetry=l2_tel)
+                                  telemetry=l2_tel, sanitizer=self.sanitizer)
         l1_stream = l1_engine.stream(PolicySpec(config.l1_policy), seed=seed,
                                      keep_hits=keep_hits)
         l2_stream = l2_engine.stream(spec, seed=seed, keep_hits=keep_hits)
 
         offset_bits = np.uint64(config.l1.offset_bits)
-        miss_counts: Dict[int, int] = {}
+        miss_counts: dict[int, int] = {}
 
-        def advance(miss_lines: np.ndarray) -> None:
+        def advance(miss_lines: AddressArray) -> None:
             """Extend the running per-line L1I miss counts and feed the
             resolved miss stream (with measured costs) into L2."""
             if len(miss_lines) == 0:
@@ -304,12 +314,14 @@ class HierarchyReferenceEngine:
     """Naive per-access oracle: L1I lookup, miss counting, and L2 access
     interleaved in trace order, one Python step per fetch."""
 
-    def __init__(self, config: Optional[HierarchyConfig] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+    def __init__(self, config: HierarchyConfig | None = None,
+                 telemetry: Telemetry | None = None,
+                 sanitizer: "Sanitizer" | None = None) -> None:
         self.config = config or HierarchyConfig()
         self.telemetry = telemetry
+        self.sanitizer = sanitizer
 
-    def run(self, addresses: np.ndarray, policy: Union[PolicySpec, str], seed: int = 0,
+    def run(self, addresses: AddressArray, policy: PolicySpec | str, seed: int = 0,
             keep_hits: bool = True, **policy_params: Any) -> HierarchyResult:
         spec = coerce_policy_spec(policy, policy_params,
                                   caller="HierarchyReferenceEngine.run")
@@ -322,12 +334,15 @@ class HierarchyReferenceEngine:
 
         l1_impl = make_naive(config.l1_policy, l1c.num_sets, l1c.ways)
         l2_impl = make_naive(spec.name, l2c.num_sets, l2c.ways, **spec.params)
+        if self.sanitizer is not None:
+            self.sanitizer.attach_naive(l1_impl)
+            self.sanitizer.attach_naive(l2_impl)
         rng = (np.random.default_rng(seed)
                if policy_needs_rng(spec.name) else None)
 
         l1_tags = [[None] * l1c.ways for _ in range(l1c.num_sets)]
         l2_tags = [[None] * l2c.ways for _ in range(l2c.num_sets)]
-        miss_counts: Dict[int, int] = {}
+        miss_counts: dict[int, int] = {}
 
         l1_hits = np.empty(n, dtype=bool)
         l2_hits_list = []
@@ -458,8 +473,8 @@ class HierarchyReferenceEngine:
                                telemetry=tel.to_dict() if tel is not None else None)
 
 
-def simulate_hierarchy(addresses: np.ndarray, policy: Union[PolicySpec, str],
-                       config: Optional[HierarchyConfig] = None, seed: int = 0,
+def simulate_hierarchy(addresses: AddressArray, policy: PolicySpec | str,
+                       config: HierarchyConfig | None = None, seed: int = 0,
                        engine: str = "batched",
                        **policy_params: Any) -> HierarchyResult:
     """Convenience wrapper: run the two-level hierarchy on either engine."""

@@ -7,7 +7,7 @@ bit-identical hit/miss sequences on every trace family.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple, Type
+from typing import Any
 
 from emissary.policies.base import NaivePolicy, PolicyKernel
 from emissary.policies.emissary import EmissaryKernel, NaiveEmissary
@@ -15,7 +15,7 @@ from emissary.policies.lru import LRUKernel, NaiveLRU
 from emissary.policies.random_policy import NaiveRandom, RandomKernel
 from emissary.policies.srrip import NaiveSRRIP, SRRIPKernel
 
-REGISTRY: Dict[str, Tuple[Type[PolicyKernel], Type[NaivePolicy]]] = {
+REGISTRY: dict[str, tuple[type[PolicyKernel], type[NaivePolicy]]] = {
     "lru": (LRUKernel, NaiveLRU),
     "random": (RandomKernel, NaiveRandom),
     "srrip": (SRRIPKernel, NaiveSRRIP),
@@ -28,7 +28,7 @@ POLICY_NAMES = tuple(REGISTRY)
 #: is what :class:`emissary.api.PolicySpec` validates against, so a
 #: typo'd or mistyped parameter fails at spec construction instead of
 #: being silently swallowed by a ``**params`` sink.
-PARAM_SCHEMAS: Dict[str, Dict[str, type]] = {
+PARAM_SCHEMAS: dict[str, dict[str, type]] = {
     "lru": {},
     "random": {},
     "srrip": {},

@@ -20,7 +20,8 @@ a single ``--seed``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from emissary.telemetry import Telemetry
@@ -38,7 +39,7 @@ class PolicyKernel:
     name: str = "base"
     needs_rng: bool = False
     #: Set by :meth:`attach_telemetry`; instrumented loops record into it.
-    _tel: Optional["Telemetry"] = None
+    _tel: "Telemetry" | None = None
     #: True if the kernel must know whether an access is immediately
     #: re-referenced (same line, no intervening access) — required for
     #: MRU run collapsing to stay exact when a *hit on the fill's
@@ -54,11 +55,11 @@ class PolicyKernel:
         self.ways = ways
         self.params = params
 
-    def run_set(self, set_index: int, tags: List[int],
-                u: Optional[Sequence[float]],
-                rep: Optional[Sequence[bool]] = None,
-                cost: Optional[Sequence[int]] = None,
-                extra: Optional[Sequence[int]] = None) -> List[bool]:
+    def run_set(self, set_index: int, tags: list[int],
+                u: Sequence[float] | None,
+                rep: Sequence[bool] | None = None,
+                cost: Sequence[int] | None = None,
+                extra: Sequence[int] | None = None) -> list[bool]:
         """Simulate ``tags`` (in access order) against set ``set_index``.
 
         ``u`` is the per-access uniform slice aligned with ``tags`` (None
@@ -85,18 +86,18 @@ class PolicyKernel:
         self._tel = telemetry
         self.run_set = self._run_set_tel  # type: ignore[method-assign]
 
-    def _run_set_tel(self, set_index: int, tags: List[int],
-                     u: Optional[Sequence[float]],
-                     rep: Optional[Sequence[bool]] = None,
-                     cost: Optional[Sequence[int]] = None,
-                     extra: Optional[Sequence[int]] = None) -> List[bool]:
+    def _run_set_tel(self, set_index: int, tags: list[int],
+                     u: Sequence[float] | None,
+                     rep: Sequence[bool] | None = None,
+                     cost: Sequence[int] | None = None,
+                     extra: Sequence[int] | None = None) -> list[bool]:
         raise NotImplementedError(
             f"{type(self).__name__} has no instrumented loop")
 
     def telemetry_finalize(self) -> None:
         """End-of-run accounting (resident-line histograms, occupancy)."""
 
-    def extra_stats(self) -> Dict[str, Any]:
+    def extra_stats(self) -> dict[str, Any]:
         """Policy-specific counters folded into the simulation result."""
         return {}
 
@@ -127,7 +128,7 @@ class NaivePolicy:
         """Victim bookkeeping before the new line is installed."""
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
-                cost_i: Optional[int] = None) -> None:
+                cost_i: int | None = None) -> None:
         """Install bookkeeping.  ``cost_i`` is the access's cost signal
         (line's running L1I miss count) or None when unmeasured."""
         raise NotImplementedError

@@ -35,7 +35,8 @@ values demand repeat offenders.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 from emissary.policies.base import NaivePolicy, PolicyKernel
 
@@ -77,21 +78,21 @@ class EmissaryKernel(PolicyKernel):
         # One insertion-ordered dict per set mapping tag -> priority bit.
         # A hit pops and reinserts, so dict order is recency order (front =
         # LRU) and the two-class victim search walks it oldest-first.
-        self._sets: List[Dict[int, int]] = [{} for _ in range(num_sets)]
-        self.hp_counts: List[int] = [0] * num_sets
+        self._sets: list[dict[int, int]] = [{} for _ in range(num_sets)]
+        self.hp_counts: list[int] = [0] * num_sets
         self.hp_promotions = 0
         self.hp_evictions = 0
 
     def attach_telemetry(self, telemetry: "Telemetry") -> None:
         super().attach_telemetry(telemetry)
         # Per-set tag -> hits-since-fill, parallel to the priority dicts.
-        self._hits_of: List[Dict[int, int]] = [{} for _ in range(self.num_sets)]
+        self._hits_of: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
 
-    def run_set(self, set_index: int, tags: List[int],
-                u: Optional[Sequence[float]],
-                rep: Optional[Sequence[bool]] = None,
-                cost: Optional[Sequence[int]] = None,
-                extra: Optional[Sequence[int]] = None) -> List[bool]:
+    def run_set(self, set_index: int, tags: list[int],
+                u: Sequence[float] | None,
+                rep: Sequence[bool] | None = None,
+                cost: Sequence[int] | None = None,
+                extra: Sequence[int] | None = None) -> list[bool]:
         assert u is not None
         d = self._sets[set_index]
         ways = self.ways
@@ -101,7 +102,7 @@ class EmissaryKernel(PolicyKernel):
         hp = self.hp_counts[set_index]
         promotions = 0
         hp_evictions = 0
-        hits: List[bool] = []
+        hits: list[bool] = []
         hit_append = hits.append
         pop = d.pop
         # Without a measured cost signal every fill is candidate-eligible
@@ -139,11 +140,11 @@ class EmissaryKernel(PolicyKernel):
         self.hp_evictions += hp_evictions
         return hits
 
-    def _run_set_tel(self, set_index: int, tags: List[int],
-                     u: Optional[Sequence[float]],
-                     rep: Optional[Sequence[bool]] = None,
-                     cost: Optional[Sequence[int]] = None,
-                     extra: Optional[Sequence[int]] = None) -> List[bool]:
+    def _run_set_tel(self, set_index: int, tags: list[int],
+                     u: Sequence[float] | None,
+                     rep: Sequence[bool] | None = None,
+                     cost: Sequence[int] | None = None,
+                     extra: Sequence[int] | None = None) -> list[bool]:
         """Instrumented twin of ``run_set``: identical two-class victim
         search, plus the paper's diagnostic accounting (eviction split by
         priority class, promotions, demotions, dead-on-fill lines)."""
@@ -158,7 +159,7 @@ class EmissaryKernel(PolicyKernel):
         hp = self.hp_counts[set_index]
         promotions = 0
         hp_evictions = 0
-        hits: List[bool] = []
+        hits: list[bool] = []
         hit_append = hits.append
         pop = d.pop
         observe = tel.observe
@@ -224,11 +225,11 @@ class EmissaryKernel(PolicyKernel):
         tel.observe_many("hp_set_occupancy", self.hp_counts)
         tel.inc("hp_lines_final", sum(self.hp_counts))
 
-    def set_contents(self, set_index: int) -> List[tuple]:
+    def set_contents(self, set_index: int) -> list[tuple]:
         """(tag, priority) pairs in recency order (LRU first) — for tests."""
         return list(self._sets[set_index].items())
 
-    def extra_stats(self) -> Dict[str, Any]:
+    def extra_stats(self) -> dict[str, Any]:
         return {
             "hp_threshold": self.hp_threshold,
             "prob_inv": self.prob_inv,
@@ -299,7 +300,7 @@ class NaiveEmissary(NaivePolicy):
             self.evictions_lp += 1
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
-                cost_i: Optional[int] = None) -> None:
+                cost_i: int | None = None) -> None:
         idx = set_index * self.ways + way
         eligible = cost_i is None or cost_i >= self.min_l1_misses
         if eligible and u_i < 1.0 / self.prob_inv \

@@ -11,7 +11,8 @@ timestamps are unique, so both orderings select identical victims.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from emissary.policies.base import NaivePolicy, PolicyKernel
 
@@ -24,16 +25,16 @@ class LRUKernel(PolicyKernel):
 
     def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
         super().__init__(num_sets, ways, **params)
-        self._sets: List[Dict[int, None]] = [{} for _ in range(num_sets)]
+        self._sets: list[dict[int, None]] = [{} for _ in range(num_sets)]
 
-    def run_set(self, set_index: int, tags: List[int],
-                u: Optional[Sequence[float]],
-                rep: Optional[Sequence[bool]] = None,
-                cost: Optional[Sequence[int]] = None,
-                extra: Optional[Sequence[int]] = None) -> List[bool]:
+    def run_set(self, set_index: int, tags: list[int],
+                u: Sequence[float] | None,
+                rep: Sequence[bool] | None = None,
+                cost: Sequence[int] | None = None,
+                extra: Sequence[int] | None = None) -> list[bool]:
         d = self._sets[set_index]
         ways = self.ways
-        hits: List[bool] = []
+        hits: list[bool] = []
         hit_append = hits.append
         pop = d.pop
         for tag in tags:
@@ -47,18 +48,18 @@ class LRUKernel(PolicyKernel):
                 hit_append(True)
         return hits
 
-    def _run_set_tel(self, set_index: int, tags: List[int],
-                     u: Optional[Sequence[float]],
-                     rep: Optional[Sequence[bool]] = None,
-                     cost: Optional[Sequence[int]] = None,
-                     extra: Optional[Sequence[int]] = None) -> List[bool]:
+    def _run_set_tel(self, set_index: int, tags: list[int],
+                     u: Sequence[float] | None,
+                     rep: Sequence[bool] | None = None,
+                     cost: Sequence[int] | None = None,
+                     extra: Sequence[int] | None = None) -> list[bool]:
         """Instrumented twin of ``run_set``: identical replacement
         decisions, with dict values repurposed as per-line hit counts."""
         tel = self._tel
         assert tel is not None and extra is not None
         d = self._sets[set_index]
         ways = self.ways
-        hits: List[bool] = []
+        hits: list[bool] = []
         hit_append = hits.append
         pop = d.pop
         observe = tel.observe
@@ -123,5 +124,5 @@ class NaiveLRU(NaivePolicy):
         self.timestamps[set_index * self.ways + way] = 0
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
-                cost_i: Optional[int] = None) -> None:
+                cost_i: int | None = None) -> None:
         self._touch(set_index, way)

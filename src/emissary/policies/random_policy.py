@@ -11,7 +11,8 @@ lookup, eviction, and fill all O(1).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 from emissary.policies.base import NaivePolicy, PolicyKernel
 
@@ -25,19 +26,19 @@ class RandomKernel(PolicyKernel):
 
     def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
         super().__init__(num_sets, ways, **params)
-        self._ways_of: List[Dict[int, int]] = [{} for _ in range(num_sets)]
-        self._tag_at: List[List[int]] = [[] for _ in range(num_sets)]
+        self._ways_of: list[dict[int, int]] = [{} for _ in range(num_sets)]
+        self._tag_at: list[list[int]] = [[] for _ in range(num_sets)]
 
-    def run_set(self, set_index: int, tags: List[int],
-                u: Optional[Sequence[float]],
-                rep: Optional[Sequence[bool]] = None,
-                cost: Optional[Sequence[int]] = None,
-                extra: Optional[Sequence[int]] = None) -> List[bool]:
+    def run_set(self, set_index: int, tags: list[int],
+                u: Sequence[float] | None,
+                rep: Sequence[bool] | None = None,
+                cost: Sequence[int] | None = None,
+                extra: Sequence[int] | None = None) -> list[bool]:
         assert u is not None
         ways_of = self._ways_of[set_index]
         tag_at = self._tag_at[set_index]
         ways = self.ways
-        hits: List[bool] = []
+        hits: list[bool] = []
         hit_append = hits.append
         for tag, u_i in zip(tags, u):
             if tag in ways_of:
@@ -58,13 +59,13 @@ class RandomKernel(PolicyKernel):
     def attach_telemetry(self, telemetry: "Telemetry") -> None:
         super().attach_telemetry(telemetry)
         # Per-set, per-way hit counts, parallel to ``_tag_at``.
-        self._way_hits: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self._way_hits: list[list[int]] = [[] for _ in range(self.num_sets)]
 
-    def _run_set_tel(self, set_index: int, tags: List[int],
-                     u: Optional[Sequence[float]],
-                     rep: Optional[Sequence[bool]] = None,
-                     cost: Optional[Sequence[int]] = None,
-                     extra: Optional[Sequence[int]] = None) -> List[bool]:
+    def _run_set_tel(self, set_index: int, tags: list[int],
+                     u: Sequence[float] | None,
+                     rep: Sequence[bool] | None = None,
+                     cost: Sequence[int] | None = None,
+                     extra: Sequence[int] | None = None) -> list[bool]:
         """Instrumented twin of ``run_set`` with per-way hit accounting."""
         tel = self._tel
         assert u is not None and tel is not None and extra is not None
@@ -72,7 +73,7 @@ class RandomKernel(PolicyKernel):
         tag_at = self._tag_at[set_index]
         way_hits = self._way_hits[set_index]
         ways = self.ways
-        hits: List[bool] = []
+        hits: list[bool] = []
         hit_append = hits.append
         observe = tel.observe
         fills = evictions = dead = 0
@@ -124,5 +125,5 @@ class NaiveRandom(NaivePolicy):
         return int(u_i * self.ways)
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
-                cost_i: Optional[int] = None) -> None:
+                cost_i: int | None = None) -> None:
         pass

@@ -24,7 +24,8 @@ RRPV 0 by that hit, so the kernel consumes the engine's repeat flags
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -40,10 +41,10 @@ RRPV_INSERT = RRPV_MAX - 1
 #: Packed-int fast path covers up to 8 ways (16-bit packed values, 64K tables).
 PACK_MAX_WAYS = 8
 
-_TABLES: Dict[int, Tuple[bytes, bytes]] = {}
+_TABLES: dict[int, tuple[bytes, bytes]] = {}
 
 
-def _pack_tables(ways: int) -> Tuple[bytes, bytes]:
+def _pack_tables(ways: int) -> tuple[bytes, bytes]:
     """(max RRPV, lowest-index way holding it) for every packed value."""
     cached = _TABLES.get(ways)
     if cached is not None:
@@ -65,18 +66,18 @@ class SRRIPKernel(PolicyKernel):
 
     def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
         super().__init__(num_sets, ways, **params)
-        self._ways_of: List[Dict[int, int]] = [{} for _ in range(num_sets)]
-        self._tag_at: List[List[int]] = [[] for _ in range(num_sets)]
+        self._ways_of: list[dict[int, int]] = [{} for _ in range(num_sets)]
+        self._tag_at: list[list[int]] = [[] for _ in range(num_sets)]
         self._packed_ok = ways <= PACK_MAX_WAYS
         if self._packed_ok:
             self._top_table, self._victim_table = _pack_tables(ways)
-            self._packed: List[int] = [0] * num_sets
+            self._packed: list[int] = [0] * num_sets
             # 0b0101...01: adds the aging delta to every 2-bit field at once.
             self._ones = int("01" * ways, 2)
             self._clear = [~(RRPV_MAX << (RRPV_BITS * w)) & ((1 << (RRPV_BITS * ways)) - 1)
                            for w in range(ways)]
         else:
-            self._rrpv: List[List[int]] = [[] for _ in range(num_sets)]
+            self._rrpv: list[list[int]] = [[] for _ in range(num_sets)]
 
     def attach_telemetry(self, telemetry: "Telemetry") -> None:
         """Instrumented runs always take the wide (list-based) path — one
@@ -86,13 +87,13 @@ class SRRIPKernel(PolicyKernel):
         if self._packed_ok:
             self._packed_ok = False
             self._rrpv = [[] for _ in range(self.num_sets)]
-        self._way_hits: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self._way_hits: list[list[int]] = [[] for _ in range(self.num_sets)]
 
-    def run_set(self, set_index: int, tags: List[int],
-                u: Optional[Sequence[float]],
-                rep: Optional[Sequence[bool]] = None,
-                cost: Optional[Sequence[int]] = None,
-                extra: Optional[Sequence[int]] = None) -> List[bool]:
+    def run_set(self, set_index: int, tags: list[int],
+                u: Sequence[float] | None,
+                rep: Sequence[bool] | None = None,
+                cost: Sequence[int] | None = None,
+                extra: Sequence[int] | None = None) -> list[bool]:
         assert rep is not None
         if not self._packed_ok:
             return self._run_set_wide(set_index, tags, rep)
@@ -104,7 +105,7 @@ class SRRIPKernel(PolicyKernel):
         ones = self._ones
         clear = self._clear
         ways = self.ways
-        hits: List[bool] = []
+        hits: list[bool] = []
         hit_append = hits.append
         get = ways_of.get
         for tag, repeated in zip(tags, rep):
@@ -132,14 +133,14 @@ class SRRIPKernel(PolicyKernel):
         self._packed[set_index] = packed
         return hits
 
-    def _run_set_wide(self, set_index: int, tags: List[int],
-                      rep: Sequence[bool]) -> List[bool]:
+    def _run_set_wide(self, set_index: int, tags: list[int],
+                      rep: Sequence[bool]) -> list[bool]:
         """List-based fallback for associativities beyond the packed tables."""
         ways_of = self._ways_of[set_index]
         tag_at = self._tag_at[set_index]
         rrpv = self._rrpv[set_index]
         ways = self.ways
-        hits: List[bool] = []
+        hits: list[bool] = []
         hit_append = hits.append
         get = ways_of.get
         for tag, repeated in zip(tags, rep):
@@ -168,11 +169,11 @@ class SRRIPKernel(PolicyKernel):
                 hit_append(False)
         return hits
 
-    def _run_set_tel(self, set_index: int, tags: List[int],
-                     u: Optional[Sequence[float]],
-                     rep: Optional[Sequence[bool]] = None,
-                     cost: Optional[Sequence[int]] = None,
-                     extra: Optional[Sequence[int]] = None) -> List[bool]:
+    def _run_set_tel(self, set_index: int, tags: list[int],
+                     u: Sequence[float] | None,
+                     rep: Sequence[bool] | None = None,
+                     cost: Sequence[int] | None = None,
+                     extra: Sequence[int] | None = None) -> list[bool]:
         """Instrumented twin of ``_run_set_wide`` with per-way hit counts."""
         tel = self._tel
         assert rep is not None and tel is not None and extra is not None
@@ -181,7 +182,7 @@ class SRRIPKernel(PolicyKernel):
         rrpv = self._rrpv[set_index]
         way_hits = self._way_hits[set_index]
         ways = self.ways
-        hits: List[bool] = []
+        hits: list[bool] = []
         hit_append = hits.append
         get = ways_of.get
         observe = tel.observe
@@ -231,7 +232,7 @@ class SRRIPKernel(PolicyKernel):
         for way_hits in self._way_hits:
             tel.observe_many("resident_line_hits", way_hits)
 
-    def effective_rrpv(self, set_index: int) -> List[int]:
+    def effective_rrpv(self, set_index: int) -> list[int]:
         """Per-way RRPVs for the set's resident ways — for tests."""
         size = len(self._tag_at[set_index])
         if self._packed_ok:
@@ -262,5 +263,5 @@ class NaiveSRRIP(NaivePolicy):
                 rrpv[base + w] += 1
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
-                cost_i: Optional[int] = None) -> None:
+                cost_i: int | None = None) -> None:
         self.rrpv[set_index * self.ways + way] = RRPV_INSERT

@@ -28,13 +28,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 from emissary.sweep import SWEEP_SCHEMA_VERSION, _format_table
 from emissary.telemetry import spans_to_chrome_trace
 
 
-def load_sweep_output(path: str) -> Dict[str, Any]:
+def load_sweep_output(path: str) -> dict[str, Any]:
     """Read sweep ``--out`` JSON, normalizing to the envelope form.
 
     Accepts the current schema-versioned envelope or the legacy bare row
@@ -55,7 +55,7 @@ def load_sweep_output(path: str) -> Dict[str, Any]:
     return payload
 
 
-def _config_label(config: Dict[str, Any], index: int) -> str:
+def _config_label(config: dict[str, Any], index: int) -> str:
     policy = config.get("policy", {})
     params = ",".join(f"{k}={v}" for k, v in sorted(policy.get("params", {}).items()))
     trace = config.get("trace", {}).get("kind", "?")
@@ -66,7 +66,7 @@ def _config_label(config: Dict[str, Any], index: int) -> str:
     return f"{label} {level}"
 
 
-def _hist_summary(hist: Dict[str, int], max_buckets: int = 6) -> str:
+def _hist_summary(hist: dict[str, int], max_buckets: int = 6) -> str:
     """Render ``value:count`` pairs, eliding the middle of wide histograms."""
     items = sorted(((int(v), c) for v, c in hist.items()), key=lambda vc: vc[0])
     shown = [f"{v}:{c}" for v, c in items]
@@ -79,11 +79,11 @@ def _hist_summary(hist: Dict[str, int], max_buckets: int = 6) -> str:
     return f"{{{', '.join(shown)}}} (n={total}, mean={mean:.2f})"
 
 
-def _telemetry_lines(telemetry: Dict[str, Any]) -> List[str]:
+def _telemetry_lines(telemetry: dict[str, Any]) -> list[str]:
     """The policy-facing counter/histogram digest for one config."""
-    counters: Dict[str, int] = telemetry.get("counters", {})
-    histograms: Dict[str, Dict[str, int]] = telemetry.get("histograms", {})
-    lines: List[str] = []
+    counters: dict[str, int] = telemetry.get("counters", {})
+    histograms: dict[str, dict[str, int]] = telemetry.get("histograms", {})
+    lines: list[str] = []
     # A hierarchy payload holds both levels under l1./l2. prefixes; a
     # single-level payload holds unprefixed names.  Render whichever
     # prefixes are actually present, engine.* internals last.
@@ -93,7 +93,7 @@ def _telemetry_lines(telemetry: Dict[str, Any]) -> List[str]:
     for prefix in prefixes:
         tag = f"  {prefix.rstrip('.')}: " if prefix else "  "
 
-        def c(name: str, p: str = prefix) -> Optional[int]:
+        def c(name: str, p: str = prefix) -> int | None:
             return counters.get(p + name)
 
         core = [(label, c(name)) for label, name in (
@@ -122,7 +122,7 @@ def _telemetry_lines(telemetry: Dict[str, Any]) -> List[str]:
     return lines
 
 
-def _stream_digest(spans: List[Dict[str, Any]]) -> Optional[str]:
+def _stream_digest(spans: list[dict[str, Any]]) -> str | None:
     """One-line chunk-ingest summary for streamed (chunked) runs.
 
     Streaming engines emit ``stream_ingest`` spans around pulling each
@@ -146,10 +146,10 @@ def _stream_digest(spans: List[Dict[str, Any]]) -> Optional[str]:
             f"ingest {ingest_us / 1e3:.1f}ms, simulate {chunk_us / 1e3:.1f}ms")
 
 
-def render_report(envelope: Dict[str, Any]) -> str:
+def render_report(envelope: dict[str, Any]) -> str:
     """Render the full text report for a loaded sweep envelope."""
-    rows: List[Dict[str, Any]] = envelope["rows"]
-    out: List[str] = ["emissary sweep report"]
+    rows: list[dict[str, Any]] = envelope["rows"]
+    out: list[str] = ["emissary sweep report"]
     header_bits = []
     for key, label in (("schema_version", "schema"), ("seed", "seed"),
                        ("grid_size", "configs"), ("fresh", "fresh"),
@@ -189,13 +189,13 @@ def render_report(envelope: Dict[str, Any]) -> str:
     return "\n".join(out)
 
 
-def export_chrome_trace(envelope: Dict[str, Any]) -> Dict[str, Any]:
+def export_chrome_trace(envelope: dict[str, Any]) -> dict[str, Any]:
     """Merge every row's engine phase spans into one Chrome trace.
 
     Tracks: pid = the worker process that ran the config (0 for cached or
     legacy rows), tid = the config's index in the sweep grid.
     """
-    spans: List[Dict[str, Any]] = []
+    spans: list[dict[str, Any]] = []
     for i, row in enumerate(envelope["rows"]):
         result = row.get("result")
         if not isinstance(result, dict):
@@ -212,7 +212,7 @@ def export_chrome_trace(envelope: Dict[str, Any]) -> Dict[str, Any]:
     return spans_to_chrome_trace(spans)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="emissary.report", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("path", help="sweep --out JSON (envelope or legacy row list)")

@@ -27,7 +27,7 @@ import logging
 import os
 import uuid
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any
 
 logger = logging.getLogger(__name__)
 
@@ -47,7 +47,7 @@ def canonical_json(obj: Any) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-def _as_config_dict(config: Any) -> Dict[str, Any]:
+def _as_config_dict(config: Any) -> dict[str, Any]:
     """Accept a plain dict or anything with a canonical ``to_dict``
     encoding (e.g. :class:`emissary.api.SimRequest`)."""
     if isinstance(config, dict):
@@ -75,7 +75,7 @@ def config_key(config: Any) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-def _result_checksum(result: Dict[str, Any]) -> str:
+def _result_checksum(result: dict[str, Any]) -> str:
     return hashlib.sha256(canonical_json(result).encode()).hexdigest()
 
 
@@ -87,7 +87,7 @@ class ResultsCache:
         self.hits = 0
         self.misses = 0
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         """Load outcomes since construction: ``{"hits": ..., "misses": ...}``
         (a corrupt or mismatched entry counts as a miss)."""
         return {"hits": self.hits, "misses": self.misses}
@@ -95,7 +95,7 @@ class ResultsCache:
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
 
-    def _validate(self, entry: Any, key: str, path: Path) -> Optional[Dict[str, Any]]:
+    def _validate(self, entry: Any, key: str, path: Path) -> dict[str, Any] | None:
         if not isinstance(entry, dict):
             logger.warning("results cache: %s is not a JSON object; skipping", path)
             return None
@@ -119,7 +119,7 @@ class ResultsCache:
             return None
         return entry["result"]
 
-    def load(self, config: Any) -> Optional[Dict[str, Any]]:
+    def load(self, config: Any) -> dict[str, Any] | None:
         """Return the cached result for ``config`` (a dict or a
         :class:`~emissary.api.SimRequest`), or None (corrupt => warn + None)."""
         key = config_key(config)
@@ -140,7 +140,7 @@ class ResultsCache:
             self.hits += 1
         return result
 
-    def store(self, config: Any, result: Dict[str, Any]) -> Path:
+    def store(self, config: Any, result: dict[str, Any]) -> Path:
         config = _as_config_dict(config)
         key = config_key(config)
         self.cache_dir.mkdir(parents=True, exist_ok=True)

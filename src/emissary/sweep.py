@@ -31,7 +31,8 @@ import os
 import sys
 import time
 import warnings
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
+from typing import Any
 
 from emissary.api import EmissaryDeprecationWarning, PolicySpec, SimRequest
 from emissary.engine import BatchedEngine, CacheConfig
@@ -43,16 +44,16 @@ from emissary.traces import FILE_KIND, TraceSpec
 
 logger = logging.getLogger(__name__)
 
-AnyCacheConfig = Union[CacheConfig, HierarchyConfig]
+AnyCacheConfig = CacheConfig | HierarchyConfig
 
 #: Version of the ``--out`` / run-report JSON envelope.  Version 1 was a
 #: bare row list (still readable by ``python -m emissary.report``).
 SWEEP_SCHEMA_VERSION = 2
 
 
-def make_config(trace: Any, policy: Optional[str] = None,
-                cache: Optional[AnyCacheConfig] = None, seed: int = 0,
-                policy_params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+def make_config(trace: Any, policy: str | None = None,
+                cache: AnyCacheConfig | None = None, seed: int = 0,
+                policy_params: dict[str, Any] | None = None) -> dict[str, Any]:
     """One sweep point, encoded as the plain dict that keys the results cache.
 
     Canonical form: ``make_config(SimRequest(...))``.  The legacy
@@ -71,7 +72,7 @@ def make_config(trace: Any, policy: Optional[str] = None,
     return request.to_dict()
 
 
-def run_config(config: Dict[str, Any]) -> Dict[str, Any]:
+def run_config(config: dict[str, Any]) -> dict[str, Any]:
     """Worker entry point: simulate one configuration, return plain dicts.
 
     A config with ``"telemetry": true`` runs instrumented; its result
@@ -99,8 +100,8 @@ def run_config(config: Dict[str, Any]) -> Dict[str, Any]:
     return result.to_dict()
 
 
-def _run_indexed(item: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any],
-                                                            Dict[str, Any]]:
+def _run_indexed(item: tuple[int, dict[str, Any]]) -> tuple[int, dict[str, Any],
+                                                            dict[str, Any]]:
     """Run one indexed config, never letting an exception escape the
     worker: a raising config becomes an ``{"error": ...}`` payload so one
     bad point cannot kill the pool and discard in-flight results.
@@ -119,14 +120,14 @@ def _run_indexed(item: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any],
 
 def build_grid(traces: Sequence[TraceSpec], policies: Sequence[str],
                cache: AnyCacheConfig, seed: int, hp_thresholds: Sequence[int],
-               prob_invs: Sequence[int], min_l1_misses: int = 1) -> List[SimRequest]:
+               prob_invs: Sequence[int], min_l1_misses: int = 1) -> list[SimRequest]:
     """Cross traces x policies (x EMISSARY parameter grid) into SimRequests.
 
     ``min_l1_misses`` only applies to EMISSARY points and only has a
     measured signal to gate on when ``cache`` is a
     :class:`~emissary.hierarchy.HierarchyConfig`.
     """
-    grid: List[SimRequest] = []
+    grid: list[SimRequest] = []
     for trace in traces:
         for policy in policies:
             if policy == "emissary":
@@ -142,10 +143,10 @@ def build_grid(traces: Sequence[TraceSpec], policies: Sequence[str],
     return grid
 
 
-def run_sweep(grid: Sequence[Union[SimRequest, Dict[str, Any]]], workers: int = 0,
+def run_sweep(grid: Sequence[SimRequest | dict[str, Any]], workers: int = 0,
               cache_dir: str = DEFAULT_CACHE_DIR,
               telemetry: bool = False,
-              store: Optional[ResultsCache] = None) -> List[Dict[str, Any]]:
+              store: ResultsCache | None = None) -> list[dict[str, Any]]:
     """Run every configuration, reusing cached results; returns one row per config.
 
     Fresh results are persisted to the cache *as each worker completes*
@@ -171,8 +172,8 @@ def run_sweep(grid: Sequence[Union[SimRequest, Dict[str, Any]]], workers: int = 
     if telemetry:
         for config in configs:
             config["telemetry"] = True
-    rows: List[Optional[Dict[str, Any]]] = [None] * len(configs)
-    pending: List[int] = []
+    rows: list[dict[str, Any] | None] = [None] * len(configs)
+    pending: list[int] = []
     for i, config in enumerate(configs):
         cached = store.load(config)
         if cached is not None:
@@ -180,7 +181,7 @@ def run_sweep(grid: Sequence[Union[SimRequest, Dict[str, Any]]], workers: int = 
         else:
             pending.append(i)
 
-    def record(i: int, payload: Dict[str, Any], worker: Dict[str, Any]) -> None:
+    def record(i: int, payload: dict[str, Any], worker: dict[str, Any]) -> None:
         row = {"config": configs[i], "cached": False, "worker": worker}
         if "error" in payload:
             logger.error("config %d failed: %s", i, payload["error"])
@@ -206,9 +207,9 @@ def run_sweep(grid: Sequence[Union[SimRequest, Dict[str, Any]]], workers: int = 
     return rows  # type: ignore[return-value]
 
 
-def build_envelope(rows: List[Dict[str, Any]], seed: int, elapsed_s: float,
-                   cache_stats: Optional[Dict[str, int]] = None,
-                   telemetry: bool = False) -> Dict[str, Any]:
+def build_envelope(rows: list[dict[str, Any]], seed: int, elapsed_s: float,
+                   cache_stats: dict[str, int] | None = None,
+                   telemetry: bool = False) -> dict[str, Any]:
     """Assemble the schema-versioned run-report envelope around sweep rows.
 
     This is what ``--out`` writes and ``python -m emissary.report``
@@ -218,7 +219,7 @@ def build_envelope(rows: List[Dict[str, Any]], seed: int, elapsed_s: float,
     """
     fresh = sum(1 for r in rows if not r["cached"] and "error" not in r)
     errors = sum(1 for r in rows if "error" in r)
-    workers: Dict[str, Dict[str, Any]] = {}
+    workers: dict[str, dict[str, Any]] = {}
     for row in rows:
         meta = row.get("worker")
         if meta is None:
@@ -242,8 +243,8 @@ def build_envelope(rows: List[Dict[str, Any]], seed: int, elapsed_s: float,
     }
 
 
-def _format_table(rows: List[Dict[str, Any]]) -> str:
-    def params_of(cfg: Dict[str, Any]) -> str:
+def _format_table(rows: list[dict[str, Any]]) -> str:
+    def params_of(cfg: dict[str, Any]) -> str:
         return ",".join(f"{k}={v}"
                         for k, v in sorted(cfg["policy"]["params"].items())) or "-"
 
@@ -276,7 +277,7 @@ def _format_table(rows: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
-def demo_grid(n: int = 200_000, seed: int = 42) -> List[SimRequest]:
+def demo_grid(n: int = 200_000, seed: int = 42) -> list[SimRequest]:
     # A small L2 (256 sets x 8 ways = 2048 lines) with a footprint ~1.25x
     # capacity: the loop cycles several times within n accesses, so pure
     # LRU thrashes while EMISSARY's protected lines keep hitting — the
@@ -299,7 +300,7 @@ def demo_grid(n: int = 200_000, seed: int = 42) -> List[SimRequest]:
     return grid
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="emissary.sweep", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--demo", action="store_true",

@@ -38,8 +38,9 @@ report embeds per config, and ``python -m emissary.report`` renders.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any
 
 #: Version of the ``Telemetry.to_dict`` payload layout.
 TELEMETRY_SCHEMA_VERSION = 1
@@ -56,9 +57,9 @@ class Telemetry:
     """
 
     def __init__(self) -> None:
-        self.counters: Dict[str, int] = {}
-        self.histograms: Dict[str, Dict[int, int]] = {}
-        self.spans: List[Dict[str, Any]] = []
+        self.counters: dict[str, int] = {}
+        self.histograms: dict[str, dict[int, int]] = {}
+        self.spans: list[dict[str, Any]] = []
 
     # -- counters ---------------------------------------------------------
 
@@ -125,7 +126,7 @@ class Telemetry:
 
     # -- serialization ----------------------------------------------------
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """Schema-versioned JSON-safe payload (histogram keys stringified)."""
         return {
             "schema_version": TELEMETRY_SCHEMA_VERSION,
@@ -136,7 +137,7 @@ class Telemetry:
             "spans": [dict(span) for span in self.spans],
         }
 
-    def to_chrome_trace(self) -> Dict[str, Any]:
+    def to_chrome_trace(self) -> dict[str, Any]:
         """Chrome trace-event JSON for this instance's spans."""
         return spans_to_chrome_trace(self.spans)
 
@@ -160,13 +161,13 @@ class _ReusableNull:
 _NULL_CONTEXT = _ReusableNull()
 
 
-def span_factory(telemetry: Optional[Telemetry]):
+def span_factory(telemetry: Telemetry | None):
     """``telemetry.span`` when enabled, a shared no-op otherwise."""
     return telemetry.span if telemetry is not None else null_span
 
 
-def spans_to_chrome_trace(spans: Iterable[Dict[str, Any]], pid: int = 0,
-                          tid: int = 0) -> Dict[str, Any]:
+def spans_to_chrome_trace(spans: Iterable[dict[str, Any]], pid: int = 0,
+                          tid: int = 0) -> dict[str, Any]:
     """Convert span records to the Chrome trace-event JSON object format.
 
     Each span becomes a complete ("ph": "X") event; timestamps are

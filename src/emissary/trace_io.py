@@ -19,8 +19,9 @@ Formats
     2 destination + 4 source memory operands (u64).  Only ``ip`` — the
     instruction fetch address — drives an instruction-cache simulation;
     the writer zero-fills the rest.
-``champsim.gz``
-    The same records gzip-compressed (``.gz`` suffix), decompressed
+``champsim.gz`` / ``champsim.xz``
+    The same records gzip- or xz-compressed (``.gz`` / ``.xz`` suffix —
+    ChampSim traces in the wild ship as ``.trace.xz``), decompressed
     incrementally while streaming.
 ``npy``
     A 1-D unsigned integer array of byte addresses, memory-mapped so
@@ -57,13 +58,16 @@ from __future__ import annotations
 import argparse
 import gzip
 import hashlib
+import lzma
 import sys
+from collections.abc import Iterable, Iterator
 from pathlib import Path
-from typing import Any, BinaryIO, Dict, Iterable, Iterator, List, Optional
+from typing import Any, BinaryIO
 
 import numpy as np
 
-from emissary.traces import FILE_KIND, GENERATORS, LINE_BYTES, TraceSpec
+from emissary.traces import (FILE_KIND, GENERATORS, LINE_BYTES,
+                             AddressArray, TraceSpec)
 
 #: Default streaming memory budget: 8 MiB of addresses per chunk.
 DEFAULT_CHUNK_BYTES = 8 << 20
@@ -80,10 +84,13 @@ CHAMPSIM_DTYPE = np.dtype([
 ])
 assert CHAMPSIM_DTYPE.itemsize == 64
 
-FORMATS = ("champsim", "champsim.gz", "npy", "npz")
+FORMATS = ("champsim", "champsim.gz", "champsim.xz", "npy", "npz")
 
 #: Raw (uncompressed) ChampSim record suffixes.
 _RAW_SUFFIXES = (".champsim", ".bin", ".trace")
+
+#: ChampSim compression codec -> incremental (de)compressing opener.
+_COMPRESSION_OPENERS = {"gz": gzip.open, "xz": lzma.open}
 
 
 def detect_format(path: str | Path) -> str:
@@ -95,12 +102,14 @@ def detect_format(path: str | Path) -> str:
         return "npz"
     if name.endswith(".gz"):
         return "champsim.gz"
+    if name.endswith(".xz"):
+        return "champsim.xz"
     if name.endswith(_RAW_SUFFIXES):
         return "champsim"
     raise ValueError(
         f"cannot infer trace format from {str(path)!r}; expected a suffix in "
         f"{_RAW_SUFFIXES} (raw ChampSim records), .gz (gzip ChampSim), "
-        f".npy, or .npz")
+        f".xz (xz ChampSim), .npy, or .npz")
 
 
 def file_sha256(path: str | Path) -> str:
@@ -110,6 +119,24 @@ def file_sha256(path: str | Path) -> str:
         for block in iter(lambda: fh.read(1 << 20), b""):
             digest.update(block)
     return digest.hexdigest()
+
+
+#: Per-process verification memo: (resolved path, size, mtime_ns) -> sha256.
+#: A sweep worker simulating many configs against one trace file pays the
+#: full-file hash once, not once per config; any rewrite of the file
+#: changes size or mtime and forces a re-hash.
+_SHA_MEMO: dict[tuple, str] = {}
+
+
+def verified_sha256(path: str | Path) -> str:
+    """:func:`file_sha256` with a per-process (path, size, mtime) memo."""
+    resolved = Path(path).resolve()
+    stat = resolved.stat()
+    key = (str(resolved), stat.st_size, stat.st_mtime_ns)
+    cached = _SHA_MEMO.get(key)
+    if cached is None:
+        cached = _SHA_MEMO[key] = file_sha256(resolved)
+    return cached
 
 
 class TraceSource:
@@ -130,14 +157,14 @@ class TraceSource:
         self.path = Path(path)
         self.chunk_bytes = chunk_bytes
 
-    def __iter__(self) -> Iterator[np.ndarray]:
+    def __iter__(self) -> Iterator[AddressArray]:
         raise NotImplementedError
 
     def count(self) -> int:
         """Number of accesses in the trace (may scan the file once)."""
         raise NotImplementedError
 
-    def read_all(self) -> np.ndarray:
+    def read_all(self) -> AddressArray:
         """The whole trace in memory (chunks concatenated)."""
         chunks = list(self)
         if not chunks:
@@ -146,26 +173,45 @@ class TraceSource:
 
 
 class ChampSimSource(TraceSource):
-    """Raw or gzip-compressed packed instruction records -> fetch addresses."""
+    """Raw, gzip- or xz-compressed packed instruction records -> fetch
+    addresses.
+
+    ``compression`` is ``"gz"``, ``"xz"``, or None (raw); by default it
+    is inferred from the file suffix.  The legacy boolean ``compressed``
+    keyword still selects gzip.
+    """
 
     def __init__(self, path: str | Path,
                  chunk_bytes: int = DEFAULT_CHUNK_BYTES,
-                 compressed: Optional[bool] = None) -> None:
+                 compression: str | None = None,
+                 compressed: bool | None = None) -> None:
         super().__init__(path, chunk_bytes)
-        if compressed is None:
-            compressed = str(path).lower().endswith(".gz")
-        self.compressed = compressed
-        self.format = "champsim.gz" if compressed else "champsim"
+        if compression is None:
+            if compressed is not None:
+                compression = "gz" if compressed else None
+            else:
+                name = str(path).lower()
+                if name.endswith(".gz"):
+                    compression = "gz"
+                elif name.endswith(".xz"):
+                    compression = "xz"
+        elif compression not in _COMPRESSION_OPENERS:
+            raise ValueError(f"unknown compression {compression!r}; "
+                             f"known: {sorted(_COMPRESSION_OPENERS)} or None")
+        self.compression = compression
+        self.compressed = compression is not None
+        self.format = f"champsim.{compression}" if compression else "champsim"
 
     def _open(self) -> BinaryIO:
-        if self.compressed:
-            return gzip.open(self.path, "rb")  # type: ignore[return-value]
+        if self.compression is not None:
+            opener = _COMPRESSION_OPENERS[self.compression]
+            return opener(self.path, "rb")  # type: ignore[return-value]
         return open(self.path, "rb")
 
     def _records_per_chunk(self) -> int:
         return max(1, self.chunk_bytes // CHAMPSIM_DTYPE.itemsize)
 
-    def __iter__(self) -> Iterator[np.ndarray]:
+    def __iter__(self) -> Iterator[AddressArray]:
         record_bytes = CHAMPSIM_DTYPE.itemsize
         read_bytes = self._records_per_chunk() * record_bytes
         with self._open() as fh:
@@ -205,14 +251,14 @@ class NpySource(TraceSource):
 
     format = "npy"
 
-    def _mmap(self) -> np.ndarray:
+    def _mmap(self) -> AddressArray:
         arr = np.load(self.path, mmap_mode="r")
         if arr.ndim != 1 or arr.dtype.kind not in "ui":
             raise ValueError(f"{self.path}: expected a 1-D unsigned/integer "
                              f"address array, got {arr.dtype} {arr.shape}")
         return arr
 
-    def __iter__(self) -> Iterator[np.ndarray]:
+    def __iter__(self) -> Iterator[AddressArray]:
         arr = self._mmap()
         step = max(1, self.chunk_bytes // 8)
         for lo in range(0, len(arr), step):
@@ -232,7 +278,7 @@ class NpzSource(TraceSource):
 
     format = "npz"
 
-    def _load(self) -> np.ndarray:
+    def _load(self) -> AddressArray:
         with np.load(self.path) as archive:
             names = archive.files
             key = "addresses" if "addresses" in names else None
@@ -248,7 +294,7 @@ class NpzSource(TraceSource):
                              f"address array, got {arr.dtype} {arr.shape}")
         return np.ascontiguousarray(arr, dtype=np.uint64)
 
-    def __iter__(self) -> Iterator[np.ndarray]:
+    def __iter__(self) -> Iterator[AddressArray]:
         arr = self._load()
         step = max(1, self.chunk_bytes // 8)
         for lo in range(0, len(arr), step):
@@ -259,13 +305,16 @@ class NpzSource(TraceSource):
 
 
 def open_trace(path: str | Path, chunk_bytes: int = DEFAULT_CHUNK_BYTES,
-               format: Optional[str] = None) -> TraceSource:
+               format: str | None = None) -> TraceSource:
     """Open a trace file as a chunked :class:`TraceSource`."""
     fmt = format or detect_format(path)
     if fmt == "champsim":
-        return ChampSimSource(path, chunk_bytes, compressed=False)
+        return ChampSimSource(path, chunk_bytes, compression=None,
+                              compressed=False)
     if fmt == "champsim.gz":
-        return ChampSimSource(path, chunk_bytes, compressed=True)
+        return ChampSimSource(path, chunk_bytes, compression="gz")
+    if fmt == "champsim.xz":
+        return ChampSimSource(path, chunk_bytes, compression="xz")
     if fmt == "npy":
         return NpySource(path, chunk_bytes)
     if fmt == "npz":
@@ -276,14 +325,14 @@ def open_trace(path: str | Path, chunk_bytes: int = DEFAULT_CHUNK_BYTES,
 # -- writers ---------------------------------------------------------------
 
 
-def _champsim_records(addresses: np.ndarray) -> np.ndarray:
+def _champsim_records(addresses: AddressArray) -> np.ndarray:
     records = np.zeros(len(addresses), dtype=CHAMPSIM_DTYPE)
     records["ip"] = np.asarray(addresses, dtype=np.uint64)
     return records
 
 
-def write_trace(path: str | Path, chunks: Iterable[np.ndarray],
-                format: Optional[str] = None) -> int:
+def write_trace(path: str | Path, chunks: Iterable[AddressArray],
+                format: str | None = None) -> int:
     """Write address chunks to ``path`` (format from suffix unless given).
 
     ChampSim formats stream chunk by chunk; ``npy``/``npz`` buffer the
@@ -294,8 +343,9 @@ def write_trace(path: str | Path, chunks: Iterable[np.ndarray],
     if isinstance(chunks, np.ndarray):
         chunks = [chunks]
     written = 0
-    if fmt in ("champsim", "champsim.gz"):
-        opener = gzip.open if fmt == "champsim.gz" else open
+    if fmt in ("champsim", "champsim.gz", "champsim.xz"):
+        opener = (_COMPRESSION_OPENERS[fmt.rsplit(".", 1)[1]]
+                  if "." in fmt else open)
         with opener(path, "wb") as fh:  # type: ignore[operator]
             for chunk in chunks:
                 fh.write(_champsim_records(chunk).tobytes())
@@ -343,9 +393,12 @@ def spec_source(spec: TraceSpec,
                 verify: bool = True) -> TraceSource:
     """Open the :class:`TraceSource` behind a ``kind="file"`` spec.
 
-    ``verify`` re-hashes the file and demands it still matches the
-    spec's ``sha256`` — the spec *is* the cache key, so simulating a
-    file that drifted from its recorded content would poison the cache.
+    ``verify`` hashes the file and demands it still matches the spec's
+    ``sha256`` — the spec *is* the cache key, so simulating a file that
+    drifted from its recorded content would poison the cache.  The hash
+    is memoized per process keyed on (path, size, mtime), so a sweep
+    worker verifying one trace against many configs pays the full-file
+    SHA-256 pass once.
     """
     if spec.kind != FILE_KIND:
         raise ValueError(f"spec kind {spec.kind!r} is not {FILE_KIND!r}")
@@ -356,7 +409,7 @@ def spec_source(spec: TraceSpec,
             "probably rebuilt from a cache entry on another machine); "
             "re-create it with emissary.trace_io.file_spec(<path>)")
     if verify:
-        actual = file_sha256(path)
+        actual = verified_sha256(path)
         if actual != spec.params["sha256"]:
             raise ValueError(
                 f"{path}: content hash {actual[:16]}... does not match the "
@@ -365,7 +418,8 @@ def spec_source(spec: TraceSpec,
     return open_trace(path, chunk_bytes, format=spec.params.get("format"))
 
 
-def load_spec_addresses(spec: TraceSpec, verify: bool = True) -> np.ndarray:
+def load_spec_addresses(spec: TraceSpec,
+                        verify: bool = True) -> AddressArray:
     """Load a ``kind="file"`` spec fully into memory (TraceSpec.generate)."""
     addresses = spec_source(spec, verify=verify).read_all()
     if len(addresses) != spec.n:
@@ -394,7 +448,7 @@ def _parse_param(text: str) -> tuple[str, Any]:
 
 
 def _synth_chunks(kind: str, n: int, seed: int,
-                  params: Dict[str, Any]) -> Iterable[np.ndarray]:
+                  params: dict[str, Any]) -> Iterable[AddressArray]:
     if kind not in GENERATORS:
         raise SystemExit(f"unknown synthetic trace kind {kind!r}; "
                          f"known: {sorted(GENERATORS)}")
@@ -425,7 +479,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     source = open_trace(args.path, args.chunk_bytes)
     total = 0
     lines: set = set()
-    head: List[int] = []
+    head: list[int] = []
     for chunk in source:
         if len(head) < args.head:
             head.extend(chunk[:args.head - len(head)].tolist())
@@ -448,7 +502,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 DEFAULT_SYNTH_N = 1_000_000
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="emissary.trace_io", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)

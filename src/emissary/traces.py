@@ -22,11 +22,16 @@ spec has been handed out.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
+
+#: Byte-granular instruction fetch addresses — the currency every
+#: generator produces and every engine consumes.
+AddressArray = NDArray[np.uint64]
 
 LINE_BYTES = 64
 INSTR_BYTES = 4
@@ -46,7 +51,7 @@ def looping_code(
     branch_noise: float = 0.02,
     base: int = 0x400000,
     seed: int = 0,
-) -> np.ndarray:
+) -> AddressArray:
     """A hot loop sweeping a fixed code footprint.
 
     The PC walks sequentially through ``footprint_lines`` cache lines and
@@ -73,7 +78,7 @@ def working_set_shift(
     branch_noise: float = 0.02,
     base: int = 0x400000,
     seed: int = 0,
-) -> np.ndarray:
+) -> AddressArray:
     """Phased execution: the footprint relocates every ``n // phases`` accesses.
 
     Models a program moving between program regions (init, steady state,
@@ -113,7 +118,7 @@ def call_heavy(
     call_period: int = 24,
     base: int = 0x400000,
     seed: int = 0,
-) -> np.ndarray:
+) -> AddressArray:
     """Caller code interleaved with bursts into many small callees.
 
     A main region executes sequentially; every ``call_period`` instructions
@@ -157,7 +162,7 @@ def call_heavy(
     return np.concatenate(segments)[:n]
 
 
-GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
+GENERATORS: dict[str, Callable[..., AddressArray]] = {
     "loop": looping_code,
     "shift": working_set_shift,
     "call": call_heavy,
@@ -229,7 +234,7 @@ class FrozenParams(Mapping):
     def __repr__(self) -> str:
         return f"FrozenParams({dict(self._data)!r})"
 
-    def thaw(self) -> Dict[str, Any]:
+    def thaw(self) -> dict[str, Any]:
         """Plain (mutable, JSON-ready) dict copy with values recursively thawed."""
         return {key: _thaw_value(value) for key, value in self._data.items()}
 
@@ -262,14 +267,14 @@ class TraceSpec:
                     "file trace specs need params['sha256'] (the 64-hex-digit "
                     "content hash); build them with emissary.trace_io.file_spec()")
 
-    def generate(self) -> np.ndarray:
+    def generate(self) -> AddressArray:
         if self.kind == FILE_KIND:
             from emissary import trace_io
 
             return trace_io.load_spec_addresses(self)
         return GENERATORS[self.kind](self.n, seed=self.seed, **self.params)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {"kind": self.kind, "n": self.n, "seed": self.seed,
                 "params": self.params.thaw()}
 

@@ -1,0 +1,243 @@
+"""Tests for the EMI lint framework, its rule catalog, and the CLI.
+
+Each rule gets a minimal firing fixture and a minimal non-firing one,
+plus the ``# emi: ignore[...]`` escape hatch, module scoping (kernel- and
+numpy-only rules), syntax-error handling (EMI000), rule selection, and
+the three CLI exit codes (0 clean / 1 violations / 2 usage error).
+"""
+
+import textwrap
+
+import pytest
+
+from emissary.analysis import lint_paths, lint_source
+from emissary.analysis.__main__ import main as analysis_main
+from emissary.analysis.rules import ALL_RULES
+
+
+def codes(source, path="module.py", select=None):
+    return [v.code for v in lint_source(textwrap.dedent(source),
+                                        path=path, select=select)]
+
+
+# -- EMI001: unseeded / legacy randomness --------------------------------
+
+def test_emi001_flags_stdlib_random_import():
+    assert codes("import random\n") == ["EMI001"]
+    assert codes("from random import shuffle\n") == ["EMI001"]
+
+
+def test_emi001_flags_legacy_numpy_random():
+    assert codes("import numpy as np\nx = np.random.rand(4)\n") == ["EMI001"]
+
+
+def test_emi001_flags_unseeded_default_rng():
+    assert codes("import numpy as np\nrng = np.random.default_rng()\n") \
+        == ["EMI001"]
+
+
+def test_emi001_allows_seeded_generator_api():
+    assert codes("""\
+        import numpy as np
+        rng = np.random.default_rng(42)
+        gen = np.random.Generator(np.random.PCG64(7))
+    """) == []
+
+
+# -- EMI002: wall-clock in kernel hot paths ------------------------------
+
+def test_emi002_flags_wall_clock_in_kernel_module():
+    src = "import time\nstamp = time.time()\n"
+    assert codes(src, path="src/emissary/engine.py") == ["EMI002"]
+    assert codes(src, path="src/emissary/policies/lru.py") == ["EMI002"]
+    # Same source outside a kernel module: no finding.
+    assert codes(src, path="src/emissary/report.py") == []
+
+
+def test_emi002_monotonic_only_flagged_in_hot_functions():
+    hot = """\
+        import time
+        def run_set(self, set_index, tags):
+            t0 = time.perf_counter()
+            return []
+    """
+    cold = """\
+        import time
+        def to_dict(self):
+            return {"elapsed": time.perf_counter()}
+    """
+    assert codes(hot, path="src/emissary/engine.py") == ["EMI002"]
+    assert codes(cold, path="src/emissary/engine.py") == []
+
+
+# -- EMI003: mutable attributes on frozen dataclasses --------------------
+
+def test_emi003_flags_mutable_field_on_frozen_dataclass():
+    assert codes("""\
+        from dataclasses import dataclass
+        from typing import Dict
+        @dataclass(frozen=True)
+        class Spec:
+            params: Dict[str, int]
+    """) == ["EMI003"]
+
+
+def test_emi003_exempts_post_init_canonicalized_fields():
+    assert codes("""\
+        from dataclasses import dataclass
+        @dataclass(frozen=True)
+        class Spec:
+            params: dict
+            def __post_init__(self):
+                object.__setattr__(self, "params", FrozenParams(self.params))
+    """) == []
+
+
+def test_emi003_ignores_unfrozen_dataclasses():
+    assert codes("""\
+        from dataclasses import dataclass
+        @dataclass
+        class Row:
+            cells: list
+    """) == []
+
+
+# -- EMI004: to_dict without from_dict -----------------------------------
+
+def test_emi004_flags_one_way_serialization():
+    one_way = """\
+        from dataclasses import dataclass
+        @dataclass
+        class Spec:
+            def to_dict(self):
+                return {}
+    """
+    assert codes(one_way) == ["EMI004"]
+    assert codes("""\
+        from dataclasses import dataclass
+        @dataclass
+        class Spec:
+            def to_dict(self):
+                return {}
+            @classmethod
+            def from_dict(cls, d):
+                return cls()
+    """) == []
+
+
+# -- EMI005: silent exception swallowing ---------------------------------
+
+def test_emi005_flags_silent_except():
+    assert codes("""\
+        try:
+            risky()
+        except ValueError:
+            pass
+    """) == ["EMI005"]
+
+
+def test_emi005_allows_handled_except():
+    assert codes("""\
+        try:
+            risky()
+        except ValueError:
+            fallback()
+    """) == []
+
+
+# -- EMI006: implicit NumPy dtype narrowing ------------------------------
+
+def test_emi006_flags_dtype_inference_in_numpy_modules():
+    src = "import numpy as np\nx = np.array([1, 2])\n"
+    assert codes(src, path="src/emissary/traces.py") == ["EMI006"]
+    assert codes(src, path="src/emissary/report.py") == []
+    explicit = "import numpy as np\nx = np.array([1, 2], dtype=np.int64)\n"
+    assert codes(explicit, path="src/emissary/traces.py") == []
+
+
+def test_emi006_flags_ambiguous_astype():
+    src = "y = x.astype(int)\n"
+    assert codes(src, path="src/emissary/trace_io.py") == ["EMI006"]
+    ok = "import numpy as np\ny = x.astype(np.int64)\n"
+    assert codes(ok, path="src/emissary/trace_io.py") == []
+
+
+# -- framework mechanics -------------------------------------------------
+
+def test_ignore_pragma_suppresses_named_and_all_codes():
+    assert codes("import random  # emi: ignore[EMI001]\n") == []
+    assert codes("import random  # emi: ignore\n") == []
+    # Naming a different code does not suppress.
+    assert codes("import random  # emi: ignore[EMI005]\n") == ["EMI001"]
+
+
+def test_syntax_error_becomes_emi000():
+    violations = lint_source("def broken(:\n", path="bad.py")
+    assert [v.code for v in violations] == ["EMI000"]
+
+
+def test_select_restricts_rules_and_rejects_unknown():
+    src = "import random\ntry:\n    x()\nexcept Exception:\n    pass\n"
+    assert codes(src, select=["EMI005"]) == ["EMI005"]
+    assert sorted(codes(src)) == ["EMI001", "EMI005"]
+    with pytest.raises(ValueError):
+        lint_source(src, select=["EMI999"])
+
+
+def test_violation_format_is_tool_style():
+    violation = lint_source("import random\n", path="mod.py")[0]
+    assert violation.format() == (
+        f"mod.py:{violation.line}:{violation.col}: EMI001 {violation.message}")
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "clean.py").write_text("x = 1\n")
+    (pkg / "dirty.py").write_text("import random\n")
+    report = lint_paths([str(pkg)])
+    assert report.files_checked == 2
+    assert not report.clean
+    assert [v.code for v in report.violations] == ["EMI001"]
+
+
+def test_repo_source_tree_is_lint_clean():
+    report = lint_paths(["src"])
+    assert report.clean, "\n".join(v.format() for v in report.violations)
+
+
+# -- CLI -----------------------------------------------------------------
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\n")
+
+    assert analysis_main(["lint", str(clean)]) == 0
+    assert "1 file clean" in capsys.readouterr().err
+
+    assert analysis_main(["lint", str(dirty)]) == 1
+    out = capsys.readouterr()
+    assert "EMI001" in out.out and "1 violation(s)" in out.err
+
+    assert analysis_main(["lint", str(tmp_path / "missing.py")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+    assert analysis_main(["lint", "--select", "EMI999", str(clean)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_select_limits_rules(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\ntry:\n    x()\nexcept Exception:\n"
+                     "    pass\n")
+    assert analysis_main(["lint", "--select", "EMI005", str(dirty)]) == 1
+    assert "EMI001" not in capsys.readouterr().out
+
+
+def test_cli_rules_prints_catalog(capsys):
+    assert analysis_main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for cls in ALL_RULES:
+        assert cls.code in out

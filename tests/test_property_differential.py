@@ -12,12 +12,20 @@ access patterns, cache geometries, and chunk splits for divergence between
 Address pools are tiny (a handful of lines, few sets) so traces constantly
 collide in sets, re-reference immediately (repeat-flag paths), and evict —
 the regimes where the engines could plausibly disagree.
+
+Every engine in this suite runs with the runtime state sanitizer
+attached, so each hypothesis example also validates the per-set kernel
+invariants (occupancy, HP budgets, RRPV bounds, recency structure) after
+every dispatch — a violated invariant surfaces as a
+:class:`~emissary.analysis.sanitizer.SanitizerError` with the shrunken
+counterexample, not just a diverging hit vector.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from emissary.analysis.sanitizer import Sanitizer
 from emissary.api import PolicySpec
 from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine
 from emissary.hierarchy import (
@@ -77,13 +85,23 @@ def chunked_traces(draw):
                        for lo, hi in zip(bounds[:-1], bounds[1:])]
 
 
+def _sanitized(engine_cls, config):
+    """An engine with a fresh sanitizer attached; every kernel dispatch in
+    the differential runs below is invariant-checked."""
+    return engine_cls(config, sanitizer=Sanitizer())
+
+
 @settings(max_examples=40, deadline=None)
 @given(policy=policies, config=geometries, addresses=traces())
 def test_flat_batched_matches_reference(policy, config, addresses):
-    batched = BatchedEngine(config).run(addresses, policy, seed=SEED)
-    reference = ReferenceEngine(config).run(addresses, policy, seed=SEED)
+    batched_engine = _sanitized(BatchedEngine, config)
+    reference_engine = _sanitized(ReferenceEngine, config)
+    batched = batched_engine.run(addresses, policy, seed=SEED)
+    reference = reference_engine.run(addresses, policy, seed=SEED)
     assert np.array_equal(batched.hits, reference.hits)
     assert batched.hit_count == reference.hit_count
+    assert batched_engine.sanitizer.checks > 0
+    assert reference_engine.sanitizer.checks > 0
 
 
 @settings(max_examples=40, deadline=None)
@@ -91,9 +109,10 @@ def test_flat_batched_matches_reference(policy, config, addresses):
 def test_hierarchy_batched_matches_reference(policy, addresses):
     config = HierarchyConfig(l1=CacheConfig(num_sets=2, ways=1),
                              l2=CacheConfig(num_sets=4, ways=2))
-    batched = BatchedHierarchyEngine(config).run(addresses, policy, seed=SEED)
-    reference = HierarchyReferenceEngine(config).run(addresses, policy,
-                                                     seed=SEED)
+    batched = _sanitized(BatchedHierarchyEngine, config).run(
+        addresses, policy, seed=SEED)
+    reference = _sanitized(HierarchyReferenceEngine, config).run(
+        addresses, policy, seed=SEED)
     assert np.array_equal(batched.l1.hits, reference.l1.hits)
     assert np.array_equal(batched.l2.hits, reference.l2.hits)
 
@@ -102,8 +121,9 @@ def test_hierarchy_batched_matches_reference(policy, addresses):
 @given(policy=policies, config=geometries, chunked=chunked_traces())
 def test_stream_matches_oneshot(policy, config, chunked):
     addresses, chunks = chunked
-    oneshot = BatchedEngine(config).run(addresses, policy, seed=SEED)
-    streamed = BatchedEngine(config).simulate_stream(chunks, policy, seed=SEED)
+    oneshot = _sanitized(BatchedEngine, config).run(addresses, policy, seed=SEED)
+    streamed = _sanitized(BatchedEngine, config).simulate_stream(
+        chunks, policy, seed=SEED)
     assert np.array_equal(streamed.hits, oneshot.hits)
     assert streamed.policy_stats == oneshot.policy_stats
 
@@ -114,9 +134,10 @@ def test_hierarchy_stream_matches_oneshot(policy, chunked):
     addresses, chunks = chunked
     config = HierarchyConfig(l1=CacheConfig(num_sets=2, ways=1),
                              l2=CacheConfig(num_sets=4, ways=2))
-    oneshot = BatchedHierarchyEngine(config).run(addresses, policy, seed=SEED)
-    streamed = BatchedHierarchyEngine(config).simulate_stream(chunks, policy,
-                                                              seed=SEED)
+    oneshot = _sanitized(BatchedHierarchyEngine, config).run(
+        addresses, policy, seed=SEED)
+    streamed = _sanitized(BatchedHierarchyEngine, config).simulate_stream(
+        chunks, policy, seed=SEED)
     assert np.array_equal(streamed.l1.hits, oneshot.l1.hits)
     assert np.array_equal(streamed.l2.hits, oneshot.l2.hits)
     assert streamed.l2.policy_stats == oneshot.l2.policy_stats

@@ -140,3 +140,47 @@ def test_cli_end_to_end_with_sweep_output(tmp_path, capsys):
 def test_cli_reports_unreadable_input(tmp_path, capsys):
     assert main([str(tmp_path / "missing.json")]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_render_report_error_only_rows():
+    """An envelope whose rows all errored still renders: table rows carry
+    the ERROR cell, the errors section lists each config, and no
+    telemetry section appears."""
+    envelope = _envelope()
+    envelope["rows"] = [r for r in envelope["rows"] if "error" in r]
+    report = render_report(envelope)
+    assert report.count("ERROR: ValueError: boom") == 1  # table cell
+    assert "errors:" in report
+    assert "[0] loop/srrip single: ValueError: boom" in report
+    assert "telemetry:" not in report
+
+
+def test_error_rows_flow_from_sweep_to_report(tmp_path, capsys):
+    """End to end: a config that raises inside the worker becomes an
+    error row in the envelope, the sweep CLI exits 1, and the report
+    renders the failure without crashing."""
+    from emissary.sweep import build_envelope, run_sweep
+    from emissary.api import PolicySpec, SimRequest
+    from emissary.engine import CacheConfig
+    from emissary.traces import TraceSpec
+
+    trace = TraceSpec("loop", 500, 1, {"footprint_lines": 16})
+    config = CacheConfig(num_sets=4, ways=4)
+    grid = [
+        SimRequest(trace, PolicySpec("lru"), config, 1),
+        # hp_threshold must leave at least one LP way: 99 > ways-1 raises.
+        SimRequest(trace, PolicySpec("emissary", {"hp_threshold": 99}),
+                   config, 1),
+    ]
+    rows = run_sweep(grid, workers=1, cache_dir=str(tmp_path / "rc"))
+    assert "error" in rows[1] and "result" not in rows[1]
+    assert "result" in rows[0]
+
+    out = tmp_path / "sweep.json"
+    envelope = build_envelope(rows, seed=1, elapsed_s=0.0)
+    assert envelope["errors"] == 1
+    out.write_text(json.dumps(envelope))
+    assert main([str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "errors=1" in text
+    assert "errors:" in text and "emissary" in text

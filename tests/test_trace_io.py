@@ -230,3 +230,54 @@ class TestCli:
     def test_convert_unknown_synth_kind_fails(self, tmp_path):
         with pytest.raises(SystemExit):
             trace_io.main(["convert", "synth:fractal", str(tmp_path / "t.npy")])
+
+
+class TestXzAndShaMemo:
+    def test_xz_roundtrip_and_detection(self, tmp_path, addresses):
+        path = tmp_path / "t.trace.xz"
+        write_trace(path, [addresses])
+        assert detect_format(path) == "champsim.xz"
+        source = open_trace(path)
+        assert source.format == "champsim.xz"
+        assert source.count() == len(addresses)
+        assert np.array_equal(source.read_all(), addresses)
+        # xz actually compresses: the payload is 16 bytes per record raw.
+        assert path.stat().st_size < 16 * len(addresses)
+
+    def test_xz_file_spec_sweepable(self, tmp_path, addresses):
+        path = tmp_path / "t.champsim.xz"
+        write_trace(path, [addresses])
+        spec = file_spec(path)
+        assert spec.params["format"] == "champsim.xz"
+        assert np.array_equal(spec_source(spec).read_all(), addresses)
+
+    def test_verified_sha256_memoizes_per_process(self, tmp_path, addresses,
+                                                  monkeypatch):
+        path = _path_for(tmp_path, "champsim")
+        write_trace(path, [addresses])
+        trace_io._SHA_MEMO.clear()
+        first = trace_io.verified_sha256(path)
+        assert first == file_sha256(path)
+
+        hashes = []
+        real = trace_io.file_sha256
+        monkeypatch.setattr(trace_io, "file_sha256",
+                            lambda p: hashes.append(p) or real(p))
+        # Unchanged file: memo hit, no re-hash.
+        assert trace_io.verified_sha256(path) == first
+        assert hashes == []
+        # Rewriting the file changes size/mtime and forces a re-hash.
+        write_trace(path, [addresses[:100]])
+        second = trace_io.verified_sha256(path)
+        assert len(hashes) == 1
+        assert second != first
+
+    def test_spec_source_uses_memo(self, tmp_path, addresses, monkeypatch):
+        path = _path_for(tmp_path, "champsim")
+        write_trace(path, [addresses])
+        spec = file_spec(path)
+        trace_io._SHA_MEMO.clear()
+        spec_source(spec)  # first verify pays the hash
+        monkeypatch.setattr(trace_io, "file_sha256", lambda p: pytest.fail(
+            "spec_source should reuse the per-process sha memo"))
+        spec_source(spec)
