@@ -12,6 +12,9 @@ Policy for L2 Instruction Caching" (ISCA 2023).  The package provides:
   candidacy driven by measured L1I miss counts)
 - :mod:`emissary.policies` — replacement policy kernels (LRU, Random,
   SRRIP, EMISSARY)
+- :mod:`emissary.compiled` — compiled kernel backend (numba ``@njit`` or
+  the bundled C fallback), bit-identical to the python kernels and
+  selectable via ``SimRequest(backend="compiled")``
 - :mod:`emissary.sweep` — parallel (trace x policy x params) sweep runner
   with an on-disk results cache
 - :mod:`emissary.telemetry` — opt-in instrumentation layer: policy
@@ -24,20 +27,23 @@ Policy for L2 Instruction Caching" (ISCA 2023).  The package provides:
 """
 
 from emissary.analysis.sanitizer import Sanitizer, SanitizerError
-from emissary.api import (EmissaryDeprecationWarning, PolicySpec, SimRequest,
-                          simulate)
+from emissary.api import (BACKENDS, EmissaryDeprecationWarning, PolicySpec,
+                          SimRequest, simulate)
+from emissary.compiled import CompiledUnavailableError
 from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine, SimResult
 from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
                                 HierarchyReferenceEngine, HierarchyResult,
                                 simulate_hierarchy)
 from emissary.telemetry import TELEMETRY_SCHEMA_VERSION, Telemetry
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
+    "BACKENDS",
     "BatchedEngine",
     "BatchedHierarchyEngine",
     "CacheConfig",
+    "CompiledUnavailableError",
     "EmissaryDeprecationWarning",
     "HierarchyConfig",
     "HierarchyReferenceEngine",

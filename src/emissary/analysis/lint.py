@@ -67,8 +67,11 @@ class FileContext:
         self.ignores: dict[int, set[str]] = _parse_ignores(source)
         parts = self.path.parts
         name = self.path.name
-        #: Kernel/engine hot-path module (policies/ plus the engines).
-        self.is_kernel_module = name in KERNEL_MODULE_NAMES or "policies" in parts
+        #: Kernel/engine hot-path module (policies/, the compiled
+        #: backend, plus the engines).
+        self.is_kernel_module = (name in KERNEL_MODULE_NAMES
+                                 or "policies" in parts
+                                 or "compiled" in parts)
         #: Module whose array dtypes feed kernels (superset of the above).
         self.is_numpy_module = (self.is_kernel_module
                                 or name in NUMPY_MODULE_NAMES)

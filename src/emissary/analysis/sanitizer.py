@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING
 
+from emissary.compiled import BoolArray, CompiledKernel, IndexArray, UniformArray
 from emissary.policies.base import NaivePolicy, PolicyKernel
 from emissary.policies.emissary import EmissaryKernel, NaiveEmissary
 from emissary.policies.lru import LRUKernel, NaiveLRU
@@ -38,6 +39,9 @@ from emissary.policies.random_policy import NaiveRandom, RandomKernel
 from emissary.policies.srrip import RRPV_MAX, NaiveSRRIP, SRRIPKernel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+    from numpy.typing import NDArray
+
     from emissary.telemetry import Telemetry
 
 
@@ -81,9 +85,15 @@ class Sanitizer:
 
     # -- batched kernels --------------------------------------------------
 
-    def attach_kernel(self, kernel: PolicyKernel) -> None:
-        """Wrap ``kernel.run_set`` to validate the touched set after
-        every dispatch.  Call after ``attach_telemetry`` (if any)."""
+    def attach_kernel(self, kernel: "PolicyKernel | CompiledKernel") -> None:
+        """Wrap the kernel's dispatch entry point to validate touched
+        sets after every dispatch.  Call after ``attach_telemetry`` (if
+        any).  Compiled kernels are wrapped at ``run_batch`` (their
+        flat state arrays are validated per touched set); Python kernels
+        at ``run_set``."""
+        if isinstance(kernel, CompiledKernel):
+            self._attach_compiled(kernel)
+            return
         check = self._kernel_checker(kernel)
         inner = kernel.run_set
         self.attached.append(kernel.name)
@@ -101,6 +111,76 @@ class Sanitizer:
             return hits
 
         kernel.run_set = run_set  # type: ignore[method-assign]
+
+    def _attach_compiled(self, kernel: CompiledKernel) -> None:
+        """Wrap ``kernel.run_batch``: after each dispatch, validate the
+        flat per-set state arrays of every set the batch touched."""
+        inner = kernel.run_batch
+        self.attached.append(kernel.name)
+
+        def run_batch(set_idx: IndexArray, tags: IndexArray,
+                      u: "UniformArray | None" = None,
+                      rep: "NDArray[np.bool_] | None" = None,
+                      cost: "IndexArray | None" = None,
+                      extra: "IndexArray | None" = None) -> BoolArray:
+            hits = inner(set_idx, tags, u, rep, cost, extra)
+            self.accesses += len(tags)
+            for s in sorted(set(set_idx.tolist())):
+                self._check_compiled(kernel, s, self.accesses)
+            self.checks += 1
+            return hits
+
+        kernel.run_batch = run_batch  # type: ignore[method-assign]
+
+    def _check_compiled(self, kernel: CompiledKernel, s: int,
+                        pos: int) -> None:
+        """Same invariants the per-policy Python checkers enforce, read
+        from the compiled backend's flat state arrays."""
+        name = f"compiled/{kernel.policy}"
+        ways = kernel.ways
+        base = s * ways
+        size = int(kernel._size[s])
+        if not 0 <= size <= ways:
+            raise SanitizerError(
+                f"{name}: {size} resident lines outside [0, {ways}] ways",
+                set_index=s, access_position=pos)
+        tags = kernel._tag[base:base + size].tolist()
+        if len(set(tags)) != size:
+            raise SanitizerError(
+                f"{name}: duplicate resident tags {tags}",
+                set_index=s, access_position=pos)
+        if kernel.policy in ("lru", "emissary"):
+            stamps = kernel._ts[base:base + size].tolist()
+            if any(t <= 0 for t in stamps):
+                raise SanitizerError(
+                    f"{name}: non-positive timestamp on a resident line "
+                    f"{stamps}", set_index=s, access_position=pos)
+            if len(set(stamps)) != size:
+                raise SanitizerError(
+                    f"{name}: duplicate timestamps {stamps} (LRU order is "
+                    "ambiguous)", set_index=s, access_position=pos)
+        if kernel.policy == "srrip":
+            for way, rrpv in enumerate(kernel._rrpv[base:base + size].tolist()):
+                if not 0 <= rrpv <= RRPV_MAX:
+                    raise SanitizerError(
+                        f"{name}: RRPV {rrpv} at way {way} outside "
+                        f"[0, {RRPV_MAX}]", set_index=s, access_position=pos)
+        if kernel.policy == "emissary":
+            hp = 0
+            for way, prio in enumerate(kernel._prio[base:base + size].tolist()):
+                if prio not in (0, 1):
+                    raise SanitizerError(
+                        f"{name}: priority bit {prio!r} at way {way} is not "
+                        "0/1", set_index=s, access_position=pos)
+                hp += prio
+            if hp != int(kernel._hp[s]):
+                raise SanitizerError(
+                    f"{name}: hp_counts[{s}] = {int(kernel._hp[s])} but {hp} "
+                    "HP lines are resident", set_index=s, access_position=pos)
+            if hp > kernel.hp_threshold:
+                raise SanitizerError(
+                    f"{name}: {hp} HP lines exceed hp_threshold="
+                    f"{kernel.hp_threshold}", set_index=s, access_position=pos)
 
     def _kernel_checker(
             self, kernel: PolicyKernel) -> Callable[[int, int], None] | None:

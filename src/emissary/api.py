@@ -35,6 +35,11 @@ from typing import Any
 from emissary.policies import PARAM_SCHEMAS, REGISTRY
 from emissary.traces import FILE_KIND, FrozenParams, TraceSpec
 
+#: Engine/kernel backends a :class:`SimRequest` may select.  All three
+#: produce bit-identical outcomes (the differential suite enforces it);
+#: they differ only in speed.
+BACKENDS = ("batched", "compiled", "reference")
+
 
 class EmissaryDeprecationWarning(DeprecationWarning):
     """Raised-to-error in CI: a caller is still on the legacy kwargs API."""
@@ -110,6 +115,15 @@ class SimRequest:
     histograms, and engine phase spans.  It never changes outcomes, and
     it participates in :meth:`to_dict` (the results-cache key) only when
     enabled, so every pre-existing cache entry keeps its key.
+
+    ``backend`` selects the execution engine (:data:`BACKENDS`):
+    ``"batched"`` is the vectorized NumPy engine, ``"compiled"`` the
+    same engine with native per-set kernels (numba or the bundled C
+    fallback), ``"reference"`` the per-access Python oracle.  Because
+    all three are bit-identical, ``backend`` is deliberately *excluded*
+    from :meth:`to_dict`: the encoding is a results-cache content key,
+    and the same request run on any backend must hit the same cache
+    entry (and keep every pre-existing key byte-identical).
     """
 
     trace: TraceSpec
@@ -117,6 +131,7 @@ class SimRequest:
     config: Any = None  # CacheConfig (single-level) or HierarchyConfig (L1I -> L2)
     seed: int = 0
     telemetry: bool = False
+    backend: str = "batched"
 
     def __post_init__(self) -> None:
         from emissary.engine import CacheConfig
@@ -138,6 +153,9 @@ class SimRequest:
         if not isinstance(self.telemetry, bool):
             raise TypeError(
                 f"telemetry must be a bool, got {type(self.telemetry).__name__}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: {list(BACKENDS)}")
 
     @property
     def is_hierarchy(self) -> bool:
@@ -151,7 +169,10 @@ class SimRequest:
         ``telemetry`` appears only when enabled: instrumented results
         carry extra payload, so they cache under their own key, while
         every default (telemetry-off) key is byte-identical to the
-        pre-telemetry encoding."""
+        pre-telemetry encoding.  ``backend`` never appears: backends are
+        bit-identical, so the key is backend-invariant by design (a
+        sweep run on the compiled backend warms the cache for the
+        batched one and vice versa)."""
         d = {
             "trace": self.trace.to_dict(),
             "policy": self.policy.to_dict(),
@@ -173,7 +194,8 @@ class SimRequest:
         return cls(trace=TraceSpec.from_dict(d["trace"]),
                    policy=PolicySpec.from_dict(d["policy"]),
                    config=config, seed=int(d.get("seed", 0)),
-                   telemetry=bool(d.get("telemetry", False)))
+                   telemetry=bool(d.get("telemetry", False)),
+                   backend=str(d.get("backend", "batched")))
 
 
 def _array_chunks(addresses: Any, chunk_bytes: int):
@@ -187,7 +209,7 @@ def _array_chunks(addresses: Any, chunk_bytes: int):
 
 
 def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
-             engine: str = "batched", telemetry: bool = False,
+             engine: str | None = None, telemetry: bool = False,
              stream: bool = False, chunk_bytes: int | None = None,
              **policy_params: Any):
     """Unified entry point.
@@ -197,13 +219,22 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
     legacy array form ``simulate(addresses, policy, ...)`` still works;
     with a string policy it emits :class:`EmissaryDeprecationWarning`.
 
+    ``engine`` selects the backend (:data:`BACKENDS`): ``"batched"``
+    (vectorized NumPy), ``"compiled"`` (native per-set kernels — see
+    :mod:`emissary.compiled`), or ``"reference"`` (per-access oracle).
+    When ``None`` it defaults to the request's ``backend`` field (or
+    ``"batched"`` for the array form); an explicit value overrides the
+    request.  All backends produce bit-identical outcomes.
+
     ``stream=True`` feeds the trace through the engine in fixed-size
     chunks (``chunk_bytes``, default :data:`emissary.trace_io.DEFAULT_CHUNK_BYTES`)
     instead of one array.  For a request whose trace is file-backed
-    (``kind="file"``) the file is read incrementally, so peak memory is
-    bounded by the chunk budget rather than the trace size; synthetic
-    traces are generated once and then split.  Outcomes are bit-identical
-    to the one-shot path.  Streaming requires the batched engine.
+    (``kind="file"``) the file is read incrementally, and synthetic
+    traces are *generated* chunk-by-chunk
+    (:meth:`~emissary.traces.TraceSpec.generate_chunks`), so peak memory
+    is bounded by the chunk budget rather than the trace size either
+    way.  Outcomes are bit-identical to the one-shot path.  Streaming
+    requires a batched-engine backend (``"batched"`` or ``"compiled"``).
 
     ``telemetry=True`` (or a request with ``telemetry=True``) enables
     the instrumentation layer: the returned result's ``telemetry``
@@ -217,9 +248,6 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
 
     if chunk_bytes is not None and not stream:
         raise TypeError("chunk_bytes only applies to stream=True")
-    if stream and engine != "batched":
-        raise ValueError("stream=True requires engine='batched' "
-                         "(the reference engines have no streaming path)")
 
     chunks: Any = None
     if isinstance(target, SimRequest):
@@ -228,11 +256,12 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
                             "arguments — they live inside the request")
         spec, config, seed = target.policy, target.config, target.seed
         telemetry = telemetry or target.telemetry
-        if stream and target.trace.kind == FILE_KIND:
+        if engine is None:
+            engine = target.backend
+        if stream:
             from emissary import trace_io
 
-            chunks = trace_io.spec_source(
-                target.trace,
+            chunks = target.trace.generate_chunks(
                 chunk_bytes=chunk_bytes or trace_io.DEFAULT_CHUNK_BYTES)
             addresses = None
         else:
@@ -240,15 +269,29 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
     else:
         addresses = target
         spec = coerce_policy_spec(policy, policy_params, caller="simulate")
+    if engine is None:
+        engine = "batched"
+    if stream and engine == "reference":
+        raise ValueError("stream=True requires a batched-engine backend "
+                         "('batched' or 'compiled'; the reference engines "
+                         "have no streaming path)")
 
     hierarchy = isinstance(config, HierarchyConfig)
-    if engine == "batched":
-        cls = BatchedHierarchyEngine if hierarchy else BatchedEngine
+    if engine in ("batched", "compiled"):
+        backend = "compiled" if engine == "compiled" else "python"
+        if hierarchy:
+            eng: Any = BatchedHierarchyEngine(
+                config, telemetry=Telemetry() if telemetry else None,
+                kernel_backend=backend)
+        else:
+            eng = BatchedEngine(config,
+                                telemetry=Telemetry() if telemetry else None,
+                                kernel_backend=backend)
     elif engine == "reference":
         cls = HierarchyReferenceEngine if hierarchy else ReferenceEngine
+        eng = cls(config, telemetry=Telemetry() if telemetry else None)
     else:
-        raise ValueError(f"unknown engine {engine!r} (expected 'batched' or 'reference')")
-    eng = cls(config, telemetry=Telemetry() if telemetry else None)
+        raise ValueError(f"unknown engine {engine!r}; known: {list(BACKENDS)}")
     if stream:
         if chunks is None:
             from emissary import trace_io

@@ -168,6 +168,142 @@ def run_hierarchy_bench(n: int = 1_000_000, policies: list[str] | None = None,
     return _finalize(report, rows, skip_reference)
 
 
+def run_backend_bench(n: int = 1_000_000, policies: list[str] | None = None,
+                      trace_kind: str = "loop", seed: int = 42,
+                      config: CacheConfig | None = None,
+                      l1_config: CacheConfig | None = None,
+                      skip_reference: bool = False,
+                      repeats: int = 3) -> dict[str, Any]:
+    """Benchmark the compiled kernel backend against python-batched (and
+    the per-access reference oracle) on every policy, plus one two-level
+    hierarchy point where EMISSARY's ``cost`` channel is live.
+
+    Timings are *warm*: each compiled engine runs a small slice first so
+    provider setup (numba JIT or the C build/load) is paid before the
+    clock starts, and ``_best_of`` keeps the fastest of ``repeats`` runs.
+    Every row records ``outcomes_identical`` (hit vectors and policy
+    stats across backends) and the report carries the aggregate
+    ``all_outcomes_identical`` — a speedup that changes outcomes is a
+    bug, not a result.  The compiled provider is resolved up front and
+    the bench fails loudly when none is available (a silent fallback to
+    the python kernels would benchmark python against itself).
+    """
+    from emissary.compiled import get_kernels
+
+    provider = get_kernels().name  # raises CompiledUnavailableError: fail loudly
+    config = config or CacheConfig()
+    policies = policies or list(POLICY_NAMES)
+    footprint = int(config.num_sets * config.ways * 1.5)
+    spec = TraceSpec(trace_kind, n, seed, {"footprint_lines": footprint}
+                     if trace_kind in ("loop", "shift") else {})
+    addresses = spec.generate()
+    warm = addresses[:min(len(addresses), 65_536)]
+
+    rows: list[dict[str, Any]] = []
+    for policy_spec in _bench_specs(policies):
+        python = _best_of(BatchedEngine(config), addresses, policy_spec, seed,
+                          repeats)
+        compiled_engine = BatchedEngine(config, kernel_backend="compiled")
+        compiled_engine.run(warm, policy_spec, seed=seed)  # JIT/build warm-up
+        compiled = _best_of(compiled_engine, addresses, policy_spec, seed,
+                            repeats)
+        identical = bool(np.array_equal(python.hits, compiled.hits)
+                         and python.policy_stats == compiled.policy_stats)
+        row: dict[str, Any] = {
+            "policy": policy_spec.name,
+            "hierarchy": False,
+            "hit_rate": python.hit_rate,
+            "mpki": python.mpki,
+            "python": python.to_dict(),
+            "compiled": compiled.to_dict(),
+            "speedup_vs_python": python.elapsed_s / compiled.elapsed_s,
+        }
+        if not skip_reference:
+            reference = _best_of(ReferenceEngine(config), addresses,
+                                 policy_spec, seed, repeats)
+            identical = identical and bool(
+                np.array_equal(reference.hits, compiled.hits))
+            row["reference"] = reference.to_dict()
+            row["speedup_vs_reference"] = \
+                reference.elapsed_s / compiled.elapsed_s
+        row["outcomes_identical"] = identical
+        rows.append(row)
+
+    # The paper's setting: EMISSARY behind an L1I filter, with HP
+    # candidacy gated on measured L1I miss counts (cost channel live).
+    hier = HierarchyConfig(l1=l1_config or CacheConfig(num_sets=64, ways=8),
+                           l2=config)
+    hier_spec = PolicySpec("emissary", dict(EMISSARY_HIERARCHY_PARAMS))
+    python_h = _best_of(BatchedHierarchyEngine(hier), addresses, hier_spec,
+                        seed, repeats)
+    compiled_h_engine = BatchedHierarchyEngine(hier, kernel_backend="compiled")
+    compiled_h_engine.run(warm, hier_spec, seed=seed)
+    compiled_h = _best_of(compiled_h_engine, addresses, hier_spec, seed,
+                          repeats)
+    identical = bool(np.array_equal(python_h.l1.hits, compiled_h.l1.hits)
+                     and np.array_equal(python_h.l2.hits, compiled_h.l2.hits)
+                     and python_h.l2.policy_stats == compiled_h.l2.policy_stats)
+    hier_row: dict[str, Any] = {
+        "policy": "emissary",
+        "hierarchy": True,
+        "hit_rate": python_h.l2_local_hit_rate,
+        "mpki": python_h.l2_mpki,
+        "python": python_h.to_dict(),
+        "compiled": compiled_h.to_dict(),
+        "speedup_vs_python": python_h.elapsed_s / compiled_h.elapsed_s,
+    }
+    if not skip_reference:
+        reference_h = _best_of(HierarchyReferenceEngine(hier), addresses,
+                               hier_spec, seed, repeats)
+        identical = identical and bool(
+            np.array_equal(reference_h.l1.hits, compiled_h.l1.hits)
+            and np.array_equal(reference_h.l2.hits, compiled_h.l2.hits))
+        hier_row["reference"] = reference_h.to_dict()
+        hier_row["speedup_vs_reference"] = \
+            reference_h.elapsed_s / compiled_h.elapsed_s
+    hier_row["outcomes_identical"] = identical
+    rows.append(hier_row)
+
+    report = _report_header("backend_throughput", spec)
+    report["cache"] = config.to_dict()
+    report["hierarchy"] = hier.to_dict()
+    report["compiled_provider"] = provider
+    report["policies"] = rows
+    report["all_outcomes_identical"] = all(r["outcomes_identical"] for r in rows)
+    report["min_speedup_vs_python"] = min(r["speedup_vs_python"] for r in rows)
+    report["max_speedup_vs_python"] = max(r["speedup_vs_python"] for r in rows)
+    return report
+
+
+def _summarize_backend(report: dict[str, Any]) -> str:
+    lines = [f"trace={report['trace']['kind']} n={report['trace']['n']} "
+             f"cache={report['cache']} "
+             f"compiled provider={report['compiled_provider']}"]
+    has_ref = any("reference" in row for row in report["policies"])
+    header = (f"{'policy':<20} {'hit%':>7} {'python Macc/s':>14} "
+              f"{'compiled Macc/s':>16} {'speedup':>8}")
+    if has_ref:
+        header += f" {'naive Macc/s':>13} {'vs naive':>9}"
+    header += f" {'identical':>9}"
+    lines += [header, "-" * len(header)]
+    for row in report["policies"]:
+        name = row["policy"] + (" (L1I->L2)" if row["hierarchy"] else "")
+        line = (f"{name:<20} {100 * row['hit_rate']:>6.2f}% "
+                f"{row['python']['accesses_per_s'] / 1e6:>14.2f} "
+                f"{row['compiled']['accesses_per_s'] / 1e6:>16.2f} "
+                f"{row['speedup_vs_python']:>7.1f}x")
+        if has_ref:
+            line += (f" {row['reference']['accesses_per_s'] / 1e6:>13.2f} "
+                     f"{row['speedup_vs_reference']:>8.1f}x")
+        line += f" {str(row['outcomes_identical']):>9}"
+        lines.append(line)
+    lines.append(f"\ncompiled speedup vs python-batched: "
+                 f"{report['min_speedup_vs_python']:.1f}x - "
+                 f"{report['max_speedup_vs_python']:.1f}x, "
+                 f"all outcomes identical: {report['all_outcomes_identical']}")
+    return "\n".join(lines)
+
+
 #: Chunk budgets exercised by the streaming benchmark: small enough that
 #: a 1M-access trace crosses many chunk boundaries, up to the reader
 #: default (8 MiB).
@@ -492,6 +628,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stream", action="store_true",
                         help="benchmark chunked trace streaming (file formats x "
                              "chunk budgets) against the in-memory path")
+    parser.add_argument("--backend", action="store_true",
+                        help="benchmark the compiled kernel backend against "
+                             "python-batched (and the reference oracle) on "
+                             "every policy plus a hierarchy point")
     parser.add_argument("--chunk-bytes",
                         default=",".join(str(c) for c in STREAM_CHUNK_BYTES),
                         help="comma-separated chunk budgets (bytes) for --stream")
@@ -543,6 +683,21 @@ def main(argv: list[str] | None = None) -> int:
             print(f"ERROR: sanitizer-off overhead "
                   f"{100 * report['max_off_overhead']:.2f}% exceeds "
                   f"{100 * args.max_overhead:.2f}% budget", file=sys.stderr)
+            return 1
+        return 0
+    if args.backend:
+        report = run_backend_bench(
+            n=args.n, policies=policies, trace_kind=args.trace, seed=args.seed,
+            config=l2,
+            l1_config=CacheConfig(num_sets=args.l1_sets, ways=args.l1_ways),
+            skip_reference=args.skip_reference, repeats=args.repeats)
+        out = args.out or "BENCH_backend.json"
+        print(_summarize_backend(report))
+        write_report(report, out)
+        print(f"report written to {out}")
+        if not report["all_outcomes_identical"]:
+            print("ERROR: compiled backend outcomes differ from python",
+                  file=sys.stderr)
             return 1
         return 0
     if args.stream:

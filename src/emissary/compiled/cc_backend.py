@@ -1,0 +1,657 @@
+"""C compiled-kernel provider (``cc``): gcc + ctypes, stdlib only.
+
+Numba is the first-choice provider for the compiled backend, but plenty
+of environments (including minimal CI images) have a C toolchain and no
+numba wheel.  This module gives them the same compiled hot loop: the C
+source below is a mechanical, line-for-line translation of
+:mod:`emissary.compiled.kernels_py` (same state layout, same scan
+orders, same IEEE-754 double comparisons — outcomes are bit-identical
+and the differential suite checks it), compiled once per toolchain into
+a shared library with ``cc -O3 -shared -fPIC`` and bound through
+:mod:`ctypes`.
+
+The build is cached under ``$EMISSARY_CC_CACHE`` (default: a
+per-user directory inside the system temp dir) keyed by the SHA-256 of
+the source plus the compiler identity, so repeated processes — sweep
+workers, test runs — reuse one ``.so``.  Build failures surface as
+:class:`CcBuildError` and the provider registry treats them as
+"provider unavailable", never as a crash.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from numpy.typing import NDArray
+
+C_SOURCE = r"""
+#include <stdint.h>
+
+#define CTR_FILLS 0
+#define CTR_EVICTIONS 1
+#define CTR_DEAD_ON_FILL 2
+#define CTR_EVICTIONS_HP 3
+#define CTR_EVICTIONS_LP 4
+#define CTR_HP_PROMOTIONS 5
+#define STAT_HP_PROMOTIONS 0
+#define STAT_HP_EVICTIONS 1
+#define SRRIP_RRPV_MAX 3
+#define SRRIP_RRPV_INSERT 2
+
+int64_t emissary_lru_run(
+        const int64_t *set_idx, const int64_t *tags, int64_t m,
+        int64_t *tag_arr, int64_t *ts_arr, int64_t *size_arr,
+        int64_t *clock, int64_t ways, uint8_t *hits) {
+    int64_t c = clock[0];
+    for (int64_t i = 0; i < m; i++) {
+        int64_t s = set_idx[i];
+        int64_t base = s * ways;
+        int64_t tag = tags[i];
+        int64_t size = size_arr[s];
+        int64_t way = -1;
+        for (int64_t w = 0; w < size; w++) {
+            if (tag_arr[base + w] == tag) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+            if (size < ways) {
+                way = size;
+                size_arr[s] = size + 1;
+            } else {
+                way = 0;
+                int64_t best = ts_arr[base];
+                for (int64_t w = 1; w < ways; w++) {
+                    if (ts_arr[base + w] < best) {
+                        best = ts_arr[base + w];
+                        way = w;
+                    }
+                }
+            }
+            tag_arr[base + way] = tag;
+        }
+        ts_arr[base + way] = c;
+        c += 1;
+    }
+    clock[0] = c;
+    return 0;
+}
+
+int64_t emissary_lru_run_tel(
+        const int64_t *set_idx, const int64_t *tags, int64_t m,
+        const int64_t *extra, int64_t *tag_arr, int64_t *ts_arr,
+        int64_t *size_arr, int64_t *clock, int64_t *line_hits,
+        int64_t *counters, int64_t *evbuf, int64_t ways, uint8_t *hits) {
+    int64_t c = clock[0];
+    int64_t fills = 0, evictions = 0, dead = 0, nev = 0;
+    for (int64_t i = 0; i < m; i++) {
+        int64_t s = set_idx[i];
+        int64_t base = s * ways;
+        int64_t tag = tags[i];
+        int64_t size = size_arr[s];
+        int64_t way = -1;
+        for (int64_t w = 0; w < size; w++) {
+            if (tag_arr[base + w] == tag) { way = w; break; }
+        }
+        if (way >= 0) {
+            line_hits[base + way] += 1 + extra[i];
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+            if (size < ways) {
+                way = size;
+                size_arr[s] = size + 1;
+            } else {
+                way = 0;
+                int64_t best = ts_arr[base];
+                for (int64_t w = 1; w < ways; w++) {
+                    if (ts_arr[base + w] < best) {
+                        best = ts_arr[base + w];
+                        way = w;
+                    }
+                }
+                int64_t victim_hits = line_hits[base + way];
+                evbuf[nev++] = victim_hits;
+                evictions += 1;
+                if (victim_hits == 0) dead += 1;
+            }
+            tag_arr[base + way] = tag;
+            line_hits[base + way] = extra[i];
+            fills += 1;
+        }
+        ts_arr[base + way] = c;
+        c += 1;
+    }
+    clock[0] = c;
+    counters[CTR_FILLS] += fills;
+    counters[CTR_EVICTIONS] += evictions;
+    counters[CTR_DEAD_ON_FILL] += dead;
+    return nev;
+}
+
+int64_t emissary_random_run(
+        const int64_t *set_idx, const int64_t *tags, int64_t m,
+        const double *u, int64_t *tag_arr, int64_t *size_arr,
+        int64_t ways, uint8_t *hits) {
+    for (int64_t i = 0; i < m; i++) {
+        int64_t s = set_idx[i];
+        int64_t base = s * ways;
+        int64_t tag = tags[i];
+        int64_t size = size_arr[s];
+        int64_t way = -1;
+        for (int64_t w = 0; w < size; w++) {
+            if (tag_arr[base + w] == tag) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+            if (size < ways) {
+                way = size;
+                size_arr[s] = size + 1;
+            } else {
+                way = (int64_t)(u[i] * (double)ways);
+            }
+            tag_arr[base + way] = tag;
+        }
+    }
+    return 0;
+}
+
+int64_t emissary_random_run_tel(
+        const int64_t *set_idx, const int64_t *tags, int64_t m,
+        const double *u, const int64_t *extra, int64_t *tag_arr,
+        int64_t *size_arr, int64_t *line_hits, int64_t *counters,
+        int64_t *evbuf, int64_t ways, uint8_t *hits) {
+    int64_t fills = 0, evictions = 0, dead = 0, nev = 0;
+    for (int64_t i = 0; i < m; i++) {
+        int64_t s = set_idx[i];
+        int64_t base = s * ways;
+        int64_t tag = tags[i];
+        int64_t size = size_arr[s];
+        int64_t way = -1;
+        for (int64_t w = 0; w < size; w++) {
+            if (tag_arr[base + w] == tag) { way = w; break; }
+        }
+        if (way >= 0) {
+            line_hits[base + way] += 1 + extra[i];
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+            if (size < ways) {
+                way = size;
+                size_arr[s] = size + 1;
+            } else {
+                way = (int64_t)(u[i] * (double)ways);
+                int64_t victim_hits = line_hits[base + way];
+                evbuf[nev++] = victim_hits;
+                evictions += 1;
+                if (victim_hits == 0) dead += 1;
+            }
+            tag_arr[base + way] = tag;
+            line_hits[base + way] = extra[i];
+            fills += 1;
+        }
+    }
+    counters[CTR_FILLS] += fills;
+    counters[CTR_EVICTIONS] += evictions;
+    counters[CTR_DEAD_ON_FILL] += dead;
+    return nev;
+}
+
+int64_t emissary_srrip_run(
+        const int64_t *set_idx, const int64_t *tags, int64_t m,
+        const uint8_t *rep, int64_t *tag_arr, int64_t *rrpv_arr,
+        int64_t *size_arr, int64_t ways, uint8_t *hits) {
+    for (int64_t i = 0; i < m; i++) {
+        int64_t s = set_idx[i];
+        int64_t base = s * ways;
+        int64_t tag = tags[i];
+        int64_t size = size_arr[s];
+        int64_t way = -1;
+        for (int64_t w = 0; w < size; w++) {
+            if (tag_arr[base + w] == tag) { way = w; break; }
+        }
+        if (way >= 0) {
+            rrpv_arr[base + way] = 0;
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+            int64_t insert = rep[i] != 0 ? 0 : SRRIP_RRPV_INSERT;
+            if (size < ways) {
+                way = size;
+                size_arr[s] = size + 1;
+            } else {
+                int64_t top = rrpv_arr[base];
+                for (int64_t w = 1; w < ways; w++) {
+                    if (rrpv_arr[base + w] > top) top = rrpv_arr[base + w];
+                }
+                if (top < SRRIP_RRPV_MAX) {
+                    int64_t aging = SRRIP_RRPV_MAX - top;
+                    for (int64_t w = 0; w < ways; w++) {
+                        rrpv_arr[base + w] += aging;
+                    }
+                }
+                way = 0;
+                for (int64_t w = 0; w < ways; w++) {
+                    if (rrpv_arr[base + w] == SRRIP_RRPV_MAX) {
+                        way = w;
+                        break;
+                    }
+                }
+            }
+            tag_arr[base + way] = tag;
+            rrpv_arr[base + way] = insert;
+        }
+    }
+    return 0;
+}
+
+int64_t emissary_srrip_run_tel(
+        const int64_t *set_idx, const int64_t *tags, int64_t m,
+        const uint8_t *rep, const int64_t *extra, int64_t *tag_arr,
+        int64_t *rrpv_arr, int64_t *size_arr, int64_t *line_hits,
+        int64_t *counters, int64_t *evbuf, int64_t ways, uint8_t *hits) {
+    int64_t fills = 0, evictions = 0, dead = 0, nev = 0;
+    for (int64_t i = 0; i < m; i++) {
+        int64_t s = set_idx[i];
+        int64_t base = s * ways;
+        int64_t tag = tags[i];
+        int64_t size = size_arr[s];
+        int64_t way = -1;
+        for (int64_t w = 0; w < size; w++) {
+            if (tag_arr[base + w] == tag) { way = w; break; }
+        }
+        if (way >= 0) {
+            rrpv_arr[base + way] = 0;
+            line_hits[base + way] += 1 + extra[i];
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+            int64_t insert = rep[i] != 0 ? 0 : SRRIP_RRPV_INSERT;
+            if (size < ways) {
+                way = size;
+                size_arr[s] = size + 1;
+            } else {
+                int64_t top = rrpv_arr[base];
+                for (int64_t w = 1; w < ways; w++) {
+                    if (rrpv_arr[base + w] > top) top = rrpv_arr[base + w];
+                }
+                if (top < SRRIP_RRPV_MAX) {
+                    int64_t aging = SRRIP_RRPV_MAX - top;
+                    for (int64_t w = 0; w < ways; w++) {
+                        rrpv_arr[base + w] += aging;
+                    }
+                }
+                way = 0;
+                for (int64_t w = 0; w < ways; w++) {
+                    if (rrpv_arr[base + w] == SRRIP_RRPV_MAX) {
+                        way = w;
+                        break;
+                    }
+                }
+                int64_t victim_hits = line_hits[base + way];
+                evbuf[nev++] = victim_hits;
+                evictions += 1;
+                if (victim_hits == 0) dead += 1;
+            }
+            tag_arr[base + way] = tag;
+            rrpv_arr[base + way] = insert;
+            line_hits[base + way] = extra[i];
+            fills += 1;
+        }
+    }
+    counters[CTR_FILLS] += fills;
+    counters[CTR_EVICTIONS] += evictions;
+    counters[CTR_DEAD_ON_FILL] += dead;
+    return nev;
+}
+
+int64_t emissary_emissary_run(
+        const int64_t *set_idx, const int64_t *tags, int64_t m,
+        const double *u, const int64_t *cost, int64_t has_cost,
+        int64_t *tag_arr, int64_t *ts_arr, int64_t *prio_arr,
+        int64_t *size_arr, int64_t *hp_counts, int64_t *clock,
+        int64_t *stats, int64_t ways, int64_t hp_threshold,
+        int64_t prob_inv, int64_t min_cost, uint8_t *hits) {
+    int64_t c = clock[0];
+    double p_hit = 1.0 / (double)prob_inv;
+    int64_t promotions = 0, hp_evictions = 0;
+    for (int64_t i = 0; i < m; i++) {
+        int64_t s = set_idx[i];
+        int64_t base = s * ways;
+        int64_t tag = tags[i];
+        int64_t size = size_arr[s];
+        int64_t way = -1;
+        for (int64_t w = 0; w < size; w++) {
+            if (tag_arr[base + w] == tag) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+            int64_t hp = hp_counts[s];
+            if (size == ways) {
+                int64_t want = hp >= hp_threshold ? 1 : 0;
+                way = -1;
+                int64_t best = 0;
+                for (int64_t w = 0; w < ways; w++) {
+                    if (prio_arr[base + w] == want
+                            && (way < 0 || ts_arr[base + w] < best)) {
+                        best = ts_arr[base + w];
+                        way = w;
+                    }
+                }
+                if (way < 0) {  /* preferred class empty: overall LRU */
+                    way = 0;
+                    best = ts_arr[base];
+                    for (int64_t w = 1; w < ways; w++) {
+                        if (ts_arr[base + w] < best) {
+                            best = ts_arr[base + w];
+                            way = w;
+                        }
+                    }
+                }
+                if (prio_arr[base + way] != 0) {
+                    hp -= 1;
+                    hp_evictions += 1;
+                }
+            } else {
+                way = size;
+                size_arr[s] = size + 1;
+            }
+            if ((has_cost == 0 || cost[i] >= min_cost) && u[i] < p_hit
+                    && hp < hp_threshold) {
+                prio_arr[base + way] = 1;
+                hp += 1;
+                promotions += 1;
+            } else {
+                prio_arr[base + way] = 0;
+            }
+            hp_counts[s] = hp;
+            tag_arr[base + way] = tag;
+        }
+        ts_arr[base + way] = c;
+        c += 1;
+    }
+    clock[0] = c;
+    stats[STAT_HP_PROMOTIONS] += promotions;
+    stats[STAT_HP_EVICTIONS] += hp_evictions;
+    return 0;
+}
+
+int64_t emissary_emissary_run_tel(
+        const int64_t *set_idx, const int64_t *tags, int64_t m,
+        const double *u, const int64_t *cost, int64_t has_cost,
+        const int64_t *extra, int64_t *tag_arr, int64_t *ts_arr,
+        int64_t *prio_arr, int64_t *size_arr, int64_t *hp_counts,
+        int64_t *clock, int64_t *line_hits, int64_t *counters,
+        int64_t *evbuf, int64_t *stats, int64_t ways,
+        int64_t hp_threshold, int64_t prob_inv, int64_t min_cost,
+        uint8_t *hits) {
+    int64_t c = clock[0];
+    double p_hit = 1.0 / (double)prob_inv;
+    int64_t promotions = 0, hp_evictions = 0;
+    int64_t fills = 0, evictions = 0, dead = 0, lp_evictions = 0, nev = 0;
+    for (int64_t i = 0; i < m; i++) {
+        int64_t s = set_idx[i];
+        int64_t base = s * ways;
+        int64_t tag = tags[i];
+        int64_t size = size_arr[s];
+        int64_t way = -1;
+        for (int64_t w = 0; w < size; w++) {
+            if (tag_arr[base + w] == tag) { way = w; break; }
+        }
+        if (way >= 0) {
+            line_hits[base + way] += 1 + extra[i];
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+            int64_t hp = hp_counts[s];
+            if (size == ways) {
+                int64_t want = hp >= hp_threshold ? 1 : 0;
+                way = -1;
+                int64_t best = 0;
+                for (int64_t w = 0; w < ways; w++) {
+                    if (prio_arr[base + w] == want
+                            && (way < 0 || ts_arr[base + w] < best)) {
+                        best = ts_arr[base + w];
+                        way = w;
+                    }
+                }
+                if (way < 0) {  /* preferred class empty: overall LRU */
+                    way = 0;
+                    best = ts_arr[base];
+                    for (int64_t w = 1; w < ways; w++) {
+                        if (ts_arr[base + w] < best) {
+                            best = ts_arr[base + w];
+                            way = w;
+                        }
+                    }
+                }
+                int64_t victim_hits = line_hits[base + way];
+                evbuf[nev++] = victim_hits;
+                evictions += 1;
+                if (victim_hits == 0) dead += 1;
+                if (prio_arr[base + way] != 0) {
+                    hp -= 1;
+                    hp_evictions += 1;
+                } else {
+                    lp_evictions += 1;
+                }
+            } else {
+                way = size;
+                size_arr[s] = size + 1;
+            }
+            if ((has_cost == 0 || cost[i] >= min_cost) && u[i] < p_hit
+                    && hp < hp_threshold) {
+                prio_arr[base + way] = 1;
+                hp += 1;
+                promotions += 1;
+            } else {
+                prio_arr[base + way] = 0;
+            }
+            hp_counts[s] = hp;
+            tag_arr[base + way] = tag;
+            line_hits[base + way] = extra[i];
+            fills += 1;
+        }
+        ts_arr[base + way] = c;
+        c += 1;
+    }
+    clock[0] = c;
+    stats[STAT_HP_PROMOTIONS] += promotions;
+    stats[STAT_HP_EVICTIONS] += hp_evictions;
+    counters[CTR_FILLS] += fills;
+    counters[CTR_EVICTIONS] += evictions;
+    counters[CTR_DEAD_ON_FILL] += dead;
+    counters[CTR_EVICTIONS_HP] += hp_evictions;
+    counters[CTR_EVICTIONS_LP] += lp_evictions;
+    counters[CTR_HP_PROMOTIONS] += promotions;
+    return nev;
+}
+"""
+
+
+class CcBuildError(RuntimeError):
+    """The C toolchain is missing or the kernel library failed to build."""
+
+
+def find_compiler() -> str | None:
+    """Path of a usable C compiler, or None.  ``$CC`` wins, then ``cc``
+    and ``gcc``/``clang`` from PATH."""
+    env_cc = os.environ.get("CC")
+    candidates = [env_cc] if env_cc else []
+    candidates += ["cc", "gcc", "clang"]
+    for name in candidates:
+        path = shutil.which(name)
+        if path is not None:
+            return path
+    return None
+
+
+def _cache_dir() -> Path:
+    configured = os.environ.get("EMISSARY_CC_CACHE")
+    if configured:
+        return Path(configured)
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return Path(tempfile.gettempdir()) / f"emissary-cc-{uid}"
+
+
+def build_library(compiler: str | None = None) -> Path:
+    """Compile (or reuse) the kernel shared library; returns its path."""
+    compiler = compiler or find_compiler()
+    if compiler is None:
+        raise CcBuildError(
+            "no C compiler found (set $CC, or install gcc/clang/cc)")
+    key = hashlib.sha256(
+        (C_SOURCE + "\0" + compiler + "\0" + sys.platform).encode()
+    ).hexdigest()[:24]
+    suffix = ".dll" if sys.platform == "win32" else ".so"
+    cache = _cache_dir()
+    lib_path = cache / f"emissary_kernels_{key}{suffix}"
+    if lib_path.exists():
+        return lib_path
+    cache.mkdir(parents=True, exist_ok=True)
+    src_path = cache / f"emissary_kernels_{key}.c"
+    src_path.write_text(C_SOURCE)
+    tmp_path = cache / f"emissary_kernels_{key}.{os.getpid()}.tmp{suffix}"
+    cmd = [compiler, "-O3", "-fPIC", "-shared",
+           str(src_path), "-o", str(tmp_path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise CcBuildError(
+            f"kernel library build failed ({' '.join(cmd)}):\n{proc.stderr}")
+    # Atomic publish so concurrent builders (sweep workers) cannot load
+    # a half-written library.
+    os.replace(tmp_path, lib_path)
+    return lib_path
+
+
+_I64 = NDArray[np.int64]
+_U8 = NDArray[np.uint8]
+_F64 = NDArray[np.float64]
+
+
+def _ptr(arr: NDArray) -> "ctypes.c_int64":  # type: ignore[type-arg]
+    # Every kernel parameter is an int64 or a 64-bit pointer; wrapping
+    # each argument in c_int64 keeps the ctypes marshalling 8 bytes wide
+    # (a bare Python int would be passed as a 32-bit C int).
+    return ctypes.c_int64(arr.ctypes.data)
+
+
+def _i64(value: int) -> "ctypes.c_int64":
+    return ctypes.c_int64(value)
+
+
+class CcKernels:
+    """ctypes bindings exposing the same callables as ``kernels_py``."""
+
+    name = "cc"
+
+    def __init__(self, lib_path: Path) -> None:
+        self.lib_path = lib_path
+        lib = ctypes.CDLL(str(lib_path))
+        for symbol in (
+                "emissary_lru_run", "emissary_lru_run_tel",
+                "emissary_random_run", "emissary_random_run_tel",
+                "emissary_srrip_run", "emissary_srrip_run_tel",
+                "emissary_emissary_run", "emissary_emissary_run_tel"):
+            fn = getattr(lib, symbol)
+            fn.restype = ctypes.c_int64
+            fn.argtypes = None  # all-int marshalling via raw addresses
+        self._lib = lib
+
+    # Each wrapper mirrors the kernels_py signature exactly, so the
+    # dispatcher treats every provider identically.
+
+    def lru_run(self, set_idx: _I64, tags: _I64, tag_arr: _I64, ts_arr: _I64,
+                size_arr: _I64, clock: _I64, ways: int, hits: _U8) -> int:
+        return int(self._lib.emissary_lru_run(
+            _ptr(set_idx), _ptr(tags), _i64(len(set_idx)), _ptr(tag_arr),
+            _ptr(ts_arr), _ptr(size_arr), _ptr(clock), _i64(ways),
+            _ptr(hits)))
+
+    def lru_run_tel(self, set_idx: _I64, tags: _I64, extra: _I64,
+                    tag_arr: _I64, ts_arr: _I64, size_arr: _I64, clock: _I64,
+                    line_hits: _I64, counters: _I64, evbuf: _I64, ways: int,
+                    hits: _U8) -> int:
+        return int(self._lib.emissary_lru_run_tel(
+            _ptr(set_idx), _ptr(tags), _i64(len(set_idx)), _ptr(extra),
+            _ptr(tag_arr), _ptr(ts_arr), _ptr(size_arr), _ptr(clock),
+            _ptr(line_hits), _ptr(counters), _ptr(evbuf), _i64(ways),
+            _ptr(hits)))
+
+    def random_run(self, set_idx: _I64, tags: _I64, u: _F64, tag_arr: _I64,
+                   size_arr: _I64, ways: int, hits: _U8) -> int:
+        return int(self._lib.emissary_random_run(
+            _ptr(set_idx), _ptr(tags), _i64(len(set_idx)), _ptr(u),
+            _ptr(tag_arr), _ptr(size_arr), _i64(ways), _ptr(hits)))
+
+    def random_run_tel(self, set_idx: _I64, tags: _I64, u: _F64, extra: _I64,
+                       tag_arr: _I64, size_arr: _I64, line_hits: _I64,
+                       counters: _I64, evbuf: _I64, ways: int,
+                       hits: _U8) -> int:
+        return int(self._lib.emissary_random_run_tel(
+            _ptr(set_idx), _ptr(tags), _i64(len(set_idx)), _ptr(u),
+            _ptr(extra), _ptr(tag_arr), _ptr(size_arr), _ptr(line_hits),
+            _ptr(counters), _ptr(evbuf), _i64(ways), _ptr(hits)))
+
+    def srrip_run(self, set_idx: _I64, tags: _I64, rep: _U8, tag_arr: _I64,
+                  rrpv_arr: _I64, size_arr: _I64, ways: int,
+                  hits: _U8) -> int:
+        return int(self._lib.emissary_srrip_run(
+            _ptr(set_idx), _ptr(tags), _i64(len(set_idx)), _ptr(rep),
+            _ptr(tag_arr), _ptr(rrpv_arr), _ptr(size_arr), _i64(ways),
+            _ptr(hits)))
+
+    def srrip_run_tel(self, set_idx: _I64, tags: _I64, rep: _U8, extra: _I64,
+                      tag_arr: _I64, rrpv_arr: _I64, size_arr: _I64,
+                      line_hits: _I64, counters: _I64, evbuf: _I64, ways: int,
+                      hits: _U8) -> int:
+        return int(self._lib.emissary_srrip_run_tel(
+            _ptr(set_idx), _ptr(tags), _i64(len(set_idx)), _ptr(rep),
+            _ptr(extra), _ptr(tag_arr), _ptr(rrpv_arr), _ptr(size_arr),
+            _ptr(line_hits), _ptr(counters), _ptr(evbuf), _i64(ways),
+            _ptr(hits)))
+
+    def emissary_run(self, set_idx: _I64, tags: _I64, u: _F64, cost: _I64,
+                     has_cost: int, tag_arr: _I64, ts_arr: _I64,
+                     prio_arr: _I64, size_arr: _I64, hp_counts: _I64,
+                     clock: _I64, stats: _I64, ways: int, hp_threshold: int,
+                     prob_inv: int, min_cost: int, hits: _U8) -> int:
+        return int(self._lib.emissary_emissary_run(
+            _ptr(set_idx), _ptr(tags), _i64(len(set_idx)), _ptr(u),
+            _ptr(cost), _i64(has_cost), _ptr(tag_arr), _ptr(ts_arr),
+            _ptr(prio_arr), _ptr(size_arr), _ptr(hp_counts), _ptr(clock),
+            _ptr(stats), _i64(ways), _i64(hp_threshold), _i64(prob_inv),
+            _i64(min_cost), _ptr(hits)))
+
+    def emissary_run_tel(self, set_idx: _I64, tags: _I64, u: _F64,
+                         cost: _I64, has_cost: int, extra: _I64,
+                         tag_arr: _I64, ts_arr: _I64, prio_arr: _I64,
+                         size_arr: _I64, hp_counts: _I64, clock: _I64,
+                         line_hits: _I64, counters: _I64, evbuf: _I64,
+                         stats: _I64, ways: int, hp_threshold: int,
+                         prob_inv: int, min_cost: int, hits: _U8) -> int:
+        return int(self._lib.emissary_emissary_run_tel(
+            _ptr(set_idx), _ptr(tags), _i64(len(set_idx)), _ptr(u),
+            _ptr(cost), _i64(has_cost), _ptr(extra), _ptr(tag_arr),
+            _ptr(ts_arr), _ptr(prio_arr), _ptr(size_arr), _ptr(hp_counts),
+            _ptr(clock), _ptr(line_hits), _ptr(counters), _ptr(evbuf),
+            _ptr(stats), _i64(ways), _i64(hp_threshold), _i64(prob_inv),
+            _i64(min_cost), _ptr(hits)))
+
+
+def load_kernels() -> CcKernels:
+    """Build (or reuse) the shared library and bind its kernels."""
+    return CcKernels(build_library())

@@ -1,0 +1,487 @@
+"""Nopython-style policy kernels over flat per-set state arrays.
+
+These functions are the single source of truth for the compiled backend:
+the ``numba`` provider jits them unchanged (``@njit`` nopython mode), the
+``cc`` provider mirrors them line for line in C (see ``cc_backend.py``
+— the translation is kept mechanical on purpose), and the ``python``
+provider calls them as-is so the kernel logic is exercised by the test
+suite even where no compiler is available.
+
+They are therefore written in the numba-compatible subset of Python:
+plain ``range`` loops over preallocated NumPy arrays, int64/float64/uint8
+scalars, no dicts, no lists, no closures, no allocation.
+
+Semantics contract — bit-identical to the batched Python kernels in
+:mod:`emissary.policies` (proven by the differential suite):
+
+* Accesses arrive in **trace order** (``set_idx`` / ``tags`` aligned
+  per access).  Sets are independent, so trace-order processing equals
+  the batched engine's set-major processing access for access — and it
+  lets the compiled path skip the stable sort entirely.
+* Ways fill in physical order ``0 .. ways-1`` and never invalidate, so
+  ``size[s]`` fully describes residency (no tag sentinel needed).
+* LRU / EMISSARY recency is a per-line int64 timestamp from one global
+  monotonically increasing clock (``clock[0]``), exactly like the naive
+  reference implementations; timestamps are unique, so the LRU victim
+  (minimum timestamp) is total-ordered and matches dict recency order.
+* RANDOM's victim is ``int(u_i * ways)`` — physical way positions match
+  the batched kernel because cold fills append at index ``size``.
+* SRRIP inserts at ``RRPV_MAX - 1`` (0 when the fill is immediately
+  re-referenced — the engine's repeat flag), promotes to 0 on hit, ages
+  every way by ``RRPV_MAX - max(rrpv)`` when no way is at the maximum,
+  and evicts the lowest-index way at the maximum.
+* EMISSARY's two-class victim search prefers the LRU line among
+  low-priority ways (high-priority once the set is HP-saturated); an
+  empty preferred class falls back to the overall LRU way.  Promotion
+  on fill requires measured cost ``>= min_l1_misses`` (every fill
+  qualifies when no cost signal exists), ``u_i < 1.0 / prob_inv``, and
+  a free HP slot.
+
+The instrumented (``*_tel``) twins additionally maintain per-line
+hits-since-fill (``line_hits``), fold counter deltas into a packed
+int64 ``counters`` array, and write each eviction victim's hit count
+into ``evbuf`` (returning how many were written) — the dispatcher
+folds those into the :class:`~emissary.telemetry.Telemetry` registry
+outside the hot loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+I64 = NDArray[np.int64]
+U8 = NDArray[np.uint8]
+F64 = NDArray[np.float64]
+
+#: ``counters`` slot layout for the instrumented kernels.
+CTR_FILLS = 0
+CTR_EVICTIONS = 1
+CTR_DEAD_ON_FILL = 2
+CTR_EVICTIONS_HP = 3
+CTR_EVICTIONS_LP = 4
+CTR_HP_PROMOTIONS = 5
+NUM_COUNTERS = 6
+
+#: ``stats`` slot layout for the uninstrumented EMISSARY kernel (these
+#: two feed ``extra_stats`` and are maintained even without telemetry).
+STAT_HP_PROMOTIONS = 0
+STAT_HP_EVICTIONS = 1
+NUM_STATS = 2
+
+SRRIP_RRPV_MAX = 3
+SRRIP_RRPV_INSERT = 2
+
+
+# -- LRU ------------------------------------------------------------------
+
+def lru_run(set_idx: I64, tags: I64, tag_arr: I64, ts_arr: I64,
+            size_arr: I64, clock: I64, ways: int, hits: U8) -> int:
+    c = clock[0]
+    for i in range(set_idx.shape[0]):
+        s = set_idx[i]
+        base = s * ways
+        tag = tags[i]
+        size = size_arr[s]
+        way = -1
+        for w in range(size):
+            if tag_arr[base + w] == tag:
+                way = w
+                break
+        if way >= 0:
+            hits[i] = 1
+        else:
+            hits[i] = 0
+            if size < ways:
+                way = size
+                size_arr[s] = size + 1
+            else:
+                way = 0
+                best = ts_arr[base]
+                for w in range(1, ways):
+                    if ts_arr[base + w] < best:
+                        best = ts_arr[base + w]
+                        way = w
+            tag_arr[base + way] = tag
+        ts_arr[base + way] = c
+        c += 1
+    clock[0] = c
+    return 0
+
+
+def lru_run_tel(set_idx: I64, tags: I64, extra: I64, tag_arr: I64,
+                ts_arr: I64, size_arr: I64, clock: I64, line_hits: I64,
+                counters: I64, evbuf: I64, ways: int, hits: U8) -> int:
+    c = clock[0]
+    fills = 0
+    evictions = 0
+    dead = 0
+    nev = 0
+    for i in range(set_idx.shape[0]):
+        s = set_idx[i]
+        base = s * ways
+        tag = tags[i]
+        size = size_arr[s]
+        way = -1
+        for w in range(size):
+            if tag_arr[base + w] == tag:
+                way = w
+                break
+        if way >= 0:
+            line_hits[base + way] += 1 + extra[i]
+            hits[i] = 1
+        else:
+            hits[i] = 0
+            if size < ways:
+                way = size
+                size_arr[s] = size + 1
+            else:
+                way = 0
+                best = ts_arr[base]
+                for w in range(1, ways):
+                    if ts_arr[base + w] < best:
+                        best = ts_arr[base + w]
+                        way = w
+                victim_hits = line_hits[base + way]
+                evbuf[nev] = victim_hits
+                nev += 1
+                evictions += 1
+                if victim_hits == 0:
+                    dead += 1
+            tag_arr[base + way] = tag
+            line_hits[base + way] = extra[i]
+            fills += 1
+        ts_arr[base + way] = c
+        c += 1
+    clock[0] = c
+    counters[CTR_FILLS] += fills
+    counters[CTR_EVICTIONS] += evictions
+    counters[CTR_DEAD_ON_FILL] += dead
+    return nev
+
+
+# -- RANDOM ---------------------------------------------------------------
+
+def random_run(set_idx: I64, tags: I64, u: F64, tag_arr: I64,
+               size_arr: I64, ways: int, hits: U8) -> int:
+    for i in range(set_idx.shape[0]):
+        s = set_idx[i]
+        base = s * ways
+        tag = tags[i]
+        size = size_arr[s]
+        way = -1
+        for w in range(size):
+            if tag_arr[base + w] == tag:
+                way = w
+                break
+        if way >= 0:
+            hits[i] = 1
+        else:
+            hits[i] = 0
+            if size < ways:
+                way = size
+                size_arr[s] = size + 1
+            else:
+                way = int(u[i] * ways)
+            tag_arr[base + way] = tag
+    return 0
+
+
+def random_run_tel(set_idx: I64, tags: I64, u: F64, extra: I64,
+                   tag_arr: I64, size_arr: I64, line_hits: I64,
+                   counters: I64, evbuf: I64, ways: int, hits: U8) -> int:
+    fills = 0
+    evictions = 0
+    dead = 0
+    nev = 0
+    for i in range(set_idx.shape[0]):
+        s = set_idx[i]
+        base = s * ways
+        tag = tags[i]
+        size = size_arr[s]
+        way = -1
+        for w in range(size):
+            if tag_arr[base + w] == tag:
+                way = w
+                break
+        if way >= 0:
+            line_hits[base + way] += 1 + extra[i]
+            hits[i] = 1
+        else:
+            hits[i] = 0
+            if size < ways:
+                way = size
+                size_arr[s] = size + 1
+            else:
+                way = int(u[i] * ways)
+                victim_hits = line_hits[base + way]
+                evbuf[nev] = victim_hits
+                nev += 1
+                evictions += 1
+                if victim_hits == 0:
+                    dead += 1
+            tag_arr[base + way] = tag
+            line_hits[base + way] = extra[i]
+            fills += 1
+    counters[CTR_FILLS] += fills
+    counters[CTR_EVICTIONS] += evictions
+    counters[CTR_DEAD_ON_FILL] += dead
+    return nev
+
+
+# -- SRRIP ----------------------------------------------------------------
+
+def srrip_run(set_idx: I64, tags: I64, rep: U8, tag_arr: I64, rrpv_arr: I64,
+              size_arr: I64, ways: int, hits: U8) -> int:
+    for i in range(set_idx.shape[0]):
+        s = set_idx[i]
+        base = s * ways
+        tag = tags[i]
+        size = size_arr[s]
+        way = -1
+        for w in range(size):
+            if tag_arr[base + w] == tag:
+                way = w
+                break
+        if way >= 0:
+            rrpv_arr[base + way] = 0
+            hits[i] = 1
+        else:
+            hits[i] = 0
+            insert = 0 if rep[i] != 0 else SRRIP_RRPV_INSERT
+            if size < ways:
+                way = size
+                size_arr[s] = size + 1
+            else:
+                top = rrpv_arr[base]
+                for w in range(1, ways):
+                    if rrpv_arr[base + w] > top:
+                        top = rrpv_arr[base + w]
+                if top < SRRIP_RRPV_MAX:
+                    aging = SRRIP_RRPV_MAX - top
+                    for w in range(ways):
+                        rrpv_arr[base + w] += aging
+                way = 0
+                for w in range(ways):
+                    if rrpv_arr[base + w] == SRRIP_RRPV_MAX:
+                        way = w
+                        break
+            tag_arr[base + way] = tag
+            rrpv_arr[base + way] = insert
+    return 0
+
+
+def srrip_run_tel(set_idx: I64, tags: I64, rep: U8, extra: I64, tag_arr: I64,
+                  rrpv_arr: I64, size_arr: I64, line_hits: I64, counters: I64,
+                  evbuf: I64, ways: int, hits: U8) -> int:
+    fills = 0
+    evictions = 0
+    dead = 0
+    nev = 0
+    for i in range(set_idx.shape[0]):
+        s = set_idx[i]
+        base = s * ways
+        tag = tags[i]
+        size = size_arr[s]
+        way = -1
+        for w in range(size):
+            if tag_arr[base + w] == tag:
+                way = w
+                break
+        if way >= 0:
+            rrpv_arr[base + way] = 0
+            line_hits[base + way] += 1 + extra[i]
+            hits[i] = 1
+        else:
+            hits[i] = 0
+            insert = 0 if rep[i] != 0 else SRRIP_RRPV_INSERT
+            if size < ways:
+                way = size
+                size_arr[s] = size + 1
+            else:
+                top = rrpv_arr[base]
+                for w in range(1, ways):
+                    if rrpv_arr[base + w] > top:
+                        top = rrpv_arr[base + w]
+                if top < SRRIP_RRPV_MAX:
+                    aging = SRRIP_RRPV_MAX - top
+                    for w in range(ways):
+                        rrpv_arr[base + w] += aging
+                way = 0
+                for w in range(ways):
+                    if rrpv_arr[base + w] == SRRIP_RRPV_MAX:
+                        way = w
+                        break
+                victim_hits = line_hits[base + way]
+                evbuf[nev] = victim_hits
+                nev += 1
+                evictions += 1
+                if victim_hits == 0:
+                    dead += 1
+            tag_arr[base + way] = tag
+            rrpv_arr[base + way] = insert
+            line_hits[base + way] = extra[i]
+            fills += 1
+    counters[CTR_FILLS] += fills
+    counters[CTR_EVICTIONS] += evictions
+    counters[CTR_DEAD_ON_FILL] += dead
+    return nev
+
+
+# -- EMISSARY -------------------------------------------------------------
+
+def emissary_run(set_idx: I64, tags: I64, u: F64, cost: I64, has_cost: int,
+                 tag_arr: I64, ts_arr: I64, prio_arr: I64, size_arr: I64,
+                 hp_counts: I64, clock: I64, stats: I64, ways: int,
+                 hp_threshold: int, prob_inv: int, min_cost: int,
+                 hits: U8) -> int:
+    c = clock[0]
+    p_hit = 1.0 / prob_inv
+    promotions = 0
+    hp_evictions = 0
+    for i in range(set_idx.shape[0]):
+        s = set_idx[i]
+        base = s * ways
+        tag = tags[i]
+        size = size_arr[s]
+        way = -1
+        for w in range(size):
+            if tag_arr[base + w] == tag:
+                way = w
+                break
+        if way >= 0:
+            hits[i] = 1
+        else:
+            hits[i] = 0
+            hp = hp_counts[s]
+            if size == ways:
+                want = 1 if hp >= hp_threshold else 0
+                way = -1
+                best = np.int64(0)
+                for w in range(ways):
+                    if prio_arr[base + w] == want and \
+                            (way < 0 or ts_arr[base + w] < best):
+                        best = ts_arr[base + w]
+                        way = w
+                if way < 0:  # preferred class empty: overall LRU
+                    way = 0
+                    best = ts_arr[base]
+                    for w in range(1, ways):
+                        if ts_arr[base + w] < best:
+                            best = ts_arr[base + w]
+                            way = w
+                if prio_arr[base + way] != 0:
+                    hp -= 1
+                    hp_evictions += 1
+            else:
+                way = size
+                size_arr[s] = size + 1
+            if (has_cost == 0 or cost[i] >= min_cost) and u[i] < p_hit \
+                    and hp < hp_threshold:
+                prio_arr[base + way] = 1
+                hp += 1
+                promotions += 1
+            else:
+                prio_arr[base + way] = 0
+            hp_counts[s] = hp
+            tag_arr[base + way] = tag
+        ts_arr[base + way] = c
+        c += 1
+    clock[0] = c
+    stats[STAT_HP_PROMOTIONS] += promotions
+    stats[STAT_HP_EVICTIONS] += hp_evictions
+    return 0
+
+
+def emissary_run_tel(set_idx: I64, tags: I64, u: F64, cost: I64,
+                     has_cost: int, extra: I64, tag_arr: I64, ts_arr: I64,
+                     prio_arr: I64, size_arr: I64, hp_counts: I64, clock: I64,
+                     line_hits: I64, counters: I64, evbuf: I64, stats: I64,
+                     ways: int, hp_threshold: int, prob_inv: int,
+                     min_cost: int, hits: U8) -> int:
+    c = clock[0]
+    p_hit = 1.0 / prob_inv
+    promotions = 0
+    hp_evictions = 0
+    fills = 0
+    evictions = 0
+    dead = 0
+    lp_evictions = 0
+    nev = 0
+    for i in range(set_idx.shape[0]):
+        s = set_idx[i]
+        base = s * ways
+        tag = tags[i]
+        size = size_arr[s]
+        way = -1
+        for w in range(size):
+            if tag_arr[base + w] == tag:
+                way = w
+                break
+        if way >= 0:
+            line_hits[base + way] += 1 + extra[i]
+            hits[i] = 1
+        else:
+            hits[i] = 0
+            hp = hp_counts[s]
+            if size == ways:
+                want = 1 if hp >= hp_threshold else 0
+                way = -1
+                best = np.int64(0)
+                for w in range(ways):
+                    if prio_arr[base + w] == want and \
+                            (way < 0 or ts_arr[base + w] < best):
+                        best = ts_arr[base + w]
+                        way = w
+                if way < 0:  # preferred class empty: overall LRU
+                    way = 0
+                    best = ts_arr[base]
+                    for w in range(1, ways):
+                        if ts_arr[base + w] < best:
+                            best = ts_arr[base + w]
+                            way = w
+                victim_hits = line_hits[base + way]
+                evbuf[nev] = victim_hits
+                nev += 1
+                evictions += 1
+                if victim_hits == 0:
+                    dead += 1
+                if prio_arr[base + way] != 0:
+                    hp -= 1
+                    hp_evictions += 1
+                else:
+                    lp_evictions += 1
+            else:
+                way = size
+                size_arr[s] = size + 1
+            if (has_cost == 0 or cost[i] >= min_cost) and u[i] < p_hit \
+                    and hp < hp_threshold:
+                prio_arr[base + way] = 1
+                hp += 1
+                promotions += 1
+            else:
+                prio_arr[base + way] = 0
+            hp_counts[s] = hp
+            tag_arr[base + way] = tag
+            line_hits[base + way] = extra[i]
+            fills += 1
+        ts_arr[base + way] = c
+        c += 1
+    clock[0] = c
+    stats[STAT_HP_PROMOTIONS] += promotions
+    stats[STAT_HP_EVICTIONS] += hp_evictions
+    counters[CTR_FILLS] += fills
+    counters[CTR_EVICTIONS] += evictions
+    counters[CTR_DEAD_ON_FILL] += dead
+    counters[CTR_EVICTIONS_HP] += hp_evictions
+    counters[CTR_EVICTIONS_LP] += lp_evictions
+    counters[CTR_HP_PROMOTIONS] += promotions
+    return nev
+
+
+KERNEL_NAMES = (
+    "lru_run", "lru_run_tel",
+    "random_run", "random_run_tel",
+    "srrip_run", "srrip_run_tel",
+    "emissary_run", "emissary_run_tel",
+)

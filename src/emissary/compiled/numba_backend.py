@@ -1,0 +1,51 @@
+"""Numba compiled-kernel provider: ``@njit`` over ``kernels_py``.
+
+Numba is an optional dependency (install extra ``emissary[compiled]``).
+This module is the only place it is imported, and the import is guarded:
+:data:`HAVE_NUMBA` tells the provider registry whether this provider can
+be offered, and :func:`load_kernels` raises :class:`ImportError` when it
+cannot.
+
+The kernels themselves live in :mod:`emissary.compiled.kernels_py`,
+written in the nopython subset — this module just jits them.  First call
+per signature pays JIT compilation (``cache=True`` persists the machine
+code in numba's on-disk cache, so subsequent processes start warm);
+benchmarks must therefore time a warm-up run first (``bench.py``'s
+backend mode does).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from emissary.compiled import kernels_py
+
+try:
+    from numba import njit
+    HAVE_NUMBA = True
+except ImportError:  # optional dependency; registry falls back to `cc`
+    njit = None
+    HAVE_NUMBA = False
+
+
+class NumbaKernels:
+    """Jitted twins of the ``kernels_py`` callables, bound lazily."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            raise ImportError(
+                "numba is not installed; `pip install emissary[compiled]`")
+        assert njit is not None
+        for fn_name in kernels_py.KERNEL_NAMES:
+            fn = getattr(kernels_py, fn_name)
+            setattr(self, fn_name, njit(cache=True, fastmath=False)(fn))
+
+    def __getattr__(self, item: str) -> Any:  # pragma: no cover - mypy aid
+        raise AttributeError(item)
+
+
+def load_kernels() -> NumbaKernels:
+    """Jit and bind the kernels; raises ImportError without numba."""
+    return NumbaKernels()

@@ -38,6 +38,7 @@ one-shot :meth:`BatchedEngine.run` path.
 from __future__ import annotations
 
 import time
+import warnings
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -46,12 +47,54 @@ import numpy as np
 from numpy.typing import NDArray
 
 from emissary.api import PolicySpec, coerce_policy_spec
+from emissary.compiled import (
+    CompiledKernel,
+    CompiledUnavailableError,
+    make_compiled_kernel,
+)
 from emissary.policies import make_kernel, make_naive, policy_needs_rng
+from emissary.policies.base import PolicyKernel
 from emissary.telemetry import Telemetry, span_factory
 from emissary.traces import AddressArray
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from emissary.analysis.sanitizer import Sanitizer
+
+#: Kernel backends a :class:`BatchedEngine` can execute with.
+KERNEL_BACKENDS = ("python", "compiled")
+
+
+def _make_engine_kernel(spec: PolicySpec, config: "CacheConfig",
+                        kernel_backend: str,
+                        compiled_provider: str | None
+                        ) -> "PolicyKernel | CompiledKernel":
+    """Build the policy kernel for one run.
+
+    ``kernel_backend="compiled"`` tries the compiled providers; if none
+    loads and no provider was pinned, it **warns and falls back** to the
+    batched Python kernels (outcomes are bit-identical, only slower), so
+    ``backend="compiled"`` requests stay portable to hosts without numba
+    or a C compiler.  A pinned ``compiled_provider`` turns that fallback
+    into a hard :class:`~emissary.compiled.CompiledUnavailableError` —
+    benchmarks must fail loudly rather than silently time Python.
+    """
+    if kernel_backend == "compiled":
+        try:
+            return make_compiled_kernel(
+                spec.name, config.num_sets, config.ways,
+                provider=compiled_provider, **spec.params)
+        except CompiledUnavailableError as exc:
+            if compiled_provider is not None:
+                raise
+            warnings.warn(
+                f"compiled kernel backend unavailable ({exc}); falling "
+                "back to the batched Python kernels (outcomes are "
+                "bit-identical, only slower)",
+                RuntimeWarning, stacklevel=3)
+    elif kernel_backend != "python":
+        raise ValueError(f"unknown kernel_backend {kernel_backend!r} "
+                         f"(expected one of {KERNEL_BACKENDS})")
+    return make_kernel(spec.name, config.num_sets, config.ways, **spec.params)
 
 
 def _is_pow2(x: int) -> bool:
@@ -207,7 +250,9 @@ class BatchedEngine:
     def __init__(self, config: CacheConfig | None = None,
                  collapse_runs: bool = True,
                  telemetry: Telemetry | None = None,
-                 sanitizer: "Sanitizer" | None = None) -> None:
+                 sanitizer: "Sanitizer" | None = None,
+                 kernel_backend: str = "python",
+                 compiled_provider: str | None = None) -> None:
         self.config = config or CacheConfig()
         self.collapse_runs = collapse_runs
         #: Optional :class:`~emissary.telemetry.Telemetry` registry; when
@@ -217,6 +262,14 @@ class BatchedEngine:
         #: (debug mode): validates per-set kernel state after every
         #: dispatch.  None (the default) costs one ``is None`` test per run.
         self.sanitizer = sanitizer
+        if kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(f"unknown kernel_backend {kernel_backend!r} "
+                             f"(expected one of {KERNEL_BACKENDS})")
+        #: ``"python"`` runs the per-set list kernels; ``"compiled"``
+        #: dispatches whole batches in trace order to a native provider
+        #: (see :mod:`emissary.compiled`), skipping the set-major sort.
+        self.kernel_backend = kernel_backend
+        self.compiled_provider = compiled_provider
 
     def run(self, addresses: AddressArray, policy: PolicySpec | str, seed: int = 0,
             keep_hits: bool = True, cost: IndexArray | None = None,
@@ -232,7 +285,8 @@ class BatchedEngine:
             lines = addrs >> np.uint64(config.offset_bits)
             u = _uniforms(n, spec.name, seed)
 
-        kernel = make_kernel(spec.name, config.num_sets, config.ways, **spec.params)
+        kernel = _make_engine_kernel(spec, config, self.kernel_backend,
+                                     self.compiled_provider)
         if tel is not None:
             kernel.attach_telemetry(tel)
         if self.sanitizer is not None:
@@ -278,6 +332,26 @@ class BatchedEngine:
                     work_extra = np.zeros(len(work_lines), dtype=np.int64)
         m = len(work_lines)
 
+        if isinstance(kernel, CompiledKernel):
+            # Compiled dispatch stays in trace order (sets are
+            # independent, so per-set state evolution is identical) and
+            # needs no set-major sort — one native call per run.
+            with span("kernel_batch"):
+                set_idx = (work_lines
+                           & np.uint64(config.num_sets - 1)).astype(np.int64)
+                tags = (work_lines
+                        >> np.uint64(config.set_bits)).astype(np.int64)
+                work_hits = kernel.run_batch(set_idx, tags, work_u, work_rep,
+                                             work_cost, work_extra)
+                if tel is not None:
+                    kernel.telemetry_finalize()
+            if edge_idx is None:
+                hits = work_hits
+            else:
+                hits = np.ones(n, dtype=bool)  # collapsed accesses always hit
+                hits[edge_idx] = work_hits
+            return self._finish_run(spec, kernel, n, m, hits, keep_hits, start)
+
         with span("stable_sort"):
             set_idx = (work_lines & np.uint64(config.num_sets - 1)).astype(np.int64)
             tags = (work_lines >> np.uint64(config.set_bits)).astype(np.int64)
@@ -321,8 +395,15 @@ class BatchedEngine:
             work_hits[order] = sorted_hits
             hits = np.ones(n, dtype=bool)  # collapsed accesses are always hits
             hits[edge_idx] = work_hits
-        elapsed = time.perf_counter() - start
+        return self._finish_run(spec, kernel, n, m, hits, keep_hits, start)
 
+    def _finish_run(self, spec: PolicySpec,
+                    kernel: "PolicyKernel | CompiledKernel", n: int, m: int,
+                    hits: BoolArray, keep_hits: bool,
+                    start: float) -> SimResult:
+        """Engine-level counters + result assembly (both kernel paths)."""
+        elapsed = time.perf_counter() - start
+        tel = self.telemetry
         hit_count = int(hits.sum())
         if tel is not None:
             tel.inc("engine.accesses", n)
@@ -409,8 +490,8 @@ class EngineStream:
         self.collapse_runs = engine.collapse_runs
         self.telemetry = engine.telemetry
         self._span = span_factory(self.telemetry)
-        self.kernel = make_kernel(spec.name, config.num_sets, config.ways,
-                                  **spec.params)
+        self.kernel = _make_engine_kernel(spec, config, engine.kernel_backend,
+                                          engine.compiled_provider)
         if self.telemetry is not None:
             self.kernel.attach_telemetry(self.telemetry)
         self.sanitizer = engine.sanitizer
@@ -526,6 +607,11 @@ class EngineStream:
 
         set_idx = (run_lines & np.uint64(config.num_sets - 1)).astype(np.int64)
         tags = (run_lines >> np.uint64(config.set_bits)).astype(np.int64)
+        if isinstance(kernel, CompiledKernel):
+            # Trace-order native dispatch: no set-major sort needed.
+            edge_hits = kernel.run_batch(set_idx, tags, run_u, rep,
+                                         run_cost, extra)
+            return self._expand(run_lines, run_lengths, edge_hits)
         order = np.argsort(set_idx, kind="stable")
         sorted_sets = set_idx[order]
         sorted_tags = tags[order]
@@ -555,14 +641,17 @@ class EngineStream:
                                                 chunk_extra)
         edge_hits = np.empty(m, dtype=bool)
         edge_hits[order] = sorted_hits
+        return self._expand(run_lines, run_lengths, edge_hits)
 
-        # Expand run outcomes to per-access hits: each run contributes
-        # its edge outcome followed by (length - 1) collapsed hits.
+    def _expand(self, run_lines: AddressArray, run_lengths: IndexArray,
+                edge_hits: BoolArray) -> tuple[BoolArray, AddressArray]:
+        """Expand run outcomes to per-access hits: each run contributes
+        its edge outcome followed by (length - 1) collapsed hits."""
         total = int(run_lengths.sum())
         hits = np.ones(total, dtype=bool)
         starts = np.cumsum(run_lengths) - run_lengths
         hits[starts] = edge_hits
-        self._edge_count += m
+        self._edge_count += len(edge_hits)
         self._hit_count += int(hits.sum())
         if self.keep_hits:
             self._hit_chunks.append(hits)
@@ -741,6 +830,10 @@ def simulate(addresses: AddressArray, policy: PolicySpec | str,
     """
     if engine == "batched":
         return BatchedEngine(config).run(addresses, policy, seed=seed, **policy_params)
+    if engine == "compiled":
+        return BatchedEngine(config, kernel_backend="compiled").run(
+            addresses, policy, seed=seed, **policy_params)
     if engine == "reference":
         return ReferenceEngine(config).run(addresses, policy, seed=seed, **policy_params)
-    raise ValueError(f"unknown engine {engine!r} (expected 'batched' or 'reference')")
+    raise ValueError(f"unknown engine {engine!r} "
+                     "(expected 'batched', 'compiled', or 'reference')")

@@ -51,6 +51,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Default L1I: 64 sets x 8 ways x 64 B lines = 32 KiB, the common size.
 DEFAULT_L1 = CacheConfig(num_sets=64, ways=8)
 
+#: Default byte budget for coalescing L1I miss chunks before forwarding
+#: them to the L2 stream (1 MiB of uint64 lines ~= 128k misses).  Small
+#: ingest chunks on low-miss-rate traces otherwise produce many tiny L2
+#: dispatches; coalescing is outcome-invariant because the running
+#: per-line miss counts carry across batch boundaries in a counter table.
+DEFAULT_L2_CHUNK_BYTES = 1 << 20
+
 
 @dataclass(frozen=True)
 class HierarchyConfig:
@@ -173,7 +180,9 @@ class BatchedHierarchyEngine:
     def __init__(self, config: HierarchyConfig | None = None,
                  collapse_runs: bool = True,
                  telemetry: Telemetry | None = None,
-                 sanitizer: "Sanitizer" | None = None) -> None:
+                 sanitizer: "Sanitizer" | None = None,
+                 kernel_backend: str = "python",
+                 compiled_provider: str | None = None) -> None:
         self.config = config or HierarchyConfig()
         self.collapse_runs = collapse_runs
         #: Optional :class:`~emissary.telemetry.Telemetry`; each stage
@@ -183,6 +192,18 @@ class BatchedHierarchyEngine:
         #: Optional :class:`~emissary.analysis.sanitizer.Sanitizer`,
         #: shared by both stage engines (one instance checks both levels).
         self.sanitizer = sanitizer
+        #: Kernel backend for *both* stage engines ("python" or
+        #: "compiled"); outcomes are bit-identical either way.  Validated
+        #: by the stage :class:`~emissary.engine.BatchedEngine`\ s.
+        self.kernel_backend = kernel_backend
+        self.compiled_provider = compiled_provider
+
+    def _stage_engine(self, config: CacheConfig,
+                      telemetry: Telemetry | None) -> BatchedEngine:
+        return BatchedEngine(config, collapse_runs=self.collapse_runs,
+                             telemetry=telemetry, sanitizer=self.sanitizer,
+                             kernel_backend=self.kernel_backend,
+                             compiled_provider=self.compiled_provider)
 
     def run(self, addresses: AddressArray, policy: PolicySpec | str, seed: int = 0,
             keep_hits: bool = True, **policy_params: Any) -> HierarchyResult:
@@ -197,8 +218,7 @@ class BatchedHierarchyEngine:
         start = time.perf_counter()
         addrs = np.ascontiguousarray(addresses, dtype=np.uint64)
 
-        l1 = BatchedEngine(config.l1, collapse_runs=self.collapse_runs,
-                           telemetry=l1_tel, sanitizer=self.sanitizer)
+        l1 = self._stage_engine(config.l1, l1_tel)
         with span("l1_stage"):
             l1_result = l1.run(addrs, PolicySpec(config.l1_policy), seed=seed,
                                keep_hits=True)
@@ -208,8 +228,7 @@ class BatchedHierarchyEngine:
             miss_lines = miss_addrs >> np.uint64(config.l1.offset_bits)
             l1_miss_counts = running_miss_counts(miss_lines)
 
-        l2 = BatchedEngine(config.l2, collapse_runs=self.collapse_runs,
-                           telemetry=l2_tel, sanitizer=self.sanitizer)
+        l2 = self._stage_engine(config.l2, l2_tel)
         with span("l2_stage"):
             l2_result = l2.run(miss_addrs, spec, seed=seed, keep_hits=keep_hits,
                                cost=l1_miss_counts)
@@ -234,20 +253,32 @@ class BatchedHierarchyEngine:
     def simulate_stream(self, chunks: Iterable[AddressArray],
                         policy: PolicySpec | str, seed: int = 0,
                         keep_hits: bool = True,
+                        chunk_bytes: int | None = DEFAULT_L2_CHUNK_BYTES,
                         **policy_params: Any) -> HierarchyResult:
         """Run the two-level hierarchy over a chunked trace in bounded memory.
 
         ``chunks`` is any iterable of ``uint64`` address arrays in trace
         order (e.g. a :class:`~emissary.trace_io.TraceSource`).  Both
         stages run as incremental :class:`~emissary.engine.EngineStream`\\ s:
-        each resolved L1I chunk's miss lines flow straight into the L2
-        stream together with their running L1I miss counts, which carry
-        across chunk boundaries in a per-line counter table.  L1/L2 hit
+        each resolved L1I chunk's miss lines flow into the L2 stream
+        together with their running L1I miss counts, which carry across
+        chunk boundaries in a per-line counter table.
+
+        Because the L1I filters out most accesses, per-chunk miss arrays
+        can be tiny; forwarding each one separately makes the L2 stage
+        pay fixed dispatch overhead per sliver.  Miss lines are therefore
+        buffered and forwarded only once ``chunk_bytes`` of them have
+        accumulated (or at end of trace).  Pass ``chunk_bytes=None`` to
+        forward every chunk's misses immediately.  Either way, L1/L2 hit
         vectors and per-level stats are bit-identical to :meth:`run` on
-        the concatenated trace.
+        the concatenated trace: the cost computation depends only on the
+        order of the miss stream, not on where it is cut.
         """
         spec = coerce_policy_spec(policy, policy_params,
                                   caller="BatchedHierarchyEngine.simulate_stream")
+        if chunk_bytes is not None and chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive or None, "
+                             f"got {chunk_bytes}")
         config = self.config
         tel = self.telemetry
         span = span_factory(tel)
@@ -255,16 +286,16 @@ class BatchedHierarchyEngine:
         l2_tel = Telemetry() if tel is not None else None
         start = time.perf_counter()
 
-        l1_engine = BatchedEngine(config.l1, collapse_runs=self.collapse_runs,
-                                  telemetry=l1_tel, sanitizer=self.sanitizer)
-        l2_engine = BatchedEngine(config.l2, collapse_runs=self.collapse_runs,
-                                  telemetry=l2_tel, sanitizer=self.sanitizer)
+        l1_engine = self._stage_engine(config.l1, l1_tel)
+        l2_engine = self._stage_engine(config.l2, l2_tel)
         l1_stream = l1_engine.stream(PolicySpec(config.l1_policy), seed=seed,
                                      keep_hits=keep_hits)
         l2_stream = l2_engine.stream(spec, seed=seed, keep_hits=keep_hits)
 
         offset_bits = np.uint64(config.l1.offset_bits)
         miss_counts: dict[int, int] = {}
+        pending: list[AddressArray] = []
+        pending_bytes = 0
 
         def advance(miss_lines: AddressArray) -> None:
             """Extend the running per-line L1I miss counts and feed the
@@ -282,6 +313,21 @@ class BatchedHierarchyEngine:
                     miss_counts[line] = int(total)
             l2_stream.feed(miss_lines << offset_bits, cost=cost)
 
+        def enqueue(miss_lines: AddressArray, flush: bool = False) -> None:
+            """Buffer miss lines; forward to L2 once the coalescing
+            budget fills (or unconditionally on flush)."""
+            nonlocal pending_bytes
+            if len(miss_lines):
+                pending.append(miss_lines)
+                pending_bytes += miss_lines.nbytes
+            if pending and (flush or chunk_bytes is None
+                            or pending_bytes >= chunk_bytes):
+                batch = (pending[0] if len(pending) == 1
+                         else np.concatenate(pending))
+                pending.clear()
+                pending_bytes = 0
+                advance(batch)
+
         chunk_iter = iter(chunks)
         while True:
             with span("stream_ingest"):
@@ -289,9 +335,9 @@ class BatchedHierarchyEngine:
             if chunk is None:
                 break
             _, miss_lines = l1_stream.feed(chunk)
-            advance(miss_lines)
+            enqueue(miss_lines)
         _, tail_miss = l1_stream.flush()
-        advance(tail_miss)
+        enqueue(tail_miss, flush=True)
 
         l1_result = l1_stream.finish()
         l2_result = l2_stream.finish()
@@ -477,11 +523,15 @@ def simulate_hierarchy(addresses: AddressArray, policy: PolicySpec | str,
                        config: HierarchyConfig | None = None, seed: int = 0,
                        engine: str = "batched",
                        **policy_params: Any) -> HierarchyResult:
-    """Convenience wrapper: run the two-level hierarchy on either engine."""
+    """Convenience wrapper: run the two-level hierarchy on any engine."""
     if engine == "batched":
         return BatchedHierarchyEngine(config).run(addresses, policy, seed=seed,
                                                   **policy_params)
+    if engine == "compiled":
+        return BatchedHierarchyEngine(config, kernel_backend="compiled").run(
+            addresses, policy, seed=seed, **policy_params)
     if engine == "reference":
         return HierarchyReferenceEngine(config).run(addresses, policy, seed=seed,
                                                     **policy_params)
-    raise ValueError(f"unknown engine {engine!r} (expected 'batched' or 'reference')")
+    raise ValueError(f"unknown engine {engine!r} "
+                     f"(expected 'batched', 'compiled', or 'reference')")

@@ -19,6 +19,10 @@ set occupancy, and the per-line hit-count distribution.
 trace-event JSON file (pid = worker process, tid = config index),
 loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 
+Pointing the CLI at a ``BENCH_backend.json`` compiled-backend benchmark
+report instead prints its digest: per-row speedup vs python-batched and
+the aggregate bit-identity verdict.
+
 Legacy (version 1) output — a bare row list with no envelope — still
 loads; missing header fields simply render as absent.
 """
@@ -189,6 +193,43 @@ def render_report(envelope: dict[str, Any]) -> str:
     return "\n".join(out)
 
 
+def render_backend_digest(report: dict[str, Any]) -> str:
+    """Digest of a ``BENCH_backend.json`` compiled-backend report: the
+    speedup range, the best row, and the bit-identity verdict."""
+    rows: list[dict[str, Any]] = report.get("policies", [])
+    lines = [f"compiled backend benchmark "
+             f"(provider={report.get('compiled_provider', '?')}, "
+             f"trace={report.get('trace', {}).get('kind', '?')} "
+             f"n={report.get('trace', {}).get('n', '?')})"]
+    best: dict[str, Any] | None = None
+    for row in rows:
+        name = row["policy"] + (" (L1I->L2)" if row.get("hierarchy") else "")
+        lines.append(f"  {name}: {row['speedup_vs_python']:.1f}x vs "
+                     f"python-batched "
+                     f"({row['compiled']['accesses_per_s'] / 1e6:.1f} Macc/s), "
+                     f"identical={row['outcomes_identical']}")
+        if best is None or row["speedup_vs_python"] > best["speedup_vs_python"]:
+            best = row
+    if best is not None:
+        lines.append(f"  best: {best['policy']} "
+                     f"{best['speedup_vs_python']:.1f}x; all outcomes "
+                     f"identical: {report.get('all_outcomes_identical')}")
+    return "\n".join(lines)
+
+
+def _try_backend_digest(path: str) -> str | None:
+    """Render ``path`` as a backend bench report, or None if it isn't one."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if isinstance(payload, dict) and \
+            payload.get("benchmark") == "backend_throughput":
+        return render_backend_digest(payload)
+    return None
+
+
 def export_chrome_trace(envelope: dict[str, Any]) -> dict[str, Any]:
     """Merge every row's engine phase spans into one Chrome trace.
 
@@ -224,6 +265,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         envelope = load_sweep_output(args.path)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
+        digest = _try_backend_digest(args.path)
+        if digest is not None:
+            print(digest)
+            return 0
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_report(envelope))

@@ -72,7 +72,8 @@ def make_config(trace: Any, policy: str | None = None,
     return request.to_dict()
 
 
-def run_config(config: dict[str, Any]) -> dict[str, Any]:
+def run_config(config: dict[str, Any],
+               backend: str = "batched") -> dict[str, Any]:
     """Worker entry point: simulate one configuration, return plain dicts.
 
     A config with ``"telemetry": true`` runs instrumented; its result
@@ -80,13 +81,25 @@ def run_config(config: dict[str, Any]) -> dict[str, Any]:
     (``kind="file"``) are *streamed* from disk in chunk-budget-sized
     pieces rather than materialized, so a worker's peak memory stays
     bounded by the chunk budget however large the trace file is.
+
+    ``backend`` selects the kernel backend (``"batched"`` or
+    ``"compiled"``).  It rides *next to* the config rather than inside
+    it because backends are bit-identical and the config dict is the
+    results-cache key — the same point run on either backend must share
+    one cache entry.
     """
+    if backend not in ("batched", "compiled"):
+        raise ValueError(f"unknown sweep backend {backend!r} "
+                         f"(expected 'batched' or 'compiled')")
+    kernel_backend = "compiled" if backend == "compiled" else "python"
     request = SimRequest.from_dict(config)
     telemetry = Telemetry() if request.telemetry else None
     if request.is_hierarchy:
-        engine: Any = BatchedHierarchyEngine(request.config, telemetry=telemetry)
+        engine: Any = BatchedHierarchyEngine(request.config, telemetry=telemetry,
+                                             kernel_backend=kernel_backend)
     else:
-        engine = BatchedEngine(request.config, telemetry=telemetry)
+        engine = BatchedEngine(request.config, telemetry=telemetry,
+                               kernel_backend=kernel_backend)
     if request.trace.kind == FILE_KIND:
         from emissary import trace_io
 
@@ -100,18 +113,18 @@ def run_config(config: dict[str, Any]) -> dict[str, Any]:
     return result.to_dict()
 
 
-def _run_indexed(item: tuple[int, dict[str, Any]]) -> tuple[int, dict[str, Any],
-                                                            dict[str, Any]]:
+def _run_indexed(item: tuple[int, dict[str, Any], str]
+                 ) -> tuple[int, dict[str, Any], dict[str, Any]]:
     """Run one indexed config, never letting an exception escape the
     worker: a raising config becomes an ``{"error": ...}`` payload so one
     bad point cannot kill the pool and discard in-flight results.
 
     The third element is worker metadata (pid, wall time) for the run
     report."""
-    index, config = item
+    index, config, backend = item
     started = time.perf_counter()
     try:
-        payload = {"result": run_config(config)}
+        payload = {"result": run_config(config, backend=backend)}
     except Exception as exc:  # noqa: BLE001 - isolate arbitrary config failures
         payload = {"error": f"{type(exc).__name__}: {exc}"}
     worker = {"pid": os.getpid(), "elapsed_s": time.perf_counter() - started}
@@ -146,7 +159,8 @@ def build_grid(traces: Sequence[TraceSpec], policies: Sequence[str],
 def run_sweep(grid: Sequence[SimRequest | dict[str, Any]], workers: int = 0,
               cache_dir: str = DEFAULT_CACHE_DIR,
               telemetry: bool = False,
-              store: ResultsCache | None = None) -> list[dict[str, Any]]:
+              store: ResultsCache | None = None,
+              backend: str = "batched") -> list[dict[str, Any]]:
     """Run every configuration, reusing cached results; returns one row per config.
 
     Fresh results are persisted to the cache *as each worker completes*
@@ -162,12 +176,19 @@ def run_sweep(grid: Sequence[SimRequest | dict[str, Any]], workers: int = 0,
     Fresh rows also record ``row["worker"]`` metadata (pid, wall time)
     for the run report.
 
+    ``backend`` selects the worker kernel backend (``"batched"`` or
+    ``"compiled"``); it never enters the cache key, so a sweep run on
+    either backend reuses (and warms) the same cached results.
+
     Pass ``store`` to supply (and afterwards inspect, via
     :meth:`~emissary.results_cache.ResultsCache.stats`) the results-cache
     handle; otherwise one is opened on ``cache_dir``.
     """
     if store is None:
         store = ResultsCache(cache_dir)
+    if backend not in ("batched", "compiled"):
+        raise ValueError(f"unknown sweep backend {backend!r} "
+                         f"(expected 'batched' or 'compiled')")
     configs = [g.to_dict() if isinstance(g, SimRequest) else dict(g) for g in grid]
     if telemetry:
         for config in configs:
@@ -194,7 +215,7 @@ def run_sweep(grid: Sequence[SimRequest | dict[str, Any]], workers: int = 0,
     if pending:
         if workers <= 0:
             workers = min(len(pending), os.cpu_count() or 1)
-        items = [(i, configs[i]) for i in pending]
+        items = [(i, configs[i], backend) for i in pending]
         if workers == 1:
             for item in items:
                 record(*_run_indexed(item))
@@ -341,6 +362,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--telemetry", action="store_true",
                         help="run every configuration instrumented: rows carry "
                              "policy counters, histograms, and engine phase spans")
+    parser.add_argument("--backend", choices=("batched", "compiled"),
+                        default="batched",
+                        help="kernel backend for workers; outcomes are "
+                             "bit-identical, so either backend shares the "
+                             "same results cache")
     args = parser.parse_args(argv)
 
     logging.basicConfig(level=logging.INFO, format="%(levelname)s %(message)s")
@@ -377,7 +403,8 @@ def main(argv: list[str] | None = None) -> int:
     store = ResultsCache(args.cache_dir)
     start = time.perf_counter()
     rows = run_sweep(grid, workers=args.workers, cache_dir=args.cache_dir,
-                     telemetry=args.telemetry, store=store)
+                     telemetry=args.telemetry, store=store,
+                     backend=args.backend)
     elapsed = time.perf_counter() - start
 
     print(_format_table(rows))

@@ -28,9 +28,10 @@ Formats
     chunks are sliced straight off the file without loading it.
 ``npz``
     The same array inside a (compressed) NumPy archive under the key
-    ``"addresses"``.  Zip members cannot be memory-mapped, so this
-    format decompresses fully on open — prefer ``npy`` or
-    ``champsim.gz`` for traces that must stream in bounded memory.
+    ``"addresses"``.  The zip member is read as an incrementally
+    decompressing stream (its ``.npy`` header parsed off the stream,
+    element bytes pulled per chunk), so ``.npz`` traces stream in
+    bounded memory like every other format.
 
 File-backed trace specs
 -----------------------
@@ -60,6 +61,7 @@ import gzip
 import hashlib
 import lzma
 import sys
+import zipfile
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import Any, BinaryIO
@@ -271,37 +273,63 @@ class NpySource(TraceSource):
 class NpzSource(TraceSource):
     """``.npz`` archive holding the address array under ``"addresses"``.
 
-    Zip members cannot be memory-mapped; the array is materialized on
-    first use (chunking then only bounds the handoff size, not the
-    resident set — prefer ``npy`` / ``champsim.gz`` for huge traces).
+    Zip members cannot be memory-mapped, but they *can* be read as an
+    incrementally-decompressing stream: the member's ``.npy`` header is
+    parsed off the stream, then element bytes are pulled chunk by chunk,
+    so the resident set is bounded by ``chunk_bytes`` — the archive is
+    never materialized, however large the trace.
     """
 
     format = "npz"
 
-    def _load(self) -> AddressArray:
-        with np.load(self.path) as archive:
-            names = archive.files
-            key = "addresses" if "addresses" in names else None
-            if key is None:
-                if len(names) != 1:
-                    raise ValueError(
-                        f"{self.path}: expected an 'addresses' array (or a "
-                        f"single-array archive), found {sorted(names)}")
-                key = names[0]
-            arr = archive[key]
-        if arr.ndim != 1 or arr.dtype.kind not in "ui":
+    def _member_name(self, zf: zipfile.ZipFile) -> str:
+        names = zf.namelist()
+        if "addresses.npy" in names:
+            return "addresses.npy"
+        if len(names) != 1:
+            raise ValueError(
+                f"{self.path}: expected an 'addresses' array (or a "
+                f"single-array archive), found {sorted(names)}")
+        return names[0]
+
+    def _read_header(self, fh: Any) -> tuple[int, np.dtype]:
+        """Parse the member's ``.npy`` header; returns (count, dtype)."""
+        version = np.lib.format.read_magic(fh)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+        else:
+            raise ValueError(f"{self.path}: unsupported .npy format version "
+                             f"{version} inside the archive")
+        if len(shape) != 1 or dtype.kind not in "ui" or dtype.hasobject:
             raise ValueError(f"{self.path}: expected a 1-D unsigned/integer "
-                             f"address array, got {arr.dtype} {arr.shape}")
-        return np.ascontiguousarray(arr, dtype=np.uint64)
+                             f"address array, got {dtype} {shape}")
+        return int(shape[0]), dtype
 
     def __iter__(self) -> Iterator[AddressArray]:
-        arr = self._load()
-        step = max(1, self.chunk_bytes // 8)
-        for lo in range(0, len(arr), step):
-            yield arr[lo:lo + step].copy()
+        with zipfile.ZipFile(self.path) as zf:
+            with zf.open(self._member_name(zf)) as fh:
+                total, dtype = self._read_header(fh)
+                itemsize = dtype.itemsize
+                per_chunk = max(1, self.chunk_bytes // max(itemsize, 8))
+                remaining = total
+                while remaining > 0:
+                    take = min(per_chunk, remaining)
+                    buf = fh.read(take * itemsize)
+                    if len(buf) != take * itemsize:
+                        raise ValueError(
+                            f"{self.path}: truncated archive member — expected "
+                            f"{take * itemsize} bytes, got {len(buf)}")
+                    arr = np.frombuffer(buf, dtype=dtype)
+                    yield np.ascontiguousarray(arr, dtype=np.uint64)
+                    remaining -= take
 
     def count(self) -> int:
-        return int(len(self._load()))
+        with zipfile.ZipFile(self.path) as zf:
+            with zf.open(self._member_name(zf)) as fh:
+                total, _ = self._read_header(fh)
+        return total
 
 
 def open_trace(path: str | Path, chunk_bytes: int = DEFAULT_CHUNK_BYTES,

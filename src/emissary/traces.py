@@ -168,6 +168,176 @@ GENERATORS: dict[str, Callable[..., AddressArray]] = {
     "call": call_heavy,
 }
 
+#: Default chunk budget for chunked generation (mirrors
+#: :data:`emissary.trace_io.DEFAULT_CHUNK_BYTES` without importing it —
+#: trace_io imports this module).
+DEFAULT_CHUNK_BYTES = 1 << 22
+
+_ADDR_ITEMSIZE = np.dtype(np.uint64).itemsize
+
+
+def _chunk_step(chunk_bytes: int) -> int:
+    if chunk_bytes <= 0:
+        raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+    return max(1, chunk_bytes // _ADDR_ITEMSIZE)
+
+
+def _emit_chunks(segments: Iterator[AddressArray],
+                 step: int) -> Iterator[AddressArray]:
+    """Regroup a stream of small arrays into exactly ``step``-element
+    chunks (last one shorter); concatenation order is preserved."""
+    buf: list[AddressArray] = []
+    size = 0
+    for seg in segments:
+        if len(seg) == 0:
+            continue
+        buf.append(seg)
+        size += len(seg)
+        while size >= step:
+            arr = buf[0] if len(buf) == 1 else np.concatenate(buf)
+            yield arr[:step]
+            rest = arr[step:]
+            buf = [rest] if len(rest) else []
+            size = len(rest)
+    if size:
+        yield buf[0] if len(buf) == 1 else np.concatenate(buf)
+
+
+def looping_code_chunks(
+    n: int,
+    footprint_lines: int = 4096,
+    branch_noise: float = 0.02,
+    base: int = 0x400000,
+    seed: int = 0,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Iterator[AddressArray]:
+    """Chunked :func:`looping_code`: bit-identical concatenation, peak
+    memory bounded by ``chunk_bytes`` instead of the trace size.
+
+    :func:`looping_code` consumes its RNG in two phases — all ``n``
+    noise uniforms first, then one bounded integer per noise hit.  Both
+    NumPy draws are positional (``random(a)`` then ``random(b)`` equals
+    ``random(a + b)``, and likewise for bounded ``integers``), so two
+    generators reproduce the stream chunk by chunk: one replays the
+    noise uniforms in place, the other is pre-advanced past all of them
+    and then serves each chunk's jump targets.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if footprint_lines <= 0:
+        raise ValueError("footprint_lines must be positive")
+    step = _chunk_step(chunk_bytes)
+    instrs_per_line = LINE_BYTES // INSTR_BYTES
+    span = footprint_lines * instrs_per_line
+    rng_jump = _rng(seed)
+    for start in range(0, n, step):
+        rng_jump.random(min(step, n - start))  # discard: advance past noise
+    rng_noise = _rng(seed)
+    for start in range(0, n, step):
+        k = min(step, n - start)
+        seq = np.arange(start, start + k, dtype=np.uint64) % np.uint64(span)
+        noise = rng_noise.random(k) < branch_noise
+        jumps = rng_jump.integers(0, span, size=int(noise.sum()))
+        seq[noise] = jumps.astype(np.uint64)
+        yield np.uint64(base) + seq * np.uint64(INSTR_BYTES)
+
+
+def working_set_shift_chunks(
+    n: int,
+    phases: int = 4,
+    footprint_lines: int = 4096,
+    branch_noise: float = 0.02,
+    base: int = 0x400000,
+    seed: int = 0,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Iterator[AddressArray]:
+    """Chunked :func:`working_set_shift`: per-phase seeds are drawn in
+    the same order as the one-shot generator, each phase streams through
+    :func:`looping_code_chunks`, and phase boundaries are regrouped so
+    every emitted chunk except the last fills the whole budget."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if phases <= 0:
+        raise ValueError("phases must be positive")
+    step = _chunk_step(chunk_bytes)  # validate before the first yield
+    rng = _rng(seed)
+    per_phase = max(1, n // phases)
+
+    def segments() -> Iterator[AddressArray]:
+        produced = 0
+        phase = 0
+        while produced < n:
+            take = min(per_phase, n - produced)
+            phase_base = base + phase * footprint_lines * LINE_BYTES * 2
+            phase_seed = int(rng.integers(0, 2**31))
+            yield from looping_code_chunks(
+                take, footprint_lines=footprint_lines,
+                branch_noise=branch_noise, base=phase_base, seed=phase_seed,
+                chunk_bytes=chunk_bytes)
+            produced += take
+            phase += 1
+
+    yield from _emit_chunks(segments(), step)
+
+
+def call_heavy_chunks(
+    n: int,
+    caller_lines: int = 1024,
+    num_callees: int = 64,
+    callee_lines: int = 32,
+    call_period: int = 24,
+    base: int = 0x400000,
+    seed: int = 0,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Iterator[AddressArray]:
+    """Chunked :func:`call_heavy`: the caller/callee segment loop runs
+    unchanged (identical RNG consumption order), segments are regrouped
+    into budget-sized chunks instead of one concatenation."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if caller_lines <= 0:
+        raise ValueError("caller_lines must be positive")
+    if num_callees <= 0:
+        raise ValueError("num_callees must be positive")
+    if callee_lines <= 0:
+        raise ValueError("callee_lines must be positive")
+    if call_period <= 0:
+        raise ValueError("call_period must be positive")
+    step = _chunk_step(chunk_bytes)
+
+    def segments() -> Iterator[AddressArray]:
+        rng = _rng(seed)
+        instrs_per_line = LINE_BYTES // INSTR_BYTES
+        callee_base = base + caller_lines * LINE_BYTES * 4
+        callee_span = callee_lines * instrs_per_line
+        produced = 0
+        caller_pc = 0
+        caller_span = caller_lines * instrs_per_line
+        while produced < n:
+            run = min(call_period, n - produced)
+            seg = (np.arange(caller_pc, caller_pc + run, dtype=np.uint64)
+                   % np.uint64(caller_span))
+            yield np.uint64(base) + seg * np.uint64(INSTR_BYTES)
+            caller_pc = (caller_pc + run) % caller_span
+            produced += run
+            if produced >= n:
+                break
+            callee = int(rng.integers(0, num_callees))
+            burst = min(int(rng.integers(4, callee_span + 1)), n - produced)
+            cb = callee_base + callee * callee_lines * LINE_BYTES
+            seg = np.arange(burst, dtype=np.uint64)
+            yield np.uint64(cb) + seg * np.uint64(INSTR_BYTES)
+            produced += burst
+
+    yield from _emit_chunks(segments(), step)
+
+
+CHUNK_GENERATORS: dict[str, Callable[..., Iterator[AddressArray]]] = {
+    "loop": looping_code_chunks,
+    "shift": working_set_shift_chunks,
+    "call": call_heavy_chunks,
+}
+
 
 def _freeze_value(value: Any) -> Any:
     """Recursively convert ``value`` into an immutable, hashable form."""
@@ -273,6 +443,24 @@ class TraceSpec:
 
             return trace_io.load_spec_addresses(self)
         return GENERATORS[self.kind](self.n, seed=self.seed, **self.params)
+
+    def generate_chunks(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+                        ) -> Iterator[AddressArray]:
+        """Stream the trace as address chunks of at most ``chunk_bytes``.
+
+        Concatenating the chunks is bit-identical to :meth:`generate`,
+        but peak memory is bounded by the chunk budget rather than the
+        trace size — synthetic sweeps at large ``n`` no longer need the
+        whole array resident.  File-backed specs read incrementally via
+        :mod:`emissary.trace_io`.
+        """
+        if self.kind == FILE_KIND:
+            from emissary import trace_io
+
+            return trace_io.spec_source(self, chunk_bytes=chunk_bytes)
+        return CHUNK_GENERATORS[self.kind](self.n, seed=self.seed,
+                                           chunk_bytes=chunk_bytes,
+                                           **self.params)
 
     def to_dict(self) -> dict[str, Any]:
         return {"kind": self.kind, "n": self.n, "seed": self.seed,

@@ -5,9 +5,13 @@ families; this suite lets hypothesis search the space of short adversarial
 access patterns, cache geometries, and chunk splits for divergence between
 
 * the batched set-major engine and the naive per-access reference
-  (flat and two-level), and
+  (flat and two-level),
 * the streaming (chunked) path and the one-shot path, with the chunk
-  boundaries themselves generated — including ones that split MRU runs.
+  boundaries themselves generated — including ones that split MRU runs,
+  and
+* the compiled kernel backend (:mod:`emissary.compiled`) against both,
+  one-shot and streamed, flat and two-level — skipped only when no
+  compiled provider (numba or a C compiler) is available.
 
 Address pools are tiny (a handful of lines, few sets) so traces constantly
 collide in sets, re-reference immediately (repeat-flag paths), and evict —
@@ -22,11 +26,13 @@ counterexample, not just a diverging hit vector.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from emissary.analysis.sanitizer import Sanitizer
 from emissary.api import PolicySpec
+from emissary.compiled import CompiledUnavailableError, get_kernels
 from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine
 from emissary.hierarchy import (
     BatchedHierarchyEngine,
@@ -36,6 +42,16 @@ from emissary.hierarchy import (
 from emissary.traces import LINE_BYTES
 
 SEED = 5
+
+try:
+    get_kernels()
+    COMPILED_AVAILABLE = True
+except CompiledUnavailableError:
+    COMPILED_AVAILABLE = False
+
+needs_compiled = pytest.mark.skipif(
+    not COMPILED_AVAILABLE,
+    reason="no compiled kernel provider (numba or a C compiler) available")
 
 policies = st.sampled_from([
     PolicySpec("lru"),
@@ -91,6 +107,12 @@ def _sanitized(engine_cls, config):
     return engine_cls(config, sanitizer=Sanitizer())
 
 
+def _sanitized_compiled(engine_cls, config):
+    """Same, on the compiled kernel backend: the sanitizer validates the
+    flat per-set state arrays after every compiled dispatch."""
+    return engine_cls(config, sanitizer=Sanitizer(), kernel_backend="compiled")
+
+
 @settings(max_examples=40, deadline=None)
 @given(policy=policies, config=geometries, addresses=traces())
 def test_flat_batched_matches_reference(policy, config, addresses):
@@ -141,3 +163,48 @@ def test_hierarchy_stream_matches_oneshot(policy, chunked):
     assert np.array_equal(streamed.l1.hits, oneshot.l1.hits)
     assert np.array_equal(streamed.l2.hits, oneshot.l2.hits)
     assert streamed.l2.policy_stats == oneshot.l2.policy_stats
+
+
+@needs_compiled
+@settings(max_examples=40, deadline=None)
+@given(policy=policies, config=geometries, addresses=traces())
+def test_flat_compiled_matches_reference(policy, config, addresses):
+    compiled_engine = _sanitized_compiled(BatchedEngine, config)
+    reference_engine = _sanitized(ReferenceEngine, config)
+    compiled = compiled_engine.run(addresses, policy, seed=SEED)
+    reference = reference_engine.run(addresses, policy, seed=SEED)
+    assert np.array_equal(compiled.hits, reference.hits)
+    assert compiled.hit_count == reference.hit_count
+    assert compiled_engine.sanitizer.checks > 0
+
+
+@needs_compiled
+@settings(max_examples=40, deadline=None)
+@given(policy=policies, config=geometries, chunked=chunked_traces())
+def test_compiled_stream_matches_python_oneshot(policy, config, chunked):
+    addresses, chunks = chunked
+    oneshot = _sanitized(BatchedEngine, config).run(addresses, policy, seed=SEED)
+    compiled_engine = _sanitized_compiled(BatchedEngine, config)
+    streamed = compiled_engine.simulate_stream(chunks, policy, seed=SEED)
+    assert np.array_equal(streamed.hits, oneshot.hits)
+    assert streamed.policy_stats == oneshot.policy_stats
+    assert compiled_engine.sanitizer.checks > 0
+
+
+@needs_compiled
+@settings(max_examples=25, deadline=None)
+@given(policy=policies, chunked=chunked_traces())
+def test_hierarchy_compiled_matches_python(policy, chunked):
+    addresses, chunks = chunked
+    config = HierarchyConfig(l1=CacheConfig(num_sets=2, ways=1),
+                             l2=CacheConfig(num_sets=4, ways=2))
+    oneshot = _sanitized(BatchedHierarchyEngine, config).run(
+        addresses, policy, seed=SEED)
+    compiled = _sanitized_compiled(BatchedHierarchyEngine, config).run(
+        addresses, policy, seed=SEED)
+    streamed = _sanitized_compiled(BatchedHierarchyEngine, config).simulate_stream(
+        chunks, policy, seed=SEED)
+    for other in (compiled, streamed):
+        assert np.array_equal(other.l1.hits, oneshot.l1.hits)
+        assert np.array_equal(other.l2.hits, oneshot.l2.hits)
+        assert other.l2.policy_stats == oneshot.l2.policy_stats

@@ -111,6 +111,46 @@ def test_hierarchy_stream_bit_identical(policy, chunk):
     assert streamed.l2.policy_stats == oneshot.l2.policy_stats
 
 
+@pytest.mark.parametrize("budget", [None, 1, 64, 1 << 20])
+def test_hierarchy_coalescing_budgets_bit_identical(budget):
+    """L1-miss coalescing (batching misses up to ``chunk_bytes`` before
+    forwarding to L2) must never change outcomes: None forwards every
+    chunk's misses immediately, 1 byte degenerates to the same, and a
+    large budget defers almost everything to the final flush."""
+    addresses = _trace()
+    spec = _spec("emissary")
+    oneshot = BatchedHierarchyEngine(HIER).run(addresses, spec, seed=SEED)
+    streamed = BatchedHierarchyEngine(HIER).simulate_stream(
+        _chunks(addresses, 997), spec, seed=SEED, chunk_bytes=budget)
+    assert np.array_equal(streamed.l1.hits, oneshot.l1.hits)
+    assert np.array_equal(streamed.l2.hits, oneshot.l2.hits)
+    assert streamed.l2.policy_stats == oneshot.l2.policy_stats
+
+
+def test_hierarchy_coalescing_rejects_nonpositive_budget():
+    spec = _spec("lru")
+    with pytest.raises(ValueError, match="chunk_bytes"):
+        BatchedHierarchyEngine(HIER).simulate_stream(
+            _chunks(_trace(), 997), spec, seed=SEED, chunk_bytes=0)
+
+
+def test_hierarchy_coalescing_reduces_l2_dispatches():
+    """The point of the budget: far fewer (larger) L2 batches than L1
+    chunks.  Telemetry's stream_chunk spans count the actual batches."""
+    addresses = _trace()
+    spec = _spec("lru")
+
+    def l2_chunks(budget):
+        tel = Telemetry()
+        BatchedHierarchyEngine(HIER, telemetry=tel).simulate_stream(
+            _chunks(addresses, 97), spec, seed=SEED, chunk_bytes=budget)
+        return sum(1 for s in tel.to_dict()["spans"]
+                   if s["name"] == "l2.stream_chunk")
+
+    eager, coalesced = l2_chunks(None), l2_chunks(1 << 20)
+    assert coalesced < eager
+
+
 def test_feed_outcomes_concatenate_to_oneshot():
     """feed() returns outcomes for *resolved* accesses only; cumulatively
     they reassemble the exact one-shot hit vector and miss lines."""

@@ -120,6 +120,62 @@ def test_npz_rejects_ambiguous_archive(tmp_path, addresses):
         open_trace(path).read_all()
 
 
+class TestNpzStreaming:
+    """The npz source reads zip members as an incrementally-decompressing
+    stream — never through ``np.load``, never the whole array at once."""
+
+    def test_iteration_never_calls_np_load(self, tmp_path, addresses,
+                                           monkeypatch):
+        path = tmp_path / "t.npz"
+        write_trace(path, [addresses])
+        monkeypatch.setattr(np, "load", lambda *a, **k: pytest.fail(
+            "NpzSource must stream via zipfile, not materialize via np.load"))
+        chunks = list(open_trace(path, chunk_bytes=1024))
+        assert len(chunks) > 1
+        assert np.array_equal(np.concatenate(chunks), addresses)
+        assert open_trace(path).count() == len(addresses)
+
+    def test_streams_nondefault_member_and_dtype(self, tmp_path, addresses):
+        path = tmp_path / "other.npz"
+        np.savez(path, stream=addresses.astype(np.int64))
+        chunks = list(open_trace(path, chunk_bytes=512))
+        assert all(c.dtype == np.uint64 and c.flags.c_contiguous
+                   for c in chunks)
+        assert np.array_equal(np.concatenate(chunks), addresses)
+
+    def test_compressed_archive_streams(self, tmp_path, addresses):
+        path = tmp_path / "packed.npz"
+        np.savez_compressed(path, addresses=addresses)
+        chunks = list(open_trace(path, chunk_bytes=1024))
+        assert len(chunks) > 1
+        assert np.array_equal(np.concatenate(chunks), addresses)
+
+    def test_truncated_member_rejected(self, tmp_path):
+        import io
+        import zipfile
+
+        buf = io.BytesIO()
+        np.lib.format.write_array(buf, np.arange(100, dtype=np.uint64))
+        path = tmp_path / "torn.npz"
+        with zipfile.ZipFile(path, "w") as zf:
+            # Header claims 100 elements; payload carries only half.
+            zf.writestr("addresses.npy", buf.getvalue()[:-400])
+        with pytest.raises(ValueError, match="truncated"):
+            open_trace(path).read_all()
+
+    def test_rejects_float_member(self, tmp_path):
+        path = tmp_path / "f.npz"
+        np.savez(path, addresses=np.zeros(8, dtype=np.float64))
+        with pytest.raises(ValueError, match="address array"):
+            open_trace(path).read_all()
+
+    def test_rejects_multidimensional_member(self, tmp_path):
+        path = tmp_path / "m.npz"
+        np.savez(path, addresses=np.zeros((4, 4), dtype=np.uint64))
+        with pytest.raises(ValueError, match="1-D"):
+            open_trace(path).count()
+
+
 def test_detect_format():
     assert detect_format("t.champsim") == "champsim"
     assert detect_format("t.bin") == "champsim"

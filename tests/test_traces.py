@@ -4,11 +4,13 @@ import numpy as np
 import pytest
 
 from emissary.traces import (
+    CHUNK_GENERATORS,
     FILE_KIND,
     GENERATORS,
     LINE_BYTES,
     FrozenParams,
     TraceSpec,
+    _ADDR_ITEMSIZE,
     call_heavy,
     looping_code,
     working_set_shift,
@@ -137,3 +139,50 @@ def test_file_kind_requires_sha256():
         TraceSpec(FILE_KIND, 100, params={"sha256": "tooshort"})
     spec = TraceSpec(FILE_KIND, 100, params={"sha256": "0" * 64})
     assert spec.kind == FILE_KIND
+
+
+class TestChunkedGeneration:
+    """Chunked synthetic generation is bit-identical to one-shot and
+    never materializes more than the chunk budget at a time."""
+
+    def test_every_generator_has_a_chunked_twin(self):
+        assert sorted(CHUNK_GENERATORS) == sorted(GENERATORS)
+
+    @pytest.mark.parametrize("kind", sorted(CHUNK_GENERATORS))
+    @pytest.mark.parametrize("chunk_bytes", [64, 1 << 10, 1 << 22])
+    def test_chunks_concatenate_to_oneshot(self, kind, chunk_bytes):
+        oneshot = GENERATORS[kind](10_000, seed=11)
+        chunks = list(CHUNK_GENERATORS[kind](10_000, seed=11,
+                                             chunk_bytes=chunk_bytes))
+        assert np.array_equal(np.concatenate(chunks), oneshot)
+        step = max(1, chunk_bytes // _ADDR_ITEMSIZE)
+        assert all(len(chunk) == step for chunk in chunks[:-1])
+        assert 0 < len(chunks[-1]) <= step
+        assert all(chunk.dtype == np.uint64 for chunk in chunks)
+
+    @pytest.mark.parametrize("kind", sorted(CHUNK_GENERATORS))
+    def test_sub_itemsize_budget_yields_single_element_chunks(self, kind):
+        chunks = list(CHUNK_GENERATORS[kind](64, seed=3, chunk_bytes=1))
+        assert all(len(chunk) == 1 for chunk in chunks)
+        assert np.array_equal(np.concatenate(chunks),
+                              GENERATORS[kind](64, seed=3))
+
+    @pytest.mark.parametrize("kind", sorted(CHUNK_GENERATORS))
+    @pytest.mark.parametrize("chunk_bytes", [0, -8])
+    def test_rejects_nonpositive_chunk_bytes(self, kind, chunk_bytes):
+        with pytest.raises(ValueError, match="chunk_bytes"):
+            next(CHUNK_GENERATORS[kind](100, chunk_bytes=chunk_bytes))
+
+    def test_spec_generate_chunks_matches_generate(self):
+        spec = TraceSpec("shift", 8_000, 7, {"footprint_lines": 64})
+        chunks = list(spec.generate_chunks(chunk_bytes=1 << 12))
+        assert np.array_equal(np.concatenate(chunks), spec.generate())
+
+    def test_chunked_generators_honor_params(self):
+        base, footprint = 0x400000, 128
+        chunks = CHUNK_GENERATORS["loop"](20_000, footprint_lines=footprint,
+                                          base=base, seed=0,
+                                          chunk_bytes=1 << 12)
+        lines = np.concatenate(list(chunks)) // LINE_BYTES
+        assert lines.min() >= base // LINE_BYTES
+        assert lines.max() < base // LINE_BYTES + footprint
