@@ -27,14 +27,14 @@ Policy for L2 Instruction Caching" (ISCA 2023).  The package provides:
 """
 
 from emissary.analysis.sanitizer import Sanitizer, SanitizerError
-from emissary.api import (BACKENDS, EmissaryDeprecationWarning, PolicySpec,
-                          SimRequest, simulate)
+from emissary.api import BACKENDS, PolicySpec, SimRequest, simulate
 from emissary.compiled import CompiledUnavailableError
 from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine, SimResult
 from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
                                 HierarchyReferenceEngine, HierarchyResult,
                                 simulate_hierarchy)
 from emissary.telemetry import TELEMETRY_SCHEMA_VERSION, Telemetry
+from emissary.wire import WIRE_SCHEMA_VERSION
 
 __version__ = "0.4.0"
 
@@ -44,7 +44,6 @@ __all__ = [
     "BatchedHierarchyEngine",
     "CacheConfig",
     "CompiledUnavailableError",
-    "EmissaryDeprecationWarning",
     "HierarchyConfig",
     "HierarchyReferenceEngine",
     "HierarchyResult",
@@ -56,6 +55,7 @@ __all__ = [
     "SimResult",
     "TELEMETRY_SCHEMA_VERSION",
     "Telemetry",
+    "WIRE_SCHEMA_VERSION",
     "simulate",
     "simulate_hierarchy",
     "__version__",

@@ -16,33 +16,35 @@ dataclasses:
     One fully-described simulation: trace spec, policy spec, cache
     geometry (single-level :class:`~emissary.engine.CacheConfig` or
     two-level :class:`~emissary.hierarchy.HierarchyConfig`), and seed.
-    Its :meth:`~SimRequest.to_dict` encoding is the canonical results
-    cache key.
+    Its :meth:`~SimRequest.to_dict` encoding is both the canonical
+    results cache key and the version-stamped wire payload the serving
+    layer (:mod:`emissary.serve`) accepts over HTTP.
 
-The old form still works everywhere but emits
-:class:`EmissaryDeprecationWarning`; CI escalates that warning to an
-error so internal callers stay fully migrated.  Every public dataclass
-round-trips through ``to_dict`` / ``from_dict``.
+The legacy ``policy: str, **policy_params`` form was deprecated in PR 2
+(with CI escalating :class:`EmissaryDeprecationWarning` to an error) and
+has since been **removed**: every entry point now requires a
+:class:`PolicySpec`, and passing a string raises ``TypeError`` with the
+migration spelled out.  Every public dataclass round-trips through
+``to_dict`` / ``from_dict``; decoding follows the strict wire
+discipline of :mod:`emissary.wire` (schema versioning, unknown-key
+rejection, v0 migration).
 """
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
 from emissary.policies import PARAM_SCHEMAS, REGISTRY
 from emissary.traces import FILE_KIND, FrozenParams, TraceSpec
+from emissary.wire import (WIRE_SCHEMA_KEY, WIRE_SCHEMA_VERSION,
+                           check_known_keys, check_wire_version)
 
 #: Engine/kernel backends a :class:`SimRequest` may select.  All three
 #: produce bit-identical outcomes (the differential suite enforces it);
 #: they differ only in speed.
 BACKENDS = ("batched", "compiled", "reference")
-
-
-class EmissaryDeprecationWarning(DeprecationWarning):
-    """Raised-to-error in CI: a caller is still on the legacy kwargs API."""
 
 
 @dataclass(frozen=True)
@@ -78,31 +80,24 @@ class PolicySpec:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "PolicySpec":
+        check_known_keys(d, ("name", "params"), "PolicySpec")
         return cls(name=d["name"], params=dict(d.get("params", {})))
 
 
-def coerce_policy_spec(policy: Any, params: Mapping[str, Any] | None = None,
-                       caller: str = "simulate") -> PolicySpec:
-    """Accept a :class:`PolicySpec` or the deprecated ``str, **params`` form.
+def require_policy_spec(policy: Any, caller: str = "simulate") -> PolicySpec:
+    """Validate that ``policy`` is a :class:`PolicySpec`.
 
-    The string form is shimmed (with :class:`EmissaryDeprecationWarning`)
-    rather than rejected so downstream callers can migrate incrementally;
-    mixing a spec with extra kwargs is always an error because the spec
-    already carries its parameters.
+    The PR 2 ``str, **policy_params`` shim is gone; a string now fails
+    with the migration spelled out so old call sites get a one-line fix
+    instead of a bare ``AttributeError`` deep in a kernel.
     """
     if isinstance(policy, PolicySpec):
-        if params:
-            raise TypeError(
-                f"{caller}: pass policy parameters inside PolicySpec.params, "
-                f"not as extra keyword arguments ({sorted(params)})")
         return policy
     if isinstance(policy, str):
-        warnings.warn(
-            f"{caller}(policy=<str>, **policy_params) is deprecated; pass "
-            f"PolicySpec({policy!r}, {dict(params or {})!r}) instead",
-            EmissaryDeprecationWarning, stacklevel=3)
-        return PolicySpec(policy, dict(params or {}))
-    raise TypeError(f"{caller}: policy must be a PolicySpec or str, "
+        raise TypeError(
+            f"{caller}: the legacy string-policy form was removed; pass "
+            f"PolicySpec({policy!r}, {{...params}}) instead")
+    raise TypeError(f"{caller}: policy must be a PolicySpec, "
                     f"got {type(policy).__name__}")
 
 
@@ -164,16 +159,21 @@ class SimRequest:
         return isinstance(self.config, HierarchyConfig)
 
     def to_dict(self) -> dict[str, Any]:
-        """Canonical encoding — also the results-cache content key.
+        """Version-stamped canonical encoding — the wire payload *and*
+        the results-cache content key.
 
-        ``telemetry`` appears only when enabled: instrumented results
-        carry extra payload, so they cache under their own key, while
-        every default (telemetry-off) key is byte-identical to the
-        pre-telemetry encoding.  ``backend`` never appears: backends are
-        bit-identical, so the key is backend-invariant by design (a
+        ``schema_version`` (:data:`emissary.wire.WIRE_SCHEMA_VERSION`)
+        stamps the layout for cross-process decoding; the results cache
+        strips it before hashing, so every pre-versioning cache key is
+        still byte-identical.  ``telemetry`` appears only when enabled:
+        instrumented results carry extra payload, so they cache under
+        their own key, while every default (telemetry-off) key matches
+        the pre-telemetry encoding.  ``backend`` never appears: backends
+        are bit-identical, so the key is backend-invariant by design (a
         sweep run on the compiled backend warms the cache for the
         batched one and vice versa)."""
         d = {
+            WIRE_SCHEMA_KEY: WIRE_SCHEMA_VERSION,
             "trace": self.trace.to_dict(),
             "policy": self.policy.to_dict(),
             "config": self.config.to_dict(),
@@ -183,11 +183,23 @@ class SimRequest:
             d["telemetry"] = True
         return d
 
+    #: Keys a wire/cache ``SimRequest`` dict may carry.  ``backend`` is
+    #: accepted on decode (a client may pin the execution engine) even
+    #: though :meth:`to_dict` never emits it — see the cache-key note.
+    _WIRE_KEYS = frozenset({WIRE_SCHEMA_KEY, "trace", "policy", "config",
+                            "seed", "telemetry", "backend"})
+
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "SimRequest":
+        """Strictly decode a v0/v1 wire dict (see :mod:`emissary.wire`):
+        unknown keys are rejected, a missing ``schema_version`` means
+        the pre-versioned v0 layout, and a newer version than this
+        process understands refuses to half-parse."""
         from emissary.engine import CacheConfig
         from emissary.hierarchy import HierarchyConfig
 
+        check_wire_version(d, "SimRequest")
+        check_known_keys(d, cls._WIRE_KEYS, "SimRequest")
         cfg = d["config"]
         config = (HierarchyConfig.from_dict(cfg) if "l1" in cfg
                   else CacheConfig.from_dict(cfg))
@@ -208,16 +220,30 @@ def _array_chunks(addresses: Any, chunk_bytes: int):
         yield arr[start:start + step]
 
 
-def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
-             engine: str | None = None, telemetry: bool = False,
+def _progress_chunks(chunks: Any, progress: Any, total: int):
+    """Wrap a chunk iterable so ``progress(done, total)`` fires at every
+    chunk boundary, *after* the engine has consumed the chunk (the
+    callback runs when the engine asks for the next one, so reported
+    work is always completed work)."""
+    done = 0
+    for chunk in chunks:
+        yield chunk
+        done += len(chunk)
+        progress(done, total)
+
+
+def simulate(target: Any, policy: PolicySpec | None = None, config: Any = None,
+             seed: int = 0, engine: str | None = None, telemetry: bool = False,
              stream: bool = False, chunk_bytes: int | None = None,
-             **policy_params: Any):
-    """Unified entry point.
+             progress: Any = None):
+    """Unified typed entry point.
 
     ``simulate(SimRequest(...))`` generates the trace from its spec and
-    dispatches on the config type (single-level vs hierarchy).  The
-    legacy array form ``simulate(addresses, policy, ...)`` still works;
-    with a string policy it emits :class:`EmissaryDeprecationWarning`.
+    dispatches on the config type (single-level vs hierarchy) — this is
+    the form the serving layer (:mod:`emissary.serve`) executes verbatim
+    for every accepted wire request.  The array form
+    ``simulate(addresses, PolicySpec(...), ...)`` runs a policy over an
+    in-memory trace; the PR 2 string-policy shim has been removed.
 
     ``engine`` selects the backend (:data:`BACKENDS`): ``"batched"``
     (vectorized NumPy), ``"compiled"`` (native per-set kernels — see
@@ -240,6 +266,11 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
     the instrumentation layer: the returned result's ``telemetry``
     attribute holds the counters, histograms, and phase spans.  Outcomes
     are bit-identical either way.
+
+    ``progress`` (streaming only) is called as ``progress(done, total)``
+    at every chunk boundary with the number of accesses already fed
+    through the engine.  The serving layer's worker uses this to publish
+    progress ticks; the callback must never raise.
     """
     from emissary.engine import BatchedEngine, ReferenceEngine
     from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
@@ -248,11 +279,14 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
 
     if chunk_bytes is not None and not stream:
         raise TypeError("chunk_bytes only applies to stream=True")
+    if progress is not None and not stream:
+        raise TypeError("progress only applies to stream=True")
 
     chunks: Any = None
+    total = 0
     if isinstance(target, SimRequest):
-        if policy is not None or config is not None or policy_params:
-            raise TypeError("simulate(SimRequest) takes no policy/config/params "
+        if policy is not None or config is not None:
+            raise TypeError("simulate(SimRequest) takes no policy/config "
                             "arguments — they live inside the request")
         spec, config, seed = target.policy, target.config, target.seed
         telemetry = telemetry or target.telemetry
@@ -263,12 +297,13 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
 
             chunks = target.trace.generate_chunks(
                 chunk_bytes=chunk_bytes or trace_io.DEFAULT_CHUNK_BYTES)
+            total = target.trace.n
             addresses = None
         else:
             addresses = target.trace.generate()
     else:
         addresses = target
-        spec = coerce_policy_spec(policy, policy_params, caller="simulate")
+        spec = require_policy_spec(policy, caller="simulate")
     if engine is None:
         engine = "batched"
     if stream and engine == "reference":
@@ -296,7 +331,10 @@ def simulate(target: Any, policy: Any = None, config: Any = None, seed: int = 0,
         if chunks is None:
             from emissary import trace_io
 
+            total = len(addresses)
             chunks = _array_chunks(
                 addresses, chunk_bytes or trace_io.DEFAULT_CHUNK_BYTES)
+        if progress is not None:
+            chunks = _progress_chunks(chunks, progress, total)
         return eng.simulate_stream(chunks, spec, seed=seed)
     return eng.run(addresses, spec, seed=seed)

@@ -46,7 +46,9 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 from numpy.typing import NDArray
 
-from emissary.api import PolicySpec, coerce_policy_spec
+from emissary.api import PolicySpec, require_policy_spec
+from emissary.wire import (WIRE_SCHEMA_KEY, WIRE_SCHEMA_VERSION,
+                           check_known_keys, check_wire_version)
 from emissary.compiled import (
     CompiledKernel,
     CompiledUnavailableError,
@@ -142,6 +144,7 @@ class CacheConfig:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "CacheConfig":
+        check_known_keys(d, ("num_sets", "ways", "line_size"), "CacheConfig")
         return cls(num_sets=int(d["num_sets"]), ways=int(d["ways"]),
                    line_size=int(d.get("line_size", 64)))
 
@@ -180,8 +183,14 @@ class SimResult:
         ``Infinity``.  Tables render it as ``-``."""
         return self.n / self.elapsed_s if self.elapsed_s > 0 else None
 
+    #: Wire keys of the :meth:`to_dict` payload (see :mod:`emissary.wire`).
+    _WIRE_KEYS = frozenset({WIRE_SCHEMA_KEY, "policy", "n", "hit_count",
+                            "miss_count", "hit_rate", "mpki", "elapsed_s",
+                            "accesses_per_s", "policy_stats", "telemetry"})
+
     def to_dict(self) -> dict[str, Any]:
         d = {
+            WIRE_SCHEMA_KEY: WIRE_SCHEMA_VERSION,
             "policy": self.policy,
             "n": self.n,
             "hit_count": self.hit_count,
@@ -198,8 +207,12 @@ class SimResult:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "SimResult":
-        """Rebuild from :meth:`to_dict` output.  Derived fields are
-        recomputed from the counts; the hit vector is not serialized."""
+        """Rebuild from :meth:`to_dict` output (strict wire decode: v0
+        dicts are accepted, unknown keys and newer versions rejected).
+        Derived fields are recomputed from the counts; the hit vector is
+        not serialized."""
+        check_wire_version(d, "SimResult")
+        check_known_keys(d, cls._WIRE_KEYS, "SimResult")
         return cls(
             policy=d["policy"],
             n=int(d["n"]),
@@ -271,10 +284,9 @@ class BatchedEngine:
         self.kernel_backend = kernel_backend
         self.compiled_provider = compiled_provider
 
-    def run(self, addresses: AddressArray, policy: PolicySpec | str, seed: int = 0,
-            keep_hits: bool = True, cost: IndexArray | None = None,
-            **policy_params: Any) -> SimResult:
-        spec = coerce_policy_spec(policy, policy_params, caller="BatchedEngine.run")
+    def run(self, addresses: AddressArray, policy: PolicySpec, seed: int = 0,
+            keep_hits: bool = True, cost: IndexArray | None = None) -> SimResult:
+        spec = require_policy_spec(policy, caller="BatchedEngine.run")
         config = self.config
         tel = self.telemetry
         span = span_factory(tel)
@@ -424,18 +436,17 @@ class BatchedEngine:
             telemetry=tel.to_dict() if tel is not None else None,
         )
 
-    def stream(self, policy: PolicySpec | str, seed: int = 0,
-               keep_hits: bool = True, **policy_params: Any) -> "EngineStream":
+    def stream(self, policy: PolicySpec, seed: int = 0,
+               keep_hits: bool = True) -> "EngineStream":
         """Open an incremental :class:`EngineStream` for chunked feeding."""
-        spec = coerce_policy_spec(policy, policy_params,
-                                  caller="BatchedEngine.stream")
+        spec = require_policy_spec(policy, caller="BatchedEngine.stream")
         return EngineStream(self, spec, seed=seed, keep_hits=keep_hits)
 
     def simulate_stream(self, chunks: Iterable[AddressArray],
-                        policy: PolicySpec | str, seed: int = 0,
+                        policy: PolicySpec, seed: int = 0,
                         keep_hits: bool = True,
-                        cost_chunks: Iterable[AddressArray] | None = None,
-                        **policy_params: Any) -> SimResult:
+                        cost_chunks: Iterable[AddressArray] | None = None
+                        ) -> SimResult:
         """Run ``policy`` over a chunked trace in bounded memory.
 
         ``chunks`` is any iterable of ``uint64`` address arrays in trace
@@ -445,8 +456,7 @@ class BatchedEngine:
         concatenated trace.  ``cost_chunks``, when given, must yield one
         cost array per address chunk (aligned lengths).
         """
-        stream = self.stream(policy, seed=seed, keep_hits=keep_hits,
-                             **policy_params)
+        stream = self.stream(policy, seed=seed, keep_hits=keep_hits)
         span = span_factory(self.telemetry)
         cost_iter = iter(cost_chunks) if cost_chunks is not None else None
         chunk_iter = iter(chunks)
@@ -723,10 +733,9 @@ class ReferenceEngine:
         self.telemetry = telemetry
         self.sanitizer = sanitizer
 
-    def run(self, addresses: AddressArray, policy: PolicySpec | str, seed: int = 0,
-            keep_hits: bool = True, cost: IndexArray | None = None,
-            **policy_params: Any) -> SimResult:
-        spec = coerce_policy_spec(policy, policy_params, caller="ReferenceEngine.run")
+    def run(self, addresses: AddressArray, policy: PolicySpec, seed: int = 0,
+            keep_hits: bool = True, cost: IndexArray | None = None) -> SimResult:
+        spec = require_policy_spec(policy, caller="ReferenceEngine.run")
         config = self.config
         tel = self.telemetry
         n = len(addresses)
@@ -820,20 +829,20 @@ class ReferenceEngine:
         )
 
 
-def simulate(addresses: AddressArray, policy: PolicySpec | str,
+def simulate(addresses: AddressArray, policy: PolicySpec,
              config: CacheConfig | None = None, seed: int = 0,
-             engine: str = "batched", **policy_params: Any) -> SimResult:
+             engine: str = "batched") -> SimResult:
     """Array-level convenience wrapper: run ``policy`` over ``addresses``.
 
     For spec-described traces (and two-level hierarchies) prefer
     :func:`emissary.api.simulate` with a :class:`~emissary.api.SimRequest`.
     """
     if engine == "batched":
-        return BatchedEngine(config).run(addresses, policy, seed=seed, **policy_params)
+        return BatchedEngine(config).run(addresses, policy, seed=seed)
     if engine == "compiled":
         return BatchedEngine(config, kernel_backend="compiled").run(
-            addresses, policy, seed=seed, **policy_params)
+            addresses, policy, seed=seed)
     if engine == "reference":
-        return ReferenceEngine(config).run(addresses, policy, seed=seed, **policy_params)
+        return ReferenceEngine(config).run(addresses, policy, seed=seed)
     raise ValueError(f"unknown engine {engine!r} "
                      "(expected 'batched', 'compiled', or 'reference')")

@@ -39,7 +39,9 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from emissary.api import PolicySpec, coerce_policy_spec
+from emissary.api import PolicySpec, require_policy_spec
+from emissary.wire import (WIRE_SCHEMA_KEY, WIRE_SCHEMA_VERSION,
+                           check_known_keys, check_wire_version)
 from emissary.engine import BatchedEngine, CacheConfig, IndexArray, SimResult
 from emissary.policies import make_naive, policy_needs_rng
 from emissary.telemetry import Telemetry, span_factory
@@ -86,6 +88,7 @@ class HierarchyConfig:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "HierarchyConfig":
+        check_known_keys(d, ("l1", "l2", "l1_policy"), "HierarchyConfig")
         return cls(l1=CacheConfig.from_dict(d["l1"]), l2=CacheConfig.from_dict(d["l2"]),
                    l1_policy=d.get("l1_policy", "lru"))
 
@@ -131,8 +134,15 @@ class HierarchyResult:
         :attr:`emissary.engine.SimResult.accesses_per_s`)."""
         return self.n / self.elapsed_s if self.elapsed_s > 0 else None
 
+    #: Wire keys of the :meth:`to_dict` payload (see :mod:`emissary.wire`).
+    _WIRE_KEYS = frozenset({WIRE_SCHEMA_KEY, "policy", "n", "l1", "l2",
+                            "l1_hit_rate", "l2_local_hit_rate", "l1_mpki",
+                            "l2_mpki", "elapsed_s", "accesses_per_s",
+                            "telemetry"})
+
     def to_dict(self) -> dict[str, Any]:
         d = {
+            WIRE_SCHEMA_KEY: WIRE_SCHEMA_VERSION,
             "policy": self.policy,
             "n": self.n,
             "l1": self.l1.to_dict(),
@@ -150,6 +160,10 @@ class HierarchyResult:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "HierarchyResult":
+        """Strict wire decode (see :mod:`emissary.wire`): v0 accepted,
+        unknown keys and newer versions rejected."""
+        check_wire_version(d, "HierarchyResult")
+        check_known_keys(d, cls._WIRE_KEYS, "HierarchyResult")
         return cls(policy=d["policy"], n=int(d["n"]),
                    l1=SimResult.from_dict(d["l1"]), l2=SimResult.from_dict(d["l2"]),
                    elapsed_s=float(d["elapsed_s"]), telemetry=d.get("telemetry"))
@@ -205,10 +219,9 @@ class BatchedHierarchyEngine:
                              kernel_backend=self.kernel_backend,
                              compiled_provider=self.compiled_provider)
 
-    def run(self, addresses: AddressArray, policy: PolicySpec | str, seed: int = 0,
-            keep_hits: bool = True, **policy_params: Any) -> HierarchyResult:
-        spec = coerce_policy_spec(policy, policy_params,
-                                  caller="BatchedHierarchyEngine.run")
+    def run(self, addresses: AddressArray, policy: PolicySpec, seed: int = 0,
+            keep_hits: bool = True) -> HierarchyResult:
+        spec = require_policy_spec(policy, caller="BatchedHierarchyEngine.run")
         config = self.config
         tel = self.telemetry
         span = span_factory(tel)
@@ -251,10 +264,10 @@ class BatchedHierarchyEngine:
                                elapsed_s=elapsed, telemetry=telemetry_payload)
 
     def simulate_stream(self, chunks: Iterable[AddressArray],
-                        policy: PolicySpec | str, seed: int = 0,
+                        policy: PolicySpec, seed: int = 0,
                         keep_hits: bool = True,
-                        chunk_bytes: int | None = DEFAULT_L2_CHUNK_BYTES,
-                        **policy_params: Any) -> HierarchyResult:
+                        chunk_bytes: int | None = DEFAULT_L2_CHUNK_BYTES
+                        ) -> HierarchyResult:
         """Run the two-level hierarchy over a chunked trace in bounded memory.
 
         ``chunks`` is any iterable of ``uint64`` address arrays in trace
@@ -274,8 +287,8 @@ class BatchedHierarchyEngine:
         the concatenated trace: the cost computation depends only on the
         order of the miss stream, not on where it is cut.
         """
-        spec = coerce_policy_spec(policy, policy_params,
-                                  caller="BatchedHierarchyEngine.simulate_stream")
+        spec = require_policy_spec(
+            policy, caller="BatchedHierarchyEngine.simulate_stream")
         if chunk_bytes is not None and chunk_bytes <= 0:
             raise ValueError(f"chunk_bytes must be positive or None, "
                              f"got {chunk_bytes}")
@@ -367,10 +380,9 @@ class HierarchyReferenceEngine:
         self.telemetry = telemetry
         self.sanitizer = sanitizer
 
-    def run(self, addresses: AddressArray, policy: PolicySpec | str, seed: int = 0,
-            keep_hits: bool = True, **policy_params: Any) -> HierarchyResult:
-        spec = coerce_policy_spec(policy, policy_params,
-                                  caller="HierarchyReferenceEngine.run")
+    def run(self, addresses: AddressArray, policy: PolicySpec, seed: int = 0,
+            keep_hits: bool = True) -> HierarchyResult:
+        spec = require_policy_spec(policy, caller="HierarchyReferenceEngine.run")
         config = self.config
         tel = self.telemetry
         span = span_factory(tel)
@@ -519,19 +531,16 @@ class HierarchyReferenceEngine:
                                telemetry=tel.to_dict() if tel is not None else None)
 
 
-def simulate_hierarchy(addresses: AddressArray, policy: PolicySpec | str,
+def simulate_hierarchy(addresses: AddressArray, policy: PolicySpec,
                        config: HierarchyConfig | None = None, seed: int = 0,
-                       engine: str = "batched",
-                       **policy_params: Any) -> HierarchyResult:
+                       engine: str = "batched") -> HierarchyResult:
     """Convenience wrapper: run the two-level hierarchy on any engine."""
     if engine == "batched":
-        return BatchedHierarchyEngine(config).run(addresses, policy, seed=seed,
-                                                  **policy_params)
+        return BatchedHierarchyEngine(config).run(addresses, policy, seed=seed)
     if engine == "compiled":
         return BatchedHierarchyEngine(config, kernel_backend="compiled").run(
-            addresses, policy, seed=seed, **policy_params)
+            addresses, policy, seed=seed)
     if engine == "reference":
-        return HierarchyReferenceEngine(config).run(addresses, policy, seed=seed,
-                                                    **policy_params)
+        return HierarchyReferenceEngine(config).run(addresses, policy, seed=seed)
     raise ValueError(f"unknown engine {engine!r} "
                      f"(expected 'batched', 'compiled', or 'reference')")

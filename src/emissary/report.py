@@ -19,9 +19,12 @@ set occupancy, and the per-line hit-count distribution.
 trace-event JSON file (pid = worker process, tid = config index),
 loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 
-Pointing the CLI at a ``BENCH_backend.json`` compiled-backend benchmark
-report instead prints its digest: per-row speedup vs python-batched and
-the aggregate bit-identity verdict.
+Pointing the CLI at a benchmark report instead prints its digest:
+``BENCH_backend.json`` (compiled backend) shows per-row speedup vs
+python-batched and the aggregate bit-identity verdict;
+``BENCH_serve.json`` (serving layer, ``python -m emissary.serve bench``)
+shows throughput, the latency distribution, the single-flight dedupe
+ratio, and the results-cache hit/eviction accounting.
 
 Legacy (version 1) output — a bare row list with no envelope — still
 loads; missing header fields simply render as absent.
@@ -217,16 +220,55 @@ def render_backend_digest(report: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def render_serve_digest(report: dict[str, Any]) -> str:
+    """Digest of a ``BENCH_serve.json`` serving-layer load report: fleet
+    shape, latency distribution, and the dedupe/cache/eviction verdict."""
+    latency = report.get("latency_ms", {})
+    dedupe = report.get("dedupe", {})
+    cache = report.get("cache", {})
+    lines = [
+        f"serve load benchmark ({report.get('clients', '?')} clients x "
+        f"{report.get('requests_per_client', '?')} reqs, "
+        f"{report.get('distinct_configs', '?')} distinct configs)",
+        f"  throughput: {report.get('req_per_s', 0):.0f} req/s "
+        f"({report.get('completed_requests', 0)} requests in "
+        f"{report.get('wall_s', 0):.2f}s)",
+        f"  latency ms: p50={latency.get('p50', 0):.1f} "
+        f"p90={latency.get('p90', 0):.1f} p99={latency.get('p99', 0):.1f} "
+        f"max={latency.get('max', 0):.1f}",
+        f"  dedupe: {dedupe.get('simulations', 0)} simulations served "
+        f"{dedupe.get('requests', 0)} requests "
+        f"({dedupe.get('dedupe_joined', 0)} joined in flight, "
+        f"ratio {dedupe.get('dedupe_ratio', 0):.2f})",
+        f"  cache: hit rate {cache.get('hit_rate', 0):.2f}, "
+        f"{cache.get('evictions', 0)} LRU evictions, "
+        f"{cache.get('total_bytes', 0)}/{cache.get('budget_bytes')} bytes "
+        f"(under budget: {cache.get('under_budget')})",
+    ]
+    statuses = report.get("status_counts", {})
+    if statuses:
+        counted = ", ".join(f"{k}: {v}" for k, v in sorted(statuses.items()))
+        lines.append(f"  statuses: {counted}")
+    return "\n".join(lines)
+
+
+_BENCH_DIGESTS = {
+    "backend_throughput": render_backend_digest,
+    "serve_load": render_serve_digest,
+}
+
+
 def _try_backend_digest(path: str) -> str | None:
-    """Render ``path`` as a backend bench report, or None if it isn't one."""
+    """Render ``path`` as a known bench report, or None if it isn't one."""
     try:
         with open(path) as fh:
             payload = json.load(fh)
     except (OSError, json.JSONDecodeError):
         return None
-    if isinstance(payload, dict) and \
-            payload.get("benchmark") == "backend_throughput":
-        return render_backend_digest(payload)
+    if isinstance(payload, dict):
+        renderer = _BENCH_DIGESTS.get(payload.get("benchmark", ""))
+        if renderer is not None:
+            return renderer(payload)
     return None
 
 

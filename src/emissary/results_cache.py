@@ -29,6 +29,8 @@ import uuid
 from pathlib import Path
 from typing import Any
 
+from emissary.wire import WIRE_SCHEMA_KEY
+
 logger = logging.getLogger(__name__)
 
 DEFAULT_CACHE_DIR = ".results_cache"
@@ -60,11 +62,14 @@ def _as_config_dict(config: Any) -> dict[str, Any]:
 
 
 def strip_advisory(obj: Any) -> Any:
-    """Drop ``_``-prefixed dict keys recursively (they carry location
-    hints, not content identity, and must not affect the cache key)."""
+    """Drop dict keys that are metadata, not content, recursively:
+    ``_``-prefixed advisory keys (location hints) and the wire
+    ``schema_version`` stamp (layout versioning — the same request
+    encoded under any wire version must keep one cache key, and every
+    key minted before versioning existed must stay byte-identical)."""
     if isinstance(obj, dict):
         return {k: strip_advisory(v) for k, v in obj.items()
-                if not k.startswith("_")}
+                if not k.startswith("_") and k != WIRE_SCHEMA_KEY}
     if isinstance(obj, list):
         return [strip_advisory(v) for v in obj]
     return obj
@@ -163,3 +168,90 @@ class ResultsCache:
         finally:
             tmp.unlink(missing_ok=True)
         return path
+
+
+class BudgetedResultsCache(ResultsCache):
+    """A :class:`ResultsCache` bounded by an LRU byte budget.
+
+    A long-lived server accretes cache entries forever; this wrapper
+    keeps the on-disk footprint under ``budget_bytes`` by evicting the
+    least-recently-*used* entries after every store.  Recency is the
+    entry file's mtime: :meth:`load` touches the file on a hit, so a
+    hot entry survives however old its original store was.  ``None``
+    budget disables eviction (plain unbounded behaviour).
+
+    Evictions are observable: the ``evictions`` attribute counts them
+    for this handle's lifetime, and when a telemetry registry is
+    attached each eviction also bumps the ``serve.cache_evictions``
+    counter (and ``serve.cache_evicted_bytes`` by the entry size).
+    """
+
+    def __init__(self, cache_dir: str | Path = DEFAULT_CACHE_DIR,
+                 budget_bytes: int | None = None,
+                 telemetry: Any = None) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        super().__init__(cache_dir)
+        self.budget_bytes = budget_bytes
+        self.telemetry = telemetry
+        self.evictions = 0
+
+    def load(self, config: Any) -> dict[str, Any] | None:
+        result = super().load(config)
+        if result is not None:
+            try:
+                os.utime(self._path(config_key(config)))  # LRU touch
+            except OSError as exc:
+                # A concurrent eviction may have unlinked it; the result
+                # is already in hand, so recency bookkeeping is best-effort.
+                logger.debug("results cache: LRU touch failed (%s)", exc)
+        return result
+
+    def store(self, config: Any, result: dict[str, Any]) -> Path:
+        path = super().store(config, result)
+        self._enforce_budget(keep=path)
+        return path
+
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of all entries (bytes)."""
+        return sum(size for _, size, _ in self._entries())
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        entries: list[tuple[float, int, Path]] = []
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError as exc:  # raced with another evictor
+                logger.debug("results cache: stat failed for %s (%s)", path, exc)
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def _enforce_budget(self, keep: Path) -> None:
+        """Evict least-recently-used entries until under budget.
+
+        The just-stored entry (``keep``) is never evicted — even when it
+        alone exceeds the budget, the caller must be able to read back
+        what it just wrote; the *next* store will displace it.
+        """
+        if self.budget_bytes is None:
+            return
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.budget_bytes:
+            return
+        for _, size, path in sorted(entries):
+            if total <= self.budget_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError as exc:  # raced with another evictor
+                logger.debug("results cache: eviction of %s raced (%s)", path, exc)
+                continue
+            total -= size
+            self.evictions += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("serve.cache_evictions")
+                self.telemetry.inc("serve.cache_evicted_bytes", size)

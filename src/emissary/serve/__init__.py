@@ -1,0 +1,33 @@
+"""Simulation-as-a-service: asyncio HTTP server over the typed API.
+
+``python -m emissary.serve`` exposes the schema-versioned wire contract
+(:mod:`emissary.wire`) over HTTP: ``POST /v1/simulate`` accepts a
+:class:`~emissary.api.SimRequest` wire dict and answers from the
+LRU-budgeted results cache, an identical in-flight simulation
+(single-flight dedupe), or a bounded process worker pool — with
+chunk-boundary progress ticks streamed as NDJSON for ``?stream=1``.
+See :mod:`emissary.serve.service` for the admission design and
+:mod:`emissary.serve.loadgen` for the benchmark driver behind
+``BENCH_serve.json``.
+"""
+
+from emissary.serve.server import (DEFAULT_HOST, DEFAULT_PORT, ServeApp,
+                                   run_server, start_server)
+from emissary.serve.service import (DEFAULT_QUEUE_WATERMARK,
+                                    DEFAULT_SERVE_CHUNK_BYTES, Admission,
+                                    QueueFullError, SimService,
+                                    run_simulation_worker)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_QUEUE_WATERMARK",
+    "DEFAULT_SERVE_CHUNK_BYTES",
+    "Admission",
+    "QueueFullError",
+    "ServeApp",
+    "SimService",
+    "run_server",
+    "run_simulation_worker",
+    "start_server",
+]

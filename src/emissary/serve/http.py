@@ -1,0 +1,167 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the serving layer.
+
+Deliberately small instead of pulling in a framework: the service speaks
+exactly the subset the wire API needs — request-line + headers + an
+optional ``Content-Length`` body on the way in; fixed-length JSON or
+``Transfer-Encoding: chunked`` NDJSON on the way out, with keep-alive so
+load generators can multiplex thousands of requests over persistent
+connections.  Anything outside that subset is rejected loudly with the
+right status code rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+#: Request-line + header block size cap; a line longer than this is a
+#: malformed or hostile client, not a simulation request.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Body cap — a SimRequest wire dict is a few hundred bytes; megabytes
+#: of body means the client is confused.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A request-level protocol failure mapped to a status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed inbound request (headers lower-cased, query decoded)."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Read one request off a keep-alive connection.
+
+    Returns ``None`` on a clean EOF between requests (the client hung
+    up); raises :class:`HttpError` for protocol violations mid-request.
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "connection closed mid-headers") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "header block too large") from exc
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise HttpError(413, "header block too large")
+
+    lines = header_block.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "invalid Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "invalid Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "connection closed mid-body") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    return HttpRequest(method=method, path=split.path,
+                       query=dict(parse_qsl(split.query)),
+                       headers=headers, body=body)
+
+
+def response_bytes(status: int, payload: Any, *,
+                   extra_headers: dict[str, str] | None = None) -> bytes:
+    """A complete fixed-length JSON response, ready to write."""
+    body = json.dumps(payload, sort_keys=True).encode() + b"\n"
+    reason = STATUS_REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}"]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+class ChunkedNdjsonWriter:
+    """Streams newline-delimited JSON events over chunked encoding.
+
+    One :meth:`event` call = one NDJSON line = one HTTP chunk, so
+    clients observe progress ticks as they happen instead of after the
+    response buffer fills.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self._started = False
+
+    async def start(self, status: int = 200) -> None:
+        reason = STATUS_REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n\r\n")
+        self._writer.write(head.encode("latin-1"))
+        await self._writer.drain()
+        self._started = True
+
+    async def event(self, payload: Any) -> None:
+        line = json.dumps(payload, sort_keys=True).encode() + b"\n"
+        self._writer.write(f"{len(line):x}\r\n".encode("latin-1")
+                           + line + b"\r\n")
+        await self._writer.drain()
+
+    async def finish(self) -> None:
+        if self._started:
+            self._writer.write(b"0\r\n\r\n")
+            await self._writer.drain()

@@ -1,0 +1,215 @@
+"""Synthetic load generator for the serving layer.
+
+Drives N concurrent keep-alive clients against a running server and
+reports the latency distribution, sustained throughput, dedupe ratio,
+and cache behaviour as a ``BENCH_serve.json``-shaped payload.
+
+Phasing: every client first *connects* and parks at a barrier, so the
+advertised concurrency is real — all N sockets are open simultaneously
+before the first request is sent — then all clients issue their request
+schedule over the shared connections.  The request mix draws from a
+small pool of distinct configurations (deterministic per-client RNG
+streams), which exercises exactly the paths the server optimizes:
+identical concurrent submissions collapse via single-flight, repeats
+hit the results cache, and a pool larger than the cache byte budget
+forces LRU evictions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from typing import Any
+
+import numpy as np
+
+from emissary.api import PolicySpec, SimRequest
+from emissary.engine import CacheConfig
+from emissary.hierarchy import HierarchyConfig
+from emissary.traces import TraceSpec
+
+logger = logging.getLogger(__name__)
+
+#: BENCH_serve.json payload layout version.
+BENCH_SERVE_SCHEMA_VERSION = 1
+
+#: Accesses per synthetic trace in the standard mix — small on purpose:
+#: the benchmark measures the *serving* layer (admission, dedupe, cache,
+#: wire), not kernel throughput, which BENCH_kernels.json already covers.
+MIX_TRACE_N = 2_000
+
+
+def build_request_mix(distinct: int, trace_n: int = MIX_TRACE_N) -> list[dict[str, Any]]:
+    """``distinct`` SimRequest wire dicts: lru/emissary over varied seeds
+    and footprints, with a hierarchy request every 8th slot."""
+    mix: list[dict[str, Any]] = []
+    for i in range(distinct):
+        trace = TraceSpec("loop", trace_n, seed=i,
+                          params={"footprint_lines": 64 + 16 * (i % 8)})
+        if i % 8 == 7:
+            request = SimRequest(trace, PolicySpec("lru"), HierarchyConfig(),
+                                 seed=i)
+        else:
+            policy = PolicySpec("emissary", {"hp_threshold": 2}) if i % 2 \
+                else PolicySpec("lru")
+            request = SimRequest(trace, policy,
+                                 CacheConfig(num_sets=64, ways=8), seed=i)
+        mix.append(request.to_dict())
+    return mix
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, dict[str, Any]]:
+    """Read one fixed-length JSON response off a keep-alive connection."""
+    header_block = await reader.readuntil(b"\r\n\r\n")
+    lines = header_block.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    payload = json.loads(body) if body else {}
+    return status, payload
+
+
+def _request_bytes(method: str, path: str, payload: Any | None = None) -> bytes:
+    body = b"" if payload is None else json.dumps(payload).encode()
+    head = [f"{method} {path} HTTP/1.1", "Host: loadgen",
+            "Content-Type: application/json", f"Content-Length: {len(body)}"]
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def fetch_json(host: str, port: int, path: str,
+                     method: str = "GET",
+                     payload: Any | None = None) -> tuple[int, dict[str, Any]]:
+    """One-shot request on a fresh connection (stats probes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(_request_bytes(method, path, payload))
+        await writer.drain()
+        return await _read_response(reader)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def _client(index: int, host: str, port: int,
+                  mix: list[dict[str, Any]], requests_per_client: int,
+                  seed: int, connected: asyncio.Barrier,
+                  latencies: list[float], status_counts: dict[int, int],
+                  connect_gate: asyncio.Semaphore) -> None:
+    rng = np.random.default_rng(seed * 1_000_003 + index)
+    reader = writer = None
+    try:
+        async with connect_gate:  # bound the connect storm, not the steady state
+            reader, writer = await asyncio.open_connection(host, port)
+    except OSError as exc:
+        status_counts[-1] = status_counts.get(-1, 0) + 1
+        logger.debug("client %d failed to connect: %r", index, exc)
+    # Every party reaches the barrier even on connect failure — a single
+    # refused socket must not deadlock the whole fleet.
+    await connected.wait()
+    if reader is None or writer is None:
+        return
+    try:
+        for _ in range(requests_per_client):
+            body = mix[int(rng.integers(len(mix)))]
+            start = time.perf_counter()
+            writer.write(_request_bytes("POST", "/v1/simulate", body))
+            await writer.drain()
+            status, _payload = await _read_response(reader)
+            latencies.append(time.perf_counter() - start)
+            status_counts[status] = status_counts.get(status, 0) + 1
+            if status == 429:
+                await asyncio.sleep(0.2 * float(rng.random()))  # honor backpressure
+    except (ConnectionResetError, BrokenPipeError,
+            asyncio.IncompleteReadError) as exc:
+        status_counts[-1] = status_counts.get(-1, 0) + 1
+        logger.debug("client %d dropped: %r", index, exc)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            logger.debug("client %d close raced: %r", index, exc)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[idx]
+
+
+async def run_loadgen(host: str, port: int, clients: int,
+                      requests_per_client: int = 2, distinct: int = 24,
+                      seed: int = 0,
+                      connect_concurrency: int = 512) -> dict[str, Any]:
+    """Drive the fleet and return the benchmark payload."""
+    mix = build_request_mix(distinct)
+    _status, stats_before = await fetch_json(host, port, "/v1/stats")
+
+    latencies: list[float] = []
+    status_counts: dict[int, int] = {}
+    connected = asyncio.Barrier(clients + 1)
+    connect_gate = asyncio.Semaphore(connect_concurrency)
+    tasks = [asyncio.create_task(_client(
+        i, host, port, mix, requests_per_client, seed, connected,
+        latencies, status_counts, connect_gate)) for i in range(clients)]
+    await connected.wait()  # every socket is open: concurrency is real now
+    start = time.perf_counter()
+    await asyncio.gather(*tasks)
+    wall_s = time.perf_counter() - start
+
+    _status, stats_after = await fetch_json(host, port, "/v1/stats")
+    requests = stats_after.get("requests", 0) - stats_before.get("requests", 0)
+    simulations = (stats_after.get("simulations", 0)
+                   - stats_before.get("simulations", 0))
+    dedupe_joined = (stats_after.get("dedupe_joined", 0)
+                     - stats_before.get("dedupe_joined", 0))
+    cache_after = stats_after.get("cache", {})
+    cache_before = stats_before.get("cache", {})
+    cache_hits = cache_after.get("hits", 0) - cache_before.get("hits", 0)
+    budget = cache_after.get("budget_bytes")
+
+    ordered = sorted(latencies)
+    completed = len(latencies)
+    return {
+        "benchmark": "serve_load",
+        "schema_version": BENCH_SERVE_SCHEMA_VERSION,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "distinct_configs": distinct,
+        "completed_requests": completed,
+        "wall_s": round(wall_s, 4),
+        "req_per_s": round(completed / wall_s, 2) if wall_s > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(ordered, 0.50) * 1e3, 3),
+            "p90": round(_percentile(ordered, 0.90) * 1e3, 3),
+            "p99": round(_percentile(ordered, 0.99) * 1e3, 3),
+            "max": round(ordered[-1] * 1e3, 3) if ordered else 0.0,
+        },
+        "status_counts": {str(k): v for k, v in sorted(status_counts.items())},
+        "dedupe": {
+            "requests": requests,
+            "simulations": simulations,
+            "dedupe_joined": dedupe_joined,
+            "dedupe_ratio": round(dedupe_joined / requests, 4) if requests else 0.0,
+        },
+        "cache": {
+            "hits": cache_hits,
+            "hit_rate": round(cache_hits / requests, 4) if requests else 0.0,
+            "evictions": cache_after.get("evictions", 0),
+            "budget_bytes": budget,
+            "total_bytes": cache_after.get("total_bytes", 0),
+            "under_budget": (budget is None
+                             or cache_after.get("total_bytes", 0) <= budget),
+        },
+        "server": {
+            "workers": stats_after.get("workers"),
+            "queue_watermark": stats_after.get("queue_watermark"),
+        },
+    }

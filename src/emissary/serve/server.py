@@ -1,0 +1,217 @@
+"""Asyncio HTTP server exposing the versioned simulation wire API.
+
+Routes:
+
+``POST /v1/simulate``
+    Body: a schema-versioned :class:`~emissary.api.SimRequest` wire dict
+    (:mod:`emissary.wire`).  Default response is one JSON object
+    ``{"key", "status", "result"}``.  With ``?stream=1`` the response is
+    chunked NDJSON: an ``accepted`` event, ``progress`` events relayed
+    from the worker's chunk-boundary ticks, then a terminal ``result``
+    or ``error`` event.
+``GET /v1/stats``
+    Service counters, cache/LRU state, and the full telemetry payload.
+``GET /v1/healthz``
+    Liveness probe.
+
+Error mapping: malformed HTTP or JSON → 400; unknown route → 404;
+admission past the queue watermark → 429 with ``Retry-After``; worker
+failure → 500 (error row, the connection and the pool both survive).
+A client that disconnects mid-stream only ends its own relay — the
+underlying simulation keeps running for any deduped waiters and still
+lands in the results cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import time
+from typing import Any
+
+from emissary.serve.http import (MAX_HEADER_BYTES, ChunkedNdjsonWriter,
+                                 HttpError, HttpRequest, read_request,
+                                 response_bytes)
+from emissary.serve.service import Admission, QueueFullError, SimService
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8351
+
+#: How often the streaming relay polls the progress spool while the
+#: simulation future is pending.
+PROGRESS_POLL_INTERVAL_S = 0.05
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+class ServeApp:
+    """Connection handler: keep-alive loop + route dispatch."""
+
+    def __init__(self, service: SimService) -> None:
+        self.service = service
+
+    async def handle_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(response_bytes(exc.status,
+                                                {"error": exc.message}))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break  # client closed between requests
+                await self._dispatch(request, writer)
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError,
+                TimeoutError) as exc:
+            logger.debug("connection dropped: %r", exc)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError) as exc:
+                # CancelledError lands here when the server is torn down
+                # mid-connection; the transport is already closing.
+                logger.debug("close raced with client reset: %r", exc)
+
+    async def _dispatch(self, request: HttpRequest,
+                        writer: asyncio.StreamWriter) -> None:
+        if request.path == "/v1/simulate":
+            if request.method != "POST":
+                await self._respond(writer, 405,
+                                    {"error": "POST /v1/simulate"})
+                return
+            await self._simulate(request, writer)
+        elif request.path == "/v1/stats":
+            await self._respond(writer, 200, self.service.stats())
+        elif request.path == "/v1/healthz":
+            await self._respond(writer, 200, {"ok": True})
+        else:
+            await self._respond(writer, 404,
+                                {"error": f"no route {request.path}"})
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: Any,
+                       extra_headers: dict[str, str] | None = None) -> None:
+        writer.write(response_bytes(status, payload,
+                                    extra_headers=extra_headers))
+        await writer.drain()
+
+    async def _simulate(self, request: HttpRequest,
+                        writer: asyncio.StreamWriter) -> None:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            await self._respond(writer, 400,
+                                {"error": "body must be a JSON object"})
+            return
+        stream = request.query.get("stream", "").lower() in _TRUTHY
+        start = time.perf_counter()
+        try:
+            admission = self.service.admit(payload)
+        except QueueFullError as exc:
+            await self._respond(
+                writer, 429, {"error": str(exc)},
+                extra_headers={"Retry-After": str(exc.retry_after_s)})
+            return
+        except (KeyError, TypeError, ValueError) as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+
+        if stream:
+            await self._stream_response(admission, writer)
+        else:
+            await self._plain_response(admission, writer)
+        self.service.observe_latency(time.perf_counter() - start)
+
+    async def _plain_response(self, admission: Admission,
+                              writer: asyncio.StreamWriter) -> None:
+        if admission.future is None:
+            outcome: dict[str, Any] = {"ok": True, "result": admission.result}
+        else:
+            outcome = await admission.future
+        if outcome["ok"]:
+            await self._respond(writer, 200, {"key": admission.key,
+                                              "status": admission.status,
+                                              "result": outcome["result"]})
+        else:
+            await self._respond(writer, 500, {"key": admission.key,
+                                              "error": outcome["error"]})
+
+    async def _stream_response(self, admission: Admission,
+                               writer: asyncio.StreamWriter) -> None:
+        ndjson = ChunkedNdjsonWriter(writer)
+        await ndjson.start()
+        await ndjson.event({"event": "accepted", "key": admission.key,
+                            "status": admission.status})
+        if admission.future is None:
+            await ndjson.event({"event": "result", "key": admission.key,
+                                "status": "cached",
+                                "result": admission.result})
+            await ndjson.finish()
+            return
+
+        last_tick: dict[str, Any] | None = None
+        while True:
+            done, _ = await asyncio.wait({admission.future},
+                                         timeout=PROGRESS_POLL_INTERVAL_S)
+            tick = self.service.read_progress(admission.key)
+            if tick is not None and tick != last_tick:
+                await ndjson.event({"event": "progress",
+                                    "key": admission.key, **tick})
+                last_tick = tick
+            if done:
+                break
+        outcome = admission.future.result()
+        if outcome["ok"]:
+            await ndjson.event({"event": "result", "key": admission.key,
+                                "status": admission.status,
+                                "result": outcome["result"]})
+        else:
+            await ndjson.event({"event": "error", "key": admission.key,
+                                "error": outcome["error"]})
+        await ndjson.finish()
+
+
+async def start_server(service: SimService, host: str = DEFAULT_HOST,
+                       port: int = DEFAULT_PORT) -> asyncio.Server:
+    """Bind and return the listening server (caller owns its lifetime)."""
+    app = ServeApp(service)
+    server = await asyncio.start_server(app.handle_connection, host, port,
+                                        backlog=4096,
+                                        limit=2 * MAX_HEADER_BYTES)
+    return server
+
+
+async def run_server(service: SimService, host: str = DEFAULT_HOST,
+                     port: int = DEFAULT_PORT) -> None:
+    """Serve until SIGINT/SIGTERM (the CLI entry point's main coroutine).
+
+    Shutdown must be graceful: dying abruptly would strand the forked
+    worker processes blocked on their call-queue pipe (each worker
+    inherits a copy of the queue's write end, so parent death alone
+    never EOFs it); :meth:`SimService.aclose` shuts the pool down
+    properly.
+    """
+    server = await start_server(service, host, port)
+    addrs = ", ".join(str(sock.getsockname()) for sock in server.sockets)
+    logger.info("emissary serve listening on %s", addrs)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # non-unix event loops
+            logger.debug("no signal handler support for %s", sig)
+    try:
+        async with server:
+            await stop.wait()
+    finally:
+        await service.aclose()

@@ -1,0 +1,335 @@
+"""The simulation service: admission, single-flight dedupe, worker pool.
+
+This module is the policy layer between the HTTP surface
+(:mod:`emissary.serve.server`) and the engine: it decides, per wire
+request, whether to answer from the budgeted results cache, join an
+identical in-flight simulation, run a new one on the worker pool, or
+push back with 429 when the queue is past its watermark.
+
+Design points:
+
+single-flight
+    Requests are keyed by :func:`~emissary.results_cache.config_key` —
+    the same content hash the results cache uses.  N identical
+    submissions while one is in flight produce exactly **one**
+    simulation; every waiter shares the same :class:`asyncio.Task` and
+    the telemetry counters prove it (``serve.simulations`` vs
+    ``serve.dedupe_joined``).
+
+process workers
+    Simulations run on a bounded :class:`~concurrent.futures.
+    ProcessPoolExecutor` so the asyncio loop never blocks on a kernel
+    loop.  A *clean* worker exception is surfaced as an error row; an
+    *abrupt* worker death breaks the whole pool (CPython semantics), so
+    the service catches :class:`BrokenProcessPool`, rebuilds the
+    executor, and keeps serving — one crashed request never takes the
+    server down.
+
+progress spool
+    The worker can't call back into the server's event loop, so it
+    publishes progress ticks (one per ``simulate_stream`` chunk
+    boundary) as an atomically-replaced JSON file per request key; the
+    streaming handler polls the spool and relays ticks as NDJSON events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import time
+import uuid
+from collections.abc import Callable, Mapping
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from emissary.api import SimRequest, simulate
+from emissary.results_cache import (DEFAULT_CACHE_DIR, BudgetedResultsCache,
+                                    config_key)
+from emissary.telemetry import Telemetry
+
+logger = logging.getLogger(__name__)
+
+#: Accepted-but-unfinished requests beyond this depth are refused with
+#: 429 + Retry-After instead of queued without bound.
+DEFAULT_QUEUE_WATERMARK = 64
+
+#: Streaming chunk budget for served simulations.  Small relative to the
+#: library default on purpose: each chunk boundary is a progress tick,
+#: and a served request should tick several times, not once.
+DEFAULT_SERVE_CHUNK_BYTES = 256 * 1024
+
+#: Suggested client back-off for 429 responses, seconds.
+DEFAULT_RETRY_AFTER_S = 1
+
+#: How long a finished request's progress spool file lingers so
+#: streaming relays (polling at their own cadence) can still observe the
+#: final tick before cleanup.
+SPOOL_GRACE_S = 2.0
+
+
+def _unlink_quietly(path: Path) -> None:
+    try:
+        path.unlink(missing_ok=True)
+    except OSError as exc:
+        logger.debug("spool cleanup of %s raced: %s", path, exc)
+
+
+class QueueFullError(Exception):
+    """Admission refused: the in-flight queue is past its watermark."""
+
+    def __init__(self, depth: int, watermark: int,
+                 retry_after_s: int = DEFAULT_RETRY_AFTER_S) -> None:
+        super().__init__(
+            f"queue depth {depth} is at the admission watermark "
+            f"{watermark}; retry after {retry_after_s}s")
+        self.retry_after_s = retry_after_s
+
+
+def _warmup_worker() -> int:
+    """No-op warm-up task; submitting it forces the pool to fork."""
+    return os.getpid()
+
+
+def _write_progress_file(path: Path, done: int, total: int) -> None:
+    """Atomically publish a progress tick (readers never see torn JSON)."""
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+    try:
+        tmp.write_text(json.dumps({"done": done, "total": total}))
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def run_simulation_worker(request_dict: dict[str, Any], progress_path: str | None,
+                          chunk_bytes: int) -> dict[str, Any]:
+    """Executed inside a worker process: decode, stream, encode.
+
+    This is deliberately the same typed path a library user takes —
+    :func:`emissary.api.simulate` on a :class:`~emissary.api.SimRequest`
+    — with the streaming progress callback wired to the spool file.
+    """
+    request = SimRequest.from_dict(request_dict)
+    progress: Callable[[int, int], None] | None = None
+    if progress_path is not None:
+        spool = Path(progress_path)
+
+        def progress(done: int, total: int) -> None:
+            try:
+                _write_progress_file(spool, done, total)
+            except OSError as exc:
+                # Ticks are advisory; the simulation must not die because
+                # the spool directory vanished under it.
+                logger.warning("progress tick for %s failed: %s", spool, exc)
+
+    if request.backend == "reference":
+        # The reference oracle has no streaming path; run it one-shot.
+        result = simulate(request)
+    else:
+        result = simulate(request, stream=True, chunk_bytes=chunk_bytes,
+                          progress=progress)
+    return dict(result.to_dict())
+
+
+@dataclass
+class Admission:
+    """Outcome of admitting one wire request (not a wire payload itself).
+
+    ``status`` is ``"cached"`` (answered immediately, ``result`` set),
+    ``"joined"`` (deduped onto an identical in-flight simulation), or
+    ``"accepted"`` (a new simulation was scheduled).  For the latter two
+    ``future`` resolves to the outcome row ``{"ok": True, "result": ...}``
+    or ``{"ok": False, "error": ...}`` — error rows, not raised
+    exceptions, so N waiters all observe the same terminal state.
+    """
+
+    key: str
+    status: str
+    result: dict[str, Any] | None = None
+    future: "asyncio.Task[dict[str, Any]] | None" = None
+
+
+class SimService:
+    """Admission control + single-flight + worker pool + budgeted cache."""
+
+    def __init__(self, cache_dir: str | Path = DEFAULT_CACHE_DIR,
+                 cache_budget_bytes: int | None = None,
+                 max_workers: int = 1,
+                 queue_watermark: int = DEFAULT_QUEUE_WATERMARK,
+                 chunk_bytes: int = DEFAULT_SERVE_CHUNK_BYTES,
+                 spool_dir: str | Path | None = None,
+                 telemetry: Telemetry | None = None,
+                 worker_fn: Callable[..., dict[str, Any]] | None = None) -> None:
+        if queue_watermark < 1:
+            raise ValueError(f"queue_watermark must be >= 1, got {queue_watermark}")
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.cache = BudgetedResultsCache(cache_dir,
+                                          budget_bytes=cache_budget_bytes,
+                                          telemetry=self.telemetry)
+        self.queue_watermark = queue_watermark
+        self.chunk_bytes = chunk_bytes
+        self.spool_dir = Path(spool_dir) if spool_dir is not None \
+            else Path(cache_dir) / "progress"
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self._max_workers = max_workers
+        self._worker_fn = worker_fn if worker_fn is not None \
+            else run_simulation_worker
+        self._executor = self._new_executor()
+        self._inflight: dict[str, asyncio.Task[dict[str, Any]]] = {}
+        self._started = time.monotonic()
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        """Build the pool and fork its workers *eagerly*.
+
+        Under the default ``fork`` start method the pool forks on first
+        submit, and a fork performed mid-service would hand every worker
+        a copy of every accepted connection socket — keeping clients
+        from ever seeing EOF after the server closes their connection.
+        A warm-up submit here forks the full complement while the only
+        open fds are the service's own.
+        """
+        executor = ProcessPoolExecutor(max_workers=self._max_workers)
+        executor.submit(_warmup_worker).result()
+        return executor
+
+    # -- admission --------------------------------------------------------
+
+    def admit(self, payload: Mapping[str, Any]) -> Admission:
+        """Admit one wire request dict (strictly decoded).
+
+        Raises ``ValueError`` / ``TypeError`` / ``KeyError`` for a
+        malformed payload (the HTTP layer maps those to 400) and
+        :class:`QueueFullError` past the watermark (mapped to 429).
+        Cache-hit and dedupe-join admissions never count against the
+        watermark — they add no work.
+        """
+        self.telemetry.inc("serve.requests")
+        request = SimRequest.from_dict(dict(payload))
+        key = config_key(request)
+
+        cached = self.cache.load(request)
+        if cached is not None:
+            self.telemetry.inc("serve.cache_hits")
+            return Admission(key=key, status="cached", result=cached)
+
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.telemetry.inc("serve.dedupe_joined")
+            return Admission(key=key, status="joined", future=existing)
+
+        depth = len(self._inflight)
+        if depth >= self.queue_watermark:
+            self.telemetry.inc("serve.rejected")
+            raise QueueFullError(depth, self.queue_watermark)
+
+        self.telemetry.inc("serve.cache_misses")
+        self.telemetry.inc("serve.simulations")
+        task = asyncio.get_running_loop().create_task(self._run(key, request))
+        self._inflight[key] = task
+        return Admission(key=key, status="accepted", future=task)
+
+    async def _run(self, key: str, request: SimRequest) -> dict[str, Any]:
+        """Run one simulation on the pool; always resolves to an outcome
+        row (never raises), so every deduped waiter sees the same row."""
+        loop = asyncio.get_running_loop()
+        progress_path = self.progress_path(key)
+        _unlink_quietly(progress_path)  # drop any stale tick from a prior run
+        try:
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, self._worker_fn, request.to_dict(),
+                    str(progress_path), self.chunk_bytes)
+            except BrokenProcessPool:
+                # Abrupt worker death poisons the whole executor; rebuild
+                # it so the *service* survives the crash.
+                self.telemetry.inc("serve.worker_crashes")
+                self.telemetry.inc("serve.errors")
+                logger.error("worker process died simulating %s; "
+                             "rebuilding pool", key[:16])
+                self._rebuild_executor()
+                return {"ok": False,
+                        "error": f"worker process died simulating {key[:16]}"}
+            except Exception as exc:
+                # A clean worker exception leaves the pool healthy.
+                self.telemetry.inc("serve.errors")
+                logger.error("simulation %s failed: %s", key[:16], exc)
+                return {"ok": False, "error": f"simulation failed: {exc}"}
+            self.cache.store(request, result)
+            return {"ok": True, "result": result}
+        finally:
+            self._inflight.pop(key, None)
+            # Delay the spool cleanup one grace period: streaming relays
+            # poll every PROGRESS_POLL_INTERVAL_S, and unlinking at
+            # resolution would race a fast simulation's only tick away
+            # from them.
+            loop.call_later(SPOOL_GRACE_S, _unlink_quietly, progress_path)
+
+    def _rebuild_executor(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        # The replacement pool re-forks while connections may be open, so
+        # the new workers can inherit live socket fds.  That only delays
+        # EOF for clients that ignore HTTP framing; correct clients stop
+        # at Content-Length / the terminal chunk either way.
+        self._executor = self._new_executor()
+
+    # -- progress spool ---------------------------------------------------
+
+    def progress_path(self, key: str) -> Path:
+        return self.spool_dir / f"{key}.progress.json"
+
+    def read_progress(self, key: str) -> dict[str, Any] | None:
+        """Latest published tick for ``key``, or None before the first
+        tick (or after completion cleaned the spool)."""
+        try:
+            payload = json.loads(self.progress_path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # not yet published; atomic replace makes torn reads rare
+        return payload if isinstance(payload, dict) else None
+
+    # -- observability ----------------------------------------------------
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one request's service latency (microsecond histogram —
+        bounded cardinality, unlike per-request spans)."""
+        self.telemetry.observe("serve.latency_us", int(seconds * 1e6))
+
+    def stats(self) -> dict[str, Any]:
+        counters = self.telemetry.counters
+        return {
+            "uptime_s": time.monotonic() - self._started,
+            "queue_depth": len(self._inflight),
+            "queue_watermark": self.queue_watermark,
+            "workers": self._max_workers,
+            "requests": counters.get("serve.requests", 0),
+            "simulations": counters.get("serve.simulations", 0),
+            "dedupe_joined": counters.get("serve.dedupe_joined", 0),
+            "rejected": counters.get("serve.rejected", 0),
+            "errors": counters.get("serve.errors", 0),
+            "worker_crashes": counters.get("serve.worker_crashes", 0),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "budget_bytes": self.cache.budget_bytes,
+                "total_bytes": self.cache.total_bytes(),
+            },
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Cancel in-flight work and release the pool."""
+        for task in list(self._inflight.values()):
+            task.cancel()
+        for task in list(self._inflight.values()):
+            try:
+                await task
+            except asyncio.CancelledError:
+                logger.debug("in-flight simulation cancelled during shutdown")
+        self._inflight.clear()
+        self._executor.shutdown(wait=False, cancel_futures=True)

@@ -30,11 +30,10 @@ import multiprocessing as mp
 import os
 import sys
 import time
-import warnings
 from collections.abc import Sequence
 from typing import Any
 
-from emissary.api import EmissaryDeprecationWarning, PolicySpec, SimRequest
+from emissary.api import PolicySpec, SimRequest
 from emissary.engine import BatchedEngine, CacheConfig
 from emissary.hierarchy import BatchedHierarchyEngine, HierarchyConfig
 from emissary.policies import POLICY_NAMES
@@ -51,24 +50,15 @@ AnyCacheConfig = CacheConfig | HierarchyConfig
 SWEEP_SCHEMA_VERSION = 2
 
 
-def make_config(trace: Any, policy: str | None = None,
-                cache: AnyCacheConfig | None = None, seed: int = 0,
-                policy_params: dict[str, Any] | None = None) -> dict[str, Any]:
-    """One sweep point, encoded as the plain dict that keys the results cache.
-
-    Canonical form: ``make_config(SimRequest(...))``.  The legacy
-    positional form ``make_config(trace_spec, policy_name, cache, seed,
-    policy_params)`` is shimmed with a deprecation warning.
-    """
-    if isinstance(trace, SimRequest):
-        if policy is not None or cache is not None or policy_params is not None:
-            raise TypeError("make_config(SimRequest) takes no further arguments")
-        return trace.to_dict()
-    warnings.warn(
-        "make_config(trace, policy, cache, seed, policy_params) is deprecated; "
-        "pass a SimRequest instead", EmissaryDeprecationWarning, stacklevel=2)
-    request = SimRequest(trace=trace, policy=PolicySpec(policy, dict(policy_params or {})),
-                         config=cache, seed=seed)
+def make_config(request: SimRequest) -> dict[str, Any]:
+    """One sweep point, encoded as the version-stamped wire dict that
+    keys the results cache.  The PR 2 legacy positional form
+    ``make_config(trace_spec, policy_name, cache, seed, policy_params)``
+    has been removed; build a :class:`~emissary.api.SimRequest`."""
+    if not isinstance(request, SimRequest):
+        raise TypeError(
+            f"make_config takes a SimRequest (the legacy positional form was "
+            f"removed), got {type(request).__name__}")
     return request.to_dict()
 
 

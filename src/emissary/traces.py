@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
+
+from emissary.wire import check_known_keys
 from numpy.typing import NDArray
 
 #: Byte-granular instruction fetch addresses — the currency every
@@ -468,5 +470,6 @@ class TraceSpec:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "TraceSpec":
+        check_known_keys(d, ("kind", "n", "seed", "params"), "TraceSpec")
         return cls(kind=d["kind"], n=int(d["n"]), seed=int(d.get("seed", 0)),
                    params=dict(d.get("params", {})))

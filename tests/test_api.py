@@ -1,15 +1,19 @@
-"""Typed PolicySpec/SimRequest API: validation, round-trips, and the
-deprecation-shimmed legacy ``policy: str, **policy_params`` form."""
+"""Typed PolicySpec/SimRequest API: validation, the versioned wire
+contract (schema_version stamping, strict decode, v0 migration, stable
+legacy cache keys), and rejection of the removed legacy string-policy
+form."""
 
 import numpy as np
 import pytest
 
-from emissary.api import (EmissaryDeprecationWarning, PolicySpec, SimRequest,
-                          coerce_policy_spec, simulate)
-from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine
-from emissary.hierarchy import HierarchyConfig
+from emissary.api import PolicySpec, SimRequest, require_policy_spec, simulate
+from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine, SimResult
+from emissary.hierarchy import HierarchyConfig, HierarchyResult
 from emissary.results_cache import ResultsCache, config_key
 from emissary.traces import TraceSpec
+from emissary.wire import (WIRE_SCHEMA_KEY, WIRE_SCHEMA_VERSION,
+                           check_known_keys, check_wire_version,
+                           migrate_wire_dict)
 
 TRACE = TraceSpec("loop", 2_000, 1, {"footprint_lines": 100})
 
@@ -47,6 +51,10 @@ class TestPolicySpec:
         spec = PolicySpec("emissary", {"hp_threshold": 4, "prob_inv": 16})
         assert PolicySpec.from_dict(spec.to_dict()) == spec
         assert isinstance(spec.to_dict()["params"], dict)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown wire keys"):
+            PolicySpec.from_dict({"name": "lru", "params": {}, "extra": 1})
 
     def test_spec_is_frozen_and_hashable(self):
         a = PolicySpec("emissary", {"hp_threshold": 4})
@@ -94,43 +102,139 @@ class TestSimRequest:
         assert cache.load(request.to_dict()) == {"hit_rate": 0.5}
 
 
-class TestLegacyShims:
-    def test_engine_run_with_str_policy_warns(self):
-        trace = TRACE.generate()
-        with pytest.warns(EmissaryDeprecationWarning):
-            legacy = BatchedEngine().run(trace, "emissary", seed=1, hp_threshold=2)
-        typed = BatchedEngine().run(trace,
-                                    PolicySpec("emissary", {"hp_threshold": 2}),
-                                    seed=1)
-        assert np.array_equal(legacy.hits, typed.hits)
+class TestWireSchema:
+    """The versioned wire contract shared by HTTP and the results cache."""
 
-    def test_reference_run_with_str_policy_warns(self):
+    def test_request_payload_is_version_stamped(self):
+        d = SimRequest(TRACE, PolicySpec("lru")).to_dict()
+        assert d[WIRE_SCHEMA_KEY] == WIRE_SCHEMA_VERSION
+
+    def test_v0_dict_migrates(self):
+        request = SimRequest(TRACE, PolicySpec("lru"), HierarchyConfig(), seed=3)
+        v0 = request.to_dict()
+        del v0[WIRE_SCHEMA_KEY]  # the pre-versioned layout
+        assert SimRequest.from_dict(v0) == request
+        migrated = migrate_wire_dict(v0, "SimRequest")
+        assert migrated[WIRE_SCHEMA_KEY] == WIRE_SCHEMA_VERSION
+        assert WIRE_SCHEMA_KEY not in v0  # migration never mutates its input
+        assert SimRequest.from_dict(migrated) == request
+
+    def test_newer_version_refused(self):
+        d = SimRequest(TRACE, PolicySpec("lru")).to_dict()
+        d[WIRE_SCHEMA_KEY] = WIRE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer than this process"):
+            SimRequest.from_dict(d)
+
+    def test_bad_version_type_refused(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            check_wire_version({WIRE_SCHEMA_KEY: "1"}, "SimRequest")
+        with pytest.raises(ValueError, match=">= 0"):
+            check_wire_version({WIRE_SCHEMA_KEY: -1}, "SimRequest")
+
+    def test_unknown_keys_rejected_everywhere(self):
+        request = SimRequest(TRACE, PolicySpec("lru"), HierarchyConfig())
+        d = request.to_dict()
+        for mutate in (
+            lambda p: p.update(injected=1),
+            lambda p: p["trace"].update(injected=1),
+            lambda p: p["config"].update(injected=1),
+            lambda p: p["config"]["l1"].update(injected=1),
+        ):
+            payload = SimRequest.from_dict(d).to_dict()  # fresh deep copy
+            mutate(payload)
+            with pytest.raises(ValueError, match="unknown wire keys"):
+                SimRequest.from_dict(payload)
+
+    def test_advisory_keys_still_tolerated(self):
+        # _-prefixed keys carry location hints (e.g. a file trace's
+        # _path); strict decode must not trip over them.
+        check_known_keys({"kind": "loop", "_path": "/tmp/x"},
+                         ("kind",), "TraceSpec")
+
+    def test_legacy_cache_keys_are_stable(self):
+        """Golden keys captured before schema_version existed: the wire
+        stamp must never leak into the content hash."""
+        r1 = SimRequest(TRACE, PolicySpec("emissary", {"hp_threshold": 2}),
+                        CacheConfig(num_sets=16, ways=4), seed=9)
+        r2 = SimRequest(TRACE, PolicySpec("lru"), HierarchyConfig(), seed=3)
+        r3 = SimRequest(TRACE, PolicySpec("lru"), seed=3, telemetry=True)
+        assert config_key(r1) == ("3bffcec6ed32d7bdb56cb1f42c570e7ef2"
+                                  "c90bf208b81a1f4637caa3a8b9d9d8")
+        assert config_key(r2) == ("2616cdc3b1b6d920754b94c2c4464ea791"
+                                  "9c71c84bb192ec4d35a99bac977506")
+        assert config_key(r3) == ("cb11e2907b1d473bca0b738492fef8b590"
+                                  "ea9aeabd082156837784f44d16340c")
+        # ... and v0/v1 encodings of one request share one key.
+        v1 = r2.to_dict()
+        v0 = dict(v1)
+        del v0[WIRE_SCHEMA_KEY]
+        assert config_key(v0) == config_key(v1)
+
+    def test_sim_result_round_trip_and_strictness(self):
+        result = simulate(SimRequest(TRACE, PolicySpec("lru"),
+                                     CacheConfig(num_sets=16, ways=4)))
+        d = result.to_dict()
+        assert d[WIRE_SCHEMA_KEY] == WIRE_SCHEMA_VERSION
+        rebuilt = SimResult.from_dict(d)
+        assert rebuilt.hit_count == result.hit_count
+        assert rebuilt.to_dict() == d
+        v0 = dict(d)
+        del v0[WIRE_SCHEMA_KEY]
+        assert SimResult.from_dict(v0).hit_count == result.hit_count
+        d["injected"] = 1
+        with pytest.raises(ValueError, match="unknown wire keys"):
+            SimResult.from_dict(d)
+
+    def test_hierarchy_result_round_trip_and_strictness(self):
+        result = simulate(SimRequest(TRACE, PolicySpec("lru"),
+                                     HierarchyConfig()))
+        d = result.to_dict()
+        assert d[WIRE_SCHEMA_KEY] == WIRE_SCHEMA_VERSION
+        rebuilt = HierarchyResult.from_dict(d)
+        assert rebuilt.l1.hit_count == result.l1.hit_count
+        assert rebuilt.to_dict() == d
+        d[WIRE_SCHEMA_KEY] = WIRE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer than this process"):
+            HierarchyResult.from_dict(d)
+
+
+class TestLegacyFormRemoved:
+    """The PR 2 ``policy: str, **policy_params`` shim is gone: strings
+    fail fast with the migration spelled out, and the kwargs sink no
+    longer exists on any entry point."""
+
+    def test_engine_run_with_str_policy_raises(self):
         trace = TRACE.generate()[:500]
-        with pytest.warns(EmissaryDeprecationWarning):
+        with pytest.raises(TypeError, match="PolicySpec"):
+            BatchedEngine().run(trace, "emissary")
+
+    def test_reference_run_with_str_policy_raises(self):
+        trace = TRACE.generate()[:500]
+        with pytest.raises(TypeError, match="PolicySpec"):
             ReferenceEngine().run(trace, "lru")
 
-    def test_simulate_with_str_policy_warns(self):
+    def test_simulate_with_str_policy_raises(self):
         trace = TRACE.generate()[:500]
-        with pytest.warns(EmissaryDeprecationWarning):
+        with pytest.raises(TypeError, match="legacy string-policy form"):
             simulate(trace, "lru")
 
-    def test_spec_plus_kwargs_rejected(self):
+    def test_policy_kwargs_sink_removed(self):
         trace = TRACE.generate()[:500]
-        with pytest.raises(TypeError, match="inside PolicySpec.params"):
+        with pytest.raises(TypeError):
             BatchedEngine().run(trace, PolicySpec("emissary"), hp_threshold=2)
 
-    def test_coerce_rejects_other_types(self):
-        with pytest.raises(TypeError):
-            coerce_policy_spec(42)
+    def test_require_rejects_other_types(self):
+        with pytest.raises(TypeError, match="must be a PolicySpec"):
+            require_policy_spec(42)
 
-    def test_make_config_legacy_form_warns(self):
+    def test_make_config_requires_request(self):
         from emissary.sweep import make_config
 
-        with pytest.warns(EmissaryDeprecationWarning):
-            legacy = make_config(TRACE, "lru", CacheConfig(num_sets=16, ways=4), 1)
         typed = make_config(SimRequest(TRACE, PolicySpec("lru"),
                                        CacheConfig(num_sets=16, ways=4), 1))
-        assert legacy == typed
+        assert typed[WIRE_SCHEMA_KEY] == WIRE_SCHEMA_VERSION
+        with pytest.raises(TypeError, match="legacy positional form"):
+            make_config(TRACE)  # first arg of the removed signature
 
 
 class TestUnifiedSimulate:

@@ -48,6 +48,14 @@ needs_compiled = pytest.mark.skipif(
     not COMPILED_AVAILABLE,
     reason="no compiled kernel provider (numba or a C compiler) available")
 
+# Wheel-availability guard: numba ships binary wheels on a lag behind new
+# CPython releases, so "pip install numba" can legitimately fail or be
+# skipped on a matrix leg.  Tests that *require* the numba provider take
+# this marker; the rest of the file must stay green without the wheel.
+needs_numba = pytest.mark.skipif(
+    not HAVE_NUMBA,
+    reason="numba wheel not installed in this environment")
+
 POLICIES = [
     PolicySpec("lru"),
     PolicySpec("random"),
@@ -122,7 +130,7 @@ def test_pinned_numba_unavailable_raises(clean_providers):
         get_kernels("numba")
 
 
-@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+@needs_numba
 def test_numba_provider_matches_python_backend():
     kernels = get_kernels("numba")
     assert kernels.name == "numba"

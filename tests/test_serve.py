@@ -1,0 +1,429 @@
+"""Serving layer: admission, single-flight, worker pool, wire surface.
+
+Failure paths get explicit coverage: a client that disconnects
+mid-stream, a worker process that dies abruptly (the pool is rebuilt
+and an error row returned), admission past the queue watermark (429),
+and duplicate-submission accounting (telemetry counters prove N
+identical requests ran exactly one simulation).
+
+Injected worker functions are module-level so they pickle under the
+``fork`` start method the service's ProcessPoolExecutor uses.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+import pytest
+
+from emissary.api import PolicySpec, SimRequest, simulate
+from emissary.engine import CacheConfig
+from emissary.hierarchy import HierarchyConfig
+from emissary.results_cache import BudgetedResultsCache, config_key
+from emissary.serve.__main__ import _stream_simulate
+from emissary.serve.loadgen import build_request_mix, fetch_json
+from emissary.serve.server import start_server
+from emissary.serve.service import QueueFullError, SimService
+from emissary.traces import TraceSpec
+
+TRACE = TraceSpec("loop", 2_000, 1, {"footprint_lines": 100})
+
+
+def make_request(seed: int = 0, hierarchy: bool = False) -> SimRequest:
+    config = HierarchyConfig() if hierarchy \
+        else CacheConfig(num_sets=16, ways=4)
+    return SimRequest(TRACE, PolicySpec("lru"), config, seed=seed)
+
+
+# -- injectable worker functions (module-level: picklable under fork) ----
+
+def fake_worker(request_dict, progress_path, chunk_bytes):
+    return {"hit_rate": 0.5, "seed": request_dict.get("seed", 0)}
+
+
+def slow_worker(request_dict, progress_path, chunk_bytes):
+    time.sleep(0.6)
+    return {"hit_rate": 0.5, "seed": request_dict.get("seed", 0)}
+
+
+def crashing_worker(request_dict, progress_path, chunk_bytes):
+    if request_dict.get("seed") == 666:
+        os._exit(17)  # abrupt death: no exception, no cleanup
+    return {"hit_rate": 0.5, "seed": request_dict.get("seed", 0)}
+
+
+def failing_worker(request_dict, progress_path, chunk_bytes):
+    raise RuntimeError("synthetic simulation failure")
+
+
+def run(coro, timeout=60.0):
+    async def bounded():
+        return await asyncio.wait_for(coro, timeout)
+    return asyncio.run(bounded())
+
+
+class TestBudgetedResultsCache:
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="budget_bytes"):
+            BudgetedResultsCache(tmp_path, budget_bytes=0)
+
+    def test_unbounded_without_budget(self, tmp_path):
+        cache = BudgetedResultsCache(tmp_path)
+        for seed in range(10):
+            cache.store(make_request(seed), {"row": seed})
+        assert cache.evictions == 0
+
+    def test_evicts_to_budget(self, tmp_path):
+        cache = BudgetedResultsCache(tmp_path, budget_bytes=1)  # min budget
+        first, second = make_request(1), make_request(2)
+        cache.store(first, {"row": 1})
+        cache.store(second, {"row": 2})
+        # The just-stored entry is never evicted; the older one goes.
+        assert cache.load(second) == {"row": 2}
+        assert cache.load(first) is None
+        assert cache.evictions == 1
+
+    def test_lru_touch_protects_hot_entries(self, tmp_path):
+        requests = [make_request(seed) for seed in range(3)]
+        cache = BudgetedResultsCache(tmp_path)
+        for i, request in enumerate(requests):
+            cache.store(request, {"row": i})
+        entry_bytes = cache.total_bytes() // 3
+        cache.budget_bytes = entry_bytes * 2 + entry_bytes // 2  # fits 2
+        time.sleep(0.02)  # ensure the touch moves mtime forward
+        assert cache.load(requests[0]) is not None  # touch: now the hottest
+        cache.store(make_request(99), {"row": 99})
+        assert cache.load(requests[0]) is not None  # survived (recently used)
+        assert cache.evictions >= 1
+        assert cache.total_bytes() <= cache.budget_bytes
+
+    def test_eviction_counts_in_telemetry(self, tmp_path):
+        from emissary.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        cache = BudgetedResultsCache(tmp_path, budget_bytes=1,
+                                     telemetry=telemetry)
+        cache.store(make_request(1), {"row": 1})
+        cache.store(make_request(2), {"row": 2})
+        assert telemetry.counters["serve.cache_evictions"] == 1
+        assert telemetry.counters["serve.cache_evicted_bytes"] > 0
+
+
+class TestSingleFlight:
+    def test_n_identical_requests_one_simulation(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path, worker_fn=slow_worker)
+            try:
+                payload = make_request(seed=7).to_dict()
+                admissions = [service.admit(payload) for _ in range(10)]
+                outcomes = await asyncio.gather(
+                    *[a.future for a in admissions])
+            finally:
+                await service.aclose()
+            return service, admissions, outcomes
+
+        service, admissions, outcomes = run(scenario())
+        assert [a.status for a in admissions] == ["accepted"] + ["joined"] * 9
+        assert len({id(a.future) for a in admissions}) == 1
+        assert all(o["ok"] and o["result"]["seed"] == 7 for o in outcomes)
+        counters = service.telemetry.counters
+        assert counters["serve.requests"] == 10
+        assert counters["serve.simulations"] == 1
+        assert counters["serve.dedupe_joined"] == 9
+
+    def test_completed_request_serves_from_cache(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path, worker_fn=fake_worker)
+            try:
+                payload = make_request(seed=3).to_dict()
+                first = service.admit(payload)
+                await first.future
+                second = service.admit(payload)
+            finally:
+                await service.aclose()
+            return first, second, service
+
+        first, second, service = run(scenario())
+        assert first.status == "accepted"
+        assert second.status == "cached"
+        assert second.result == {"hit_rate": 0.5, "seed": 3}
+        assert service.telemetry.counters["serve.cache_hits"] == 1
+
+    def test_queue_full_rejects_with_429_semantics(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path, worker_fn=slow_worker,
+                                 queue_watermark=2)
+            try:
+                first = service.admit(make_request(seed=1).to_dict())
+                second = service.admit(make_request(seed=2).to_dict())
+                with pytest.raises(QueueFullError) as excinfo:
+                    service.admit(make_request(seed=3).to_dict())
+                # Joining an in-flight key is admission-exempt: it adds
+                # no work, so it succeeds even at the watermark.
+                joined = service.admit(make_request(seed=1).to_dict())
+                await asyncio.gather(first.future, second.future)
+            finally:
+                await service.aclose()
+            return service, excinfo.value, joined
+
+        service, exc, joined = run(scenario())
+        assert exc.retry_after_s >= 1
+        assert joined.status == "joined"
+        assert service.telemetry.counters["serve.rejected"] == 1
+
+    def test_worker_crash_returns_error_row_and_pool_survives(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path, worker_fn=crashing_worker)
+            try:
+                crash = service.admit(make_request(seed=666).to_dict())
+                crash_outcome = await crash.future
+                # The pool was rebuilt: the next simulation succeeds.
+                ok = service.admit(make_request(seed=1).to_dict())
+                ok_outcome = await ok.future
+            finally:
+                await service.aclose()
+            return service, crash_outcome, ok_outcome
+
+        service, crash_outcome, ok_outcome = run(scenario())
+        assert crash_outcome == {"ok": False,
+                                 "error": crash_outcome["error"]}
+        assert "died" in crash_outcome["error"]
+        assert ok_outcome["ok"] and ok_outcome["result"]["seed"] == 1
+        counters = service.telemetry.counters
+        assert counters["serve.worker_crashes"] == 1
+        assert counters["serve.errors"] == 1
+
+    def test_clean_worker_exception_is_error_row_without_rebuild(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path, worker_fn=failing_worker)
+            try:
+                admission = service.admit(make_request(seed=1).to_dict())
+                outcome = await admission.future
+            finally:
+                await service.aclose()
+            return service, outcome
+
+        service, outcome = run(scenario())
+        assert not outcome["ok"]
+        assert "synthetic simulation failure" in outcome["error"]
+        counters = service.telemetry.counters
+        assert counters["serve.errors"] == 1
+        assert "serve.worker_crashes" not in counters
+
+    def test_malformed_payload_raises_before_any_work(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path, worker_fn=fake_worker)
+            try:
+                payload = make_request().to_dict()
+                payload["injected"] = 1
+                with pytest.raises(ValueError, match="unknown wire keys"):
+                    service.admit(payload)
+            finally:
+                await service.aclose()
+            return service
+
+        service = run(scenario())
+        assert "serve.simulations" not in service.telemetry.counters
+
+
+class TestHttpServer:
+    """End-to-end over a real socket with the real simulation worker."""
+
+    def test_simulate_matches_library_and_caches(self, tmp_path):
+        request = make_request(seed=5)
+
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache",
+                                 chunk_bytes=4096)
+            server = await start_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                status, first = await fetch_json(
+                    "127.0.0.1", port, "/v1/simulate", "POST",
+                    request.to_dict())
+                status2, again = await fetch_json(
+                    "127.0.0.1", port, "/v1/simulate", "POST",
+                    request.to_dict())
+                _, stats = await fetch_json("127.0.0.1", port, "/v1/stats")
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            return status, first, status2, again, stats
+
+        status, first, status2, again, stats = run(scenario())
+        assert status == 200 and status2 == 200
+        assert first["status"] == "accepted"
+        assert again["status"] == "cached"
+        assert first["key"] == again["key"] == config_key(request)
+        direct = simulate(request)
+        assert first["result"]["hit_count"] == direct.hit_count
+        assert again["result"] == first["result"]
+        assert stats["simulations"] == 1
+        assert stats["cache"]["hits"] == 1
+        assert stats["telemetry"]["counters"]["serve.requests"] == 2
+
+    def test_streamed_response_carries_progress_and_result(self, tmp_path):
+        request = make_request(seed=6, hierarchy=True)
+
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache",
+                                 chunk_bytes=2048)
+            server = await start_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                events = await _stream_simulate("127.0.0.1", port,
+                                                request.to_dict())
+                replay = await _stream_simulate("127.0.0.1", port,
+                                                request.to_dict())
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            return events, replay
+
+        events, replay = run(scenario())
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "accepted" and kinds[-1] == "result"
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress, f"no progress ticks in {kinds}"
+        assert progress[-1]["done"] == TRACE.n
+        direct = simulate(request)
+        assert events[-1]["result"]["l2_mpki"] == \
+            pytest.approx(direct.to_dict()["l2_mpki"])
+        assert replay[-1]["status"] == "cached"
+
+    def test_http_errors(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache",
+                                 worker_fn=fake_worker)
+            server = await start_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            results = {}
+            try:
+                results["not_json"] = await fetch_json(
+                    "127.0.0.1", port, "/v1/simulate", "POST", "not a dict")
+                bad = make_request().to_dict()
+                bad["injected"] = 1
+                results["unknown_key"] = await fetch_json(
+                    "127.0.0.1", port, "/v1/simulate", "POST", bad)
+                results["no_route"] = await fetch_json(
+                    "127.0.0.1", port, "/v1/nope")
+                results["bad_method"] = await fetch_json(
+                    "127.0.0.1", port, "/v1/simulate")
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            return results
+
+        results = run(scenario())
+        assert results["not_json"][0] == 400
+        assert results["unknown_key"][0] == 400
+        assert "unknown wire keys" in results["unknown_key"][1]["error"]
+        assert results["no_route"][0] == 404
+        assert results["bad_method"][0] == 405
+
+    def test_queue_full_gets_429_with_retry_after(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache",
+                                 worker_fn=slow_worker, queue_watermark=1)
+            server = await start_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                               port)
+                async def post(seed):
+                    body = json.dumps(make_request(seed=seed).to_dict()).encode()
+                    writer.write(
+                        (f"POST /v1/simulate HTTP/1.1\r\nHost: t\r\n"
+                         f"Content-Length: {len(body)}\r\n\r\n"
+                         ).encode() + body)
+                    await writer.drain()
+                    header_block = await reader.readuntil(b"\r\n\r\n")
+                    status = int(header_block.split(b" ", 2)[1])
+                    headers = header_block.decode("latin-1").lower()
+                    length = 0
+                    for line in headers.split("\r\n"):
+                        if line.startswith("content-length:"):
+                            length = int(line.split(":")[1])
+                    await reader.readexactly(length)
+                    return status, headers
+
+                first = asyncio.create_task(post(1))
+                await asyncio.sleep(0.1)  # let the first occupy the queue
+                # second distinct request on a fresh connection -> 429
+                status2, headers2 = await fetch_json(
+                    "127.0.0.1", port, "/v1/simulate", "POST",
+                    make_request(seed=2).to_dict()), None
+                status1, _ = await first
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            return status1, status2
+
+        status1, status2 = run(scenario())
+        assert status1 == 200
+        assert status2[0] == 429
+        assert "retry" in json.dumps(status2[1]).lower()
+
+    def test_client_disconnect_mid_stream_keeps_simulation_alive(self, tmp_path):
+        request = make_request(seed=9)
+        key = config_key(request)
+
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache",
+                                 worker_fn=slow_worker)
+            server = await start_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                               port)
+                body = json.dumps(request.to_dict()).encode()
+                writer.write(
+                    (f"POST /v1/simulate?stream=1 HTTP/1.1\r\nHost: t\r\n"
+                     f"Content-Length: {len(body)}\r\n\r\n").encode() + body)
+                await writer.drain()
+                await reader.readuntil(b"\r\n\r\n")   # response headers
+                await reader.readline()               # first chunk size line
+                # Hang up abruptly, mid-stream, while the worker is busy.
+                writer.close()
+                task = service._inflight[key]
+                outcome = await asyncio.shield(task)
+                # The server keeps serving other clients afterwards.
+                status, _ = await fetch_json("127.0.0.1", port, "/v1/healthz")
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            return outcome, status, service
+
+        outcome, status, service = run(scenario())
+        assert outcome["ok"] and outcome["result"]["seed"] == 9
+        assert status == 200
+        # The disconnected client's simulation still landed in the cache.
+        assert service.cache.load(request) == outcome["result"]
+
+
+class TestLoadgenPieces:
+    def test_request_mix_is_valid_and_deterministic(self):
+        mix_a = build_request_mix(16)
+        mix_b = build_request_mix(16)
+        assert mix_a == mix_b
+        assert len({config_key(d) for d in mix_a}) == 16
+        decoded = [SimRequest.from_dict(d) for d in mix_a]
+        assert any(r.is_hierarchy for r in decoded)
+        assert any(not r.is_hierarchy for r in decoded)
+
+    def test_percentile_edges(self):
+        from emissary.serve.loadgen import _percentile
+
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([3.0], 0.99) == 3.0
+        values = [float(i) for i in range(1, 101)]
+        assert _percentile(values, 0.50) == pytest.approx(50.0, abs=1.0)
+        assert _percentile(values, 0.99) == pytest.approx(99.0, abs=1.0)
