@@ -25,6 +25,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import datetime
 import json
 import platform
@@ -411,6 +412,100 @@ def _summarize_stream(report: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _serve_obs_arm_rps(obs: bool, clients: int, requests_per_client: int,
+                       distinct: int,
+                       seed: int) -> tuple[float, dict[str, int]]:
+    """One serve-path arm: in-process server + loadgen, fresh cache dir.
+
+    Each arm gets its own temporary results cache, and a short
+    *unmeasured* pass populates it first: the measured pass is pure
+    steady-state request handling (cache hits + the obs plane), because
+    a handful of cold-miss simulations racing inside a sub-second
+    window would otherwise dominate the wall time and drown the
+    obs-on/off signal in scheduling noise.  Returns the measured pass's
+    throughput and the arm's final ``serve.latency_us`` histogram
+    (stringified keys, the ``to_dict`` form) so the report can derive
+    latency percentiles.
+    """
+    from emissary.serve.loadgen import run_loadgen
+    from emissary.serve.server import start_server
+    from emissary.serve.service import SimService
+
+    async def _run() -> tuple[float, dict[str, int]]:
+        with tempfile.TemporaryDirectory(prefix="emissary-obsbench-") as tmp:
+            service = SimService(cache_dir=tmp, max_workers=2, obs=obs,
+                                 queue_watermark=max(64, clients))
+            server = await start_server(service, "127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                await run_loadgen(  # populate the cache; not measured
+                    "127.0.0.1", port, clients=distinct,
+                    requests_per_client=1, distinct=distinct, seed=seed)
+                payload = await run_loadgen(
+                    "127.0.0.1", port, clients=clients,
+                    requests_per_client=requests_per_client,
+                    distinct=distinct, seed=seed)
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            hist = service.telemetry.histograms.get("serve.latency_us", {})
+            return float(payload["req_per_s"]), {str(value): count
+                                                 for value, count
+                                                 in sorted(hist.items())}
+
+    return asyncio.run(_run())
+
+
+def run_serve_obs_overhead_bench(clients: int = 64,
+                                 requests_per_client: int = 16,
+                                 distinct: int = 8, seed: int = 0,
+                                 repeats: int = 3) -> dict[str, Any]:
+    """Measure what the observability plane costs the serve path.
+
+    Same interleaved-arm discipline as the kernel guard: ``off`` /
+    ``off_control`` are two identical ``obs=False`` servers (their gap
+    is the noise floor), ``on`` is ``obs=True`` — per-request trace
+    contexts, server-side phase spans, the log ring, and the request
+    epilogue all active.  Each arm boots a fresh in-process server and
+    drives the standard loadgen mix against it; best-of throughput per
+    arm is compared.  ``obs_overhead`` is the on-vs-best-off throughput
+    delta — the number the README quotes and BENCH_telemetry.json
+    records.
+    """
+    arms = ("off", "off_control", "on")
+    rps: dict[str, list[float]] = {arm: [] for arm in arms}
+    latency_hist: dict[str, int] = {}
+    _serve_obs_arm_rps(False, clients, requests_per_client, distinct, seed)  # warmup
+    for repeat in range(max(1, repeats)):
+        for offset in range(len(arms)):
+            arm = arms[(repeat + offset) % len(arms)]
+            arm_rps, hist = _serve_obs_arm_rps(
+                arm == "on", clients, requests_per_client, distinct, seed)
+            rps[arm].append(arm_rps)
+            if arm == "on" and arm_rps >= max(rps["on"]):
+                latency_hist = hist
+    off = max(rps["off"])
+    control = max(rps["off_control"])
+    on = max(rps["on"])
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "distinct_configs": distinct,
+        "repeats": max(1, repeats),
+        "off_req_per_s": round(off, 2),
+        "off_control_req_per_s": round(control, 2),
+        "on_req_per_s": round(on, 2),
+        "off_overhead": control / off - 1.0,
+        # off vs on, each best-of-``repeats`` — deliberately NOT
+        # max(off, control) vs on, which would pit the best of six
+        # disabled runs against the best of three enabled ones and bias
+        # the overhead estimate upward by the noise floor.
+        "obs_overhead": off / on - 1.0,
+        "latency_us_hist": latency_hist,
+    }
+
+
 def run_telemetry_overhead_bench(n: int = 200_000,
                                  policies: list[str] | None = None,
                                  trace_kind: str = "loop", seed: int = 42,
@@ -570,7 +665,13 @@ def _summarize_sanitizer_overhead(report: dict[str, Any]) -> str:
 
 
 def _summarize_telemetry_overhead(report: dict[str, Any]) -> str:
-    return _summarize_overhead_rows(report, "telemetry")
+    out = _summarize_overhead_rows(report, "telemetry")
+    serve = report.get("serve")
+    if serve:
+        out += (f"\nserve path: off {serve['off_req_per_s']:.0f} req/s, "
+                f"on {serve['on_req_per_s']:.0f} req/s, "
+                f"obs overhead {100 * serve['obs_overhead']:+.2f}%")
+    return out
 
 
 def write_report(report: dict[str, Any], path: str) -> None:
@@ -637,7 +738,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated chunk budgets (bytes) for --stream")
     parser.add_argument("--telemetry-overhead", action="store_true",
                         help="run the telemetry-off overhead guard instead of "
-                             "the throughput benchmark")
+                             "the throughput benchmark (includes the serve-path "
+                             "obs-overhead arm unless --skip-serve)")
+    parser.add_argument("--skip-serve", action="store_true",
+                        help="with --telemetry-overhead: skip the serve-path "
+                             "obs on/off arm")
     parser.add_argument("--sanitizer-overhead", action="store_true",
                         help="run the sanitizer-off overhead guard instead of "
                              "the throughput benchmark")
@@ -657,6 +762,9 @@ def main(argv: list[str] | None = None) -> int:
         report = run_telemetry_overhead_bench(
             n=args.n, policies=policies, trace_kind=args.trace, seed=args.seed,
             config=l2, repeats=args.repeats)
+        if not args.skip_serve:
+            report["serve"] = run_serve_obs_overhead_bench(
+                seed=args.seed, repeats=min(3, max(1, args.repeats)))
         out = args.out or "BENCH_telemetry.json"
         print(_summarize_telemetry_overhead(report))
         write_report(report, out)

@@ -1,0 +1,56 @@
+"""Observability plane for the serving stack.
+
+Three concerns, one package (PR 3's process-local :mod:`~emissary.
+telemetry` stays the raw signal source; this package makes it operable
+from outside the process):
+
+:mod:`~emissary.obs.tracing`
+    Deterministic per-request trace ids and the bounded
+    :class:`TraceStore` that stitches server-side HTTP-phase spans with
+    worker-side engine spans into one Chrome trace per request
+    (``GET /v1/trace``).
+
+:mod:`~emissary.obs.metrics`
+    A pure renderer from ``Telemetry.to_dict()`` payloads to Prometheus
+    text exposition (``GET /v1/metrics``) plus the strict golden parser
+    the tests and the CI smoke validate it with.
+
+:mod:`~emissary.obs.logs`
+    JSON structured logging with contextvar-bound trace correlation and
+    the bounded :class:`LogRing` behind ``GET /v1/logz``.
+
+(:mod:`~emissary.obs.top`, the live ``serve top`` dashboard, is imported
+lazily by the CLI — it depends on the serve client helpers and stays out
+of this namespace to keep the import graph acyclic.)
+"""
+
+from emissary.obs.logs import (DEFAULT_LOG_CAPACITY, JsonLogFormatter,
+                               LogRing, bind_log_context, bound_trace_id,
+                               record_to_dict, setup_serve_logging)
+from emissary.obs.metrics import (PROMETHEUS_CONTENT_TYPE, histogram_quantile,
+                                  metric_name, parse_prometheus,
+                                  render_prometheus, sample_value)
+from emissary.obs.tracing import (DEFAULT_TRACE_CAPACITY, TraceContext,
+                                  TraceStore, derive_trace_id,
+                                  merge_request_trace)
+
+__all__ = [
+    "DEFAULT_LOG_CAPACITY",
+    "DEFAULT_TRACE_CAPACITY",
+    "JsonLogFormatter",
+    "LogRing",
+    "PROMETHEUS_CONTENT_TYPE",
+    "TraceContext",
+    "TraceStore",
+    "bind_log_context",
+    "bound_trace_id",
+    "derive_trace_id",
+    "histogram_quantile",
+    "merge_request_trace",
+    "metric_name",
+    "parse_prometheus",
+    "record_to_dict",
+    "render_prometheus",
+    "sample_value",
+    "setup_serve_logging",
+]

@@ -1,0 +1,162 @@
+"""Structured (JSON) logging with trace correlation for the serve stack.
+
+Every serve-layer lifecycle event — admission rejections, dedupe joins,
+worker crashes, LRU evictions, request completions — is logged through
+the stdlib ``logging`` tree with two correlation fields attached:
+
+``trace_id``
+    The request's deterministic trace id (see
+    :mod:`emissary.obs.tracing`), bound to the asyncio task's context
+    via a :class:`~contextvars.ContextVar` by the HTTP handler, so any
+    log record emitted while serving that request — however deep in the
+    service — carries it without threading it through every call.
+
+``request_key``
+    The results-cache content key of the simulation being served.
+
+Both can also be supplied explicitly per record via ``extra=`` (the
+explicit value wins over the bound context).
+
+Two sinks consume the same structured record form:
+
+:class:`JsonLogFormatter`
+    A drop-in :class:`logging.Formatter` emitting one compact JSON
+    object per line — machine-parseable process logs
+    (``python -m emissary.serve serve --log-json``).
+
+:class:`LogRing`
+    A bounded in-memory handler keeping the last N records as dicts;
+    the server exposes it at ``GET /v1/logz`` so an operator can see
+    recent correlated events without shell access to the host.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from collections import deque
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any
+
+#: Records kept by a :class:`LogRing` (oldest dropped first).
+DEFAULT_LOG_CAPACITY = 512
+
+#: Correlation fields promoted from bound context / ``extra=`` into the
+#: structured record.
+_CORRELATION_FIELDS = ("trace_id", "request_key", "event")
+
+_TRACE_ID: ContextVar[str | None] = ContextVar("emissary_trace_id",
+                                               default=None)
+_REQUEST_KEY: ContextVar[str | None] = ContextVar("emissary_request_key",
+                                                  default=None)
+
+
+@contextmanager
+def bind_log_context(trace_id: str | None = None,
+                     request_key: str | None = None) -> Iterator[None]:
+    """Bind correlation fields to the current (task) context.
+
+    ``asyncio.create_task`` copies the context, so a simulation task
+    created while bound keeps the binding for its whole lifetime — its
+    crash/error logs correlate with the originating request even after
+    the HTTP handler has moved on.
+    """
+    trace_token = _TRACE_ID.set(trace_id)
+    key_token = _REQUEST_KEY.set(request_key)
+    try:
+        yield
+    finally:
+        _TRACE_ID.reset(trace_token)
+        _REQUEST_KEY.reset(key_token)
+
+
+def bound_trace_id() -> str | None:
+    """The trace id bound to the current context, if any."""
+    return _TRACE_ID.get()
+
+
+def record_to_dict(record: logging.LogRecord) -> dict[str, Any]:
+    """The canonical structured form of one log record.
+
+    ``ts`` is the record's creation time (epoch seconds — wall clock is
+    correct here: logs are operator-facing, and the serve layer is not
+    under the kernel determinism contract).
+    """
+    out: dict[str, Any] = {
+        "ts": record.created,
+        "level": record.levelname,
+        "logger": record.name,
+        "message": record.getMessage(),
+    }
+    bound = {"trace_id": _TRACE_ID.get(), "request_key": _REQUEST_KEY.get(),
+             "event": None}
+    for field in _CORRELATION_FIELDS:
+        value = getattr(record, field, None)
+        if value is None:
+            value = bound.get(field)
+        if value is not None:
+            out[field] = value
+    if record.exc_info and record.exc_info[1] is not None:
+        out["exc"] = repr(record.exc_info[1])
+    return out
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Formats each record as one compact JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        return json.dumps(record_to_dict(record), sort_keys=True,
+                          default=str)
+
+
+class LogRing(logging.Handler):
+    """Bounded in-memory structured-log ring (the ``/v1/logz`` source).
+
+    Stores :func:`record_to_dict` dicts, not formatted strings, so the
+    HTTP surface can serve them as a JSON array without re-parsing.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY,
+                 level: int = logging.INFO) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        super().__init__(level=level)
+        self._records: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            if len(self._records) == self._records.maxlen:
+                self.dropped += 1
+            self._records.append(record_to_dict(record))
+        except Exception:  # noqa: BLE001 - logging must never propagate
+            self.handleError(record)
+
+    def records(self) -> list[dict[str, Any]]:
+        """Snapshot of the retained records, oldest first."""
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+def setup_serve_logging(level: int = logging.INFO,
+                        json_lines: bool = True) -> None:
+    """Configure process-level logging for the serve CLI.
+
+    With ``json_lines`` every record on stderr is one JSON object
+    (:class:`JsonLogFormatter`); otherwise the classic human format.
+    Idempotent enough for a CLI entry point: it replaces the root
+    handlers rather than stacking new ones.
+    """
+    handler = logging.StreamHandler()
+    if json_lines:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s %(message)s"))
+    root = logging.getLogger()
+    root.handlers[:] = [handler]
+    root.setLevel(level)

@@ -1,0 +1,275 @@
+"""Prometheus text exposition over :meth:`Telemetry.to_dict` payloads.
+
+:func:`render_prometheus` is a **pure function** from a telemetry
+payload (plus optional point-in-time gauges) to the Prometheus text
+exposition format (version 0.0.4): no I/O, no clock reads, no global
+state — the goldens test pins its output byte-for-byte.  ``GET
+/v1/metrics`` on the serving layer is exactly this function applied to
+the live service registry.
+
+Mapping rules:
+
+counters
+    ``serve.requests`` -> ``emissary_serve_requests_total`` (dots and
+    other non-metric characters become ``_``; the ``_total`` suffix is
+    the Prometheus counter convention).
+
+histograms
+    Telemetry histograms are exact value -> count maps.  Exposition
+    folds them into **explicit cumulative buckets** (``_bucket{le=...}``
+    + ``_sum`` + ``_count``): latency histograms (``*latency_us``) use
+    the microsecond ladder :data:`LATENCY_BUCKETS_US`, everything else
+    the power-of-two ladder :data:`GENERIC_BUCKETS`.  For metrics named
+    in ``quantile_gauges`` (default ``serve.latency_us``) derived p50 /
+    p99 gauges are also emitted — computed from the exact value map, so
+    they carry no bucket-interpolation error.
+
+gauges
+    Point-in-time values the caller supplies (queue depth, uptime,
+    cache bytes) — anything that can go down as well as up.
+
+:func:`parse_prometheus` is the matching **golden parser**: it validates
+the exposition grammar strictly (TYPE before samples, label syntax,
+bucket monotonicity, ``_count`` == the ``+Inf`` bucket) and returns the
+parsed families.  The test suite and the CI serve smoke both round-trip
+the rendered text through it, so a formatting regression fails loudly.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+#: Content-Type for the text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Every exported metric name is prefixed with this namespace.
+METRIC_NAMESPACE = "emissary"
+
+#: Explicit bucket upper bounds (microseconds) for ``*latency_us``
+#: histograms: 100us .. 10s, roughly 2.5x steps.
+LATENCY_BUCKETS_US: tuple[int, ...] = (
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+    100_000, 250_000, 500_000, 1_000_000, 2_500_000, 10_000_000)
+
+#: Explicit bucket upper bounds for generic integer-valued histograms
+#: (per-line hit counts, HP occupancy): 0 plus powers of two.
+GENERIC_BUCKETS: tuple[int, ...] = (
+    0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536)
+
+#: Histogram names that additionally get derived p50/p99 gauges.
+DEFAULT_QUANTILE_GAUGES = ("serve.latency_us",)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$")
+
+_LABEL_PAIR = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def metric_name(name: str) -> str:
+    """Canonical Prometheus metric name for a telemetry counter/histogram
+    name (``serve.latency_us`` -> ``emissary_serve_latency_us``)."""
+    return f"{METRIC_NAMESPACE}_{_NAME_OK.sub('_', name)}"
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def buckets_for(name: str) -> tuple[int, ...]:
+    """The explicit bucket ladder used for histogram ``name``."""
+    if name.endswith("latency_us"):
+        return LATENCY_BUCKETS_US
+    return GENERIC_BUCKETS
+
+
+def histogram_quantile(hist: Mapping[int, int] | Mapping[str, int],
+                       q: float) -> float:
+    """Quantile ``q`` (0..1) of an exact value -> count histogram.
+
+    Works on raw ``Telemetry.histograms`` entries or their stringified
+    ``to_dict`` form.  Returns the smallest observed value whose
+    cumulative count reaches ``q`` of the total (0.0 for an empty
+    histogram) — exact, because the map holds every observed value.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    items = sorted((int(value), count) for value, count in hist.items())
+    total = sum(count for _, count in items)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for value, count in items:
+        cumulative += count
+        if cumulative >= rank:
+            return float(value)
+    return float(items[-1][0])
+
+
+def _render_histogram(out: list[str], name: str,
+                      hist: Mapping[str, int] | Mapping[int, int]) -> None:
+    base = metric_name(name)
+    items = sorted((int(value), count) for value, count in hist.items())
+    total = sum(count for _, count in items)
+    mass = sum(value * count for value, count in items)
+    out.append(f"# HELP {base} emissary histogram `{name}`")
+    out.append(f"# TYPE {base} histogram")
+    cumulative = 0
+    index = 0
+    for bound in buckets_for(name):
+        while index < len(items) and items[index][0] <= bound:
+            cumulative += items[index][1]
+            index += 1
+        out.append(f'{base}_bucket{{le="{bound}"}} {cumulative}')
+    out.append(f'{base}_bucket{{le="+Inf"}} {total}')
+    out.append(f"{base}_sum {mass}")
+    out.append(f"{base}_count {total}")
+
+
+def render_prometheus(telemetry: Mapping[str, Any],
+                      gauges: Mapping[str, float] | None = None,
+                      quantile_gauges: Iterable[str] = DEFAULT_QUANTILE_GAUGES,
+                      ) -> str:
+    """Render a ``Telemetry.to_dict`` payload (plus optional gauges) as
+    Prometheus text exposition.  Pure: same inputs, same bytes."""
+    counters: Mapping[str, int] = telemetry.get("counters", {})
+    histograms: Mapping[str, Mapping[str, int]] = telemetry.get("histograms", {})
+    out: list[str] = []
+    for name in sorted(counters):
+        base = f"{metric_name(name)}_total"
+        out.append(f"# HELP {base} emissary counter `{name}`")
+        out.append(f"# TYPE {base} counter")
+        out.append(f"{base} {_format_value(counters[name])}")
+    for name in sorted(histograms):
+        _render_histogram(out, name, histograms[name])
+    quantile_set = set(quantile_gauges)
+    for name in sorted(quantile_set & set(histograms)):
+        for q, tag in ((0.5, "p50"), (0.99, "p99")):
+            base = f"{metric_name(name)}_{tag}"
+            out.append(f"# HELP {base} emissary derived quantile "
+                       f"{tag} of `{name}`")
+            out.append(f"# TYPE {base} gauge")
+            out.append(f"{base} {_format_value(histogram_quantile(histograms[name], q))}")
+    for name in sorted(gauges or {}):
+        base = metric_name(name)
+        out.append(f"# HELP {base} emissary gauge `{name}`")
+        out.append(f"# TYPE {base} gauge")
+        out.append(f"{base} {_format_value((gauges or {})[name])}")
+    return "\n".join(out) + "\n"
+
+
+def _parse_labels(text: str, line_no: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    if not text:
+        return labels
+    for pair in text.split(","):
+        match = _LABEL_PAIR.match(pair.strip())
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed label pair {pair!r}")
+        labels[match.group(1)] = match.group(2)
+    return labels
+
+
+def _family_of(name: str) -> str:
+    """Metric family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Strictly parse text exposition; the golden parser for our output.
+
+    Returns ``{family: {"type", "help", "samples": [(name, labels,
+    value)]}}``.  Raises ``ValueError`` on grammar violations: samples
+    before their TYPE line, malformed sample/label syntax, duplicate
+    TYPE declarations, non-monotonic histogram buckets, a histogram
+    whose ``_count`` disagrees with its ``+Inf`` bucket, or a missing
+    terminating newline.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    families: dict[str, dict[str, Any]] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                raise ValueError(f"line {line_no}: malformed HELP line")
+            family = families.setdefault(
+                _family_of(parts[2]), {"type": None, "help": None, "samples": []})
+            family["help"] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram", "summary",
+                                                   "untyped"):
+                raise ValueError(f"line {line_no}: malformed TYPE line {line!r}")
+            family = families.setdefault(
+                _family_of(parts[2]), {"type": None, "help": None, "samples": []})
+            if family["type"] is not None:
+                raise ValueError(f"line {line_no}: duplicate TYPE for {parts[2]}")
+            family["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample line {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", line_no)
+        value = float(match.group("value"))
+        family_name = _family_of(name)
+        family = families.get(family_name)
+        if family is None or family["type"] is None:
+            raise ValueError(f"line {line_no}: sample {name!r} before its "
+                             f"TYPE declaration")
+        family["samples"].append((name, labels, value))
+
+    for family_name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        buckets = [(labels.get("le", ""), value)
+                   for name, labels, value in family["samples"]
+                   if name == f"{family_name}_bucket"]
+        if not buckets or buckets[-1][0] != "+Inf":
+            raise ValueError(f"{family_name}: histogram missing +Inf bucket")
+        previous = -1.0
+        for le, value in buckets:
+            if value < previous:
+                raise ValueError(f"{family_name}: bucket le={le} count "
+                                 f"{value} below previous {previous}")
+            previous = value
+        counts = [value for name, _, value in family["samples"]
+                  if name == f"{family_name}_count"]
+        if len(counts) != 1 or counts[0] != buckets[-1][1]:
+            raise ValueError(f"{family_name}: _count {counts} disagrees with "
+                             f"+Inf bucket {buckets[-1][1]}")
+    return families
+
+
+def sample_value(families: Mapping[str, dict[str, Any]], name: str,
+                 labels: Mapping[str, str] | None = None) -> float | None:
+    """Value of the first sample matching ``name`` (and ``labels``
+    subset) in a parsed exposition, or None."""
+    family = families.get(_family_of(name))
+    if family is None:
+        return None
+    wanted = dict(labels or {})
+    for sample_name, sample_labels, value in family["samples"]:
+        if sample_name == name and all(
+                sample_labels.get(k) == v for k, v in wanted.items()):
+            return float(value)
+    return None

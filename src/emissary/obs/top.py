@@ -1,0 +1,129 @@
+"""``python -m emissary.serve top`` — a live terminal dashboard.
+
+Polls a running server's ``GET /v1/stats`` on an interval and renders
+one frame per poll: request/simulation rates (derived from counter
+deltas between polls, not lifetime averages), hit/dedupe ratios, latency
+percentiles straight from the ``serve.latency_us`` telemetry histogram,
+queue depth against the admission watermark, and cache/observability
+state.
+
+:func:`render_frame` is pure (stats in, text out) so the frame layout is
+unit-testable without a server; :func:`run_top` owns the polling loop
+and the terminal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from typing import Any
+
+from emissary.obs.metrics import histogram_quantile
+
+#: Seconds between polls (and thus frames).
+DEFAULT_INTERVAL_S = 2.0
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _rate(now: dict[str, Any], before: dict[str, Any] | None, field: str,
+          dt: float) -> float:
+    if before is None or dt <= 0:
+        return 0.0
+    return max(0.0, (now.get(field, 0) - before.get(field, 0)) / dt)
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = max(0, min(width, round(fraction * width)))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_frame(stats: dict[str, Any], previous: dict[str, Any] | None,
+                 dt: float) -> str:
+    """One dashboard frame from a ``/v1/stats`` payload.
+
+    ``previous`` is the prior poll's payload (None on the first frame);
+    ``dt`` the seconds between the two polls — rates are deltas over
+    ``dt``, so a burst shows up in the frame it happened in.
+    """
+    requests = stats.get("requests", 0)
+    simulations = stats.get("simulations", 0)
+    joined = stats.get("dedupe_joined", 0)
+    cache = stats.get("cache", {})
+    hits = cache.get("hits", 0)
+    hist = (stats.get("telemetry", {}).get("histograms", {})
+            .get("serve.latency_us", {}))
+    p50 = histogram_quantile(hist, 0.50) / 1e3
+    p99 = histogram_quantile(hist, 0.99) / 1e3
+    depth = stats.get("queue_depth", 0)
+    watermark = max(1, stats.get("queue_watermark", 1))
+    budget = cache.get("budget_bytes")
+    obs = stats.get("obs", {})
+    lines = [
+        f"emissary serve top    uptime {stats.get('uptime_s', 0.0):8.1f}s    "
+        f"workers {stats.get('workers', '?')}",
+        "",
+        f"  req/s  {_rate(stats, previous, 'requests', dt):8.1f}    "
+        f"sims/s {_rate(stats, previous, 'simulations', dt):8.1f}    "
+        f"requests {requests}    errors {stats.get('errors', 0)}    "
+        f"rejected {stats.get('rejected', 0)}",
+        f"  latency ms  p50 {p50:8.2f}    p99 {p99:8.2f}    "
+        f"(n={sum(int(c) for c in hist.values())})",
+        f"  queue  [{_bar(depth / watermark)}] {depth}/{watermark}    "
+        f"worker crashes {stats.get('worker_crashes', 0)}",
+        f"  cache  hit ratio {_ratio(hits, requests):5.2f}    "
+        f"dedupe ratio {_ratio(joined, requests):5.2f}    "
+        f"evictions {cache.get('evictions', 0)}    "
+        f"bytes {cache.get('total_bytes', 0)}"
+        + (f"/{budget}" if budget is not None else ""),
+    ]
+    if obs:
+        lines.append(
+            f"  obs    {'on' if obs.get('enabled') else 'off'}    "
+            f"traces {obs.get('traces', 0)}    "
+            f"log records {obs.get('log_records', 0)}")
+    return "\n".join(lines)
+
+
+async def run_top(host: str, port: int,
+                  interval_s: float = DEFAULT_INTERVAL_S,
+                  iterations: int | None = None,
+                  clear_screen: bool | None = None) -> int:
+    """Poll ``/v1/stats`` and render frames until interrupted.
+
+    ``iterations`` bounds the loop (None = forever); ``clear_screen``
+    defaults to auto-detection (ANSI clear only on a TTY, plain
+    frame-per-poll output when piped).
+    """
+    from emissary.serve.loadgen import fetch_json
+
+    if clear_screen is None:
+        clear_screen = sys.stdout.isatty()
+    previous: dict[str, Any] | None = None
+    previous_at = time.monotonic()
+    frame = 0
+    while iterations is None or frame < iterations:
+        try:
+            status, stats = await fetch_json(host, port, "/v1/stats")
+        except OSError as exc:
+            print(f"top: cannot reach {host}:{port} ({exc})", file=sys.stderr)
+            return 1
+        if status != 200:
+            print(f"top: /v1/stats returned {status}", file=sys.stderr)
+            return 1
+        now = time.monotonic()
+        text = render_frame(stats, previous, now - previous_at)
+        if clear_screen:
+            print(_CLEAR + text, flush=True)
+        else:
+            print(text + "\n", flush=True)
+        previous, previous_at = stats, now
+        frame += 1
+        if iterations is None or frame < iterations:
+            await asyncio.sleep(interval_s)
+    return 0

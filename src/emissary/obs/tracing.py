@@ -1,0 +1,174 @@
+"""Per-request distributed tracing for the serving layer.
+
+A :class:`TraceContext` is minted once per HTTP request by
+:class:`~emissary.serve.service.SimService`.  Its ``trace_id`` is
+**deterministic** — derived from the service's observability seed and a
+monotone request counter, never from the wall clock or ``uuid4`` — so a
+replayed request sequence produces the same trace ids (the determinism
+discipline the EMI lint enforces for kernels extends to the ids that
+name their traces).
+
+The spans themselves come from two places and meet in the
+:class:`TraceStore`:
+
+server-side spans
+    The HTTP handler times its own phases (``serve.request``,
+    ``serve.admit``, ``serve.await_result``) on a per-request
+    :class:`~emissary.telemetry.Telemetry` instance.
+
+worker-side spans
+    A simulation that ran with ``telemetry=True`` returns the PR 3 phase
+    spans (decode / run collapse / kernel loop / stream chunks) inside
+    its result envelope; the worker process publishes its pid alongside
+    so the merged trace keeps one track per process.
+
+:meth:`TraceStore.record` stitches both into one Chrome trace-event JSON
+object per request — pid 0 is the server, the worker's real pid is its
+own track — bounded by a ring capacity so a long-lived server never
+accretes traces without limit.  ``GET /v1/trace`` serves the ring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from emissary.telemetry import spans_to_chrome_trace
+from emissary.wire import check_known_keys
+
+#: Completed request traces kept in the ring (oldest evicted first).
+DEFAULT_TRACE_CAPACITY = 256
+
+#: Synthetic pid for server-side spans in the merged Chrome trace (real
+#: worker pids are always > 0).
+SERVER_TRACK_PID = 0
+
+
+def derive_trace_id(seed: int, counter: int) -> str:
+    """Deterministic 16-hex-digit trace id for request ``counter``.
+
+    Two servers started with different ``seed`` values produce disjoint
+    id streams; one server replayed from the same seed reproduces its
+    ids exactly.  No wall clock, no process entropy.
+    """
+    digest = hashlib.sha256(f"emissary.trace:{seed}:{counter}".encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one traced request: the trace id plus the request's
+    position in the server's admission order (used as the Chrome trace
+    ``tid`` so concurrent requests land on separate tracks)."""
+
+    trace_id: str
+    index: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"trace_id": self.trace_id, "index": self.index}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TraceContext":
+        check_known_keys(d, ("trace_id", "index"), "TraceContext")
+        return cls(trace_id=str(d["trace_id"]), index=int(d["index"]))
+
+
+def merge_request_trace(trace_id: str,
+                        server_spans: Iterable[Mapping[str, Any]],
+                        worker_spans: Iterable[Mapping[str, Any]],
+                        worker_pid: int | None = None,
+                        tid: int = 0) -> dict[str, Any]:
+    """Stitch server- and worker-side spans into one Chrome trace.
+
+    Server spans ride on pid :data:`SERVER_TRACK_PID`; worker spans on
+    the worker's real pid (falling back to ``1`` for injected test
+    workers that do not report one).  ``time.perf_counter`` is
+    CLOCK_MONOTONIC system-wide on Linux, so the two processes' span
+    timestamps share a base and the exporter's rebase aligns them on a
+    common timeline.  Process-name metadata events label the tracks in
+    Perfetto.
+    """
+    tagged: list[dict[str, Any]] = []
+    for span in server_spans:
+        merged = dict(span)
+        merged["pid"] = SERVER_TRACK_PID
+        merged["tid"] = tid
+        tagged.append(merged)
+    pid = worker_pid if worker_pid is not None else 1
+    has_worker = False
+    for span in worker_spans:
+        merged = dict(span)
+        merged["pid"] = pid
+        merged["tid"] = tid
+        tagged.append(merged)
+        has_worker = True
+    chrome = spans_to_chrome_trace(tagged)
+    names = [(SERVER_TRACK_PID, "server")]
+    if has_worker:
+        names.append((pid, f"worker {pid}"))
+    chrome["traceEvents"].extend({
+        "name": "process_name", "ph": "M", "pid": track_pid, "tid": 0,
+        "args": {"name": label},
+    } for track_pid, label in names)
+    chrome["otherData"] = {"trace_id": trace_id}
+    return chrome
+
+
+class TraceStore:
+    """Bounded in-memory ring of completed request traces.
+
+    ``record`` evicts the oldest entry past ``capacity`` — the store is
+    a debugging window onto a live server, not an archive; ship traces
+    to durable storage by polling ``GET /v1/trace`` if history matters.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._records: OrderedDict[str, dict[str, Any]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, ctx: TraceContext, key: str, status: str,
+               server_spans: Iterable[Mapping[str, Any]],
+               worker_spans: Iterable[Mapping[str, Any]],
+               worker_pid: int | None = None) -> dict[str, Any]:
+        """Stitch and retain one request's merged trace; returns the
+        stored record."""
+        chrome = merge_request_trace(ctx.trace_id, server_spans, worker_spans,
+                                     worker_pid=worker_pid, tid=ctx.index)
+        span_events = [e for e in chrome["traceEvents"] if e.get("ph") == "X"]
+        entry = {
+            "trace_id": ctx.trace_id,
+            "index": ctx.index,
+            "key": key,
+            "status": status,
+            "span_count": len(span_events),
+            "worker_pid": worker_pid,
+            "trace": chrome,
+        }
+        self._records[ctx.trace_id] = entry
+        self._records.move_to_end(ctx.trace_id)
+        while len(self._records) > self.capacity:
+            self._records.popitem(last=False)
+        return entry
+
+    def get(self, trace_id: str) -> dict[str, Any] | None:
+        """Full stored record (including the Chrome trace), or None."""
+        return self._records.get(trace_id)
+
+    def latest(self) -> dict[str, Any] | None:
+        """Most recently recorded entry, or None when the ring is empty."""
+        if not self._records:
+            return None
+        return next(reversed(self._records.values()))
+
+    def summaries(self) -> list[dict[str, Any]]:
+        """Ring contents oldest-first, without the trace payloads."""
+        return [{k: v for k, v in entry.items() if k != "trace"}
+                for entry in self._records.values()]

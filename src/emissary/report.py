@@ -24,7 +24,10 @@ Pointing the CLI at a benchmark report instead prints its digest:
 python-batched and the aggregate bit-identity verdict;
 ``BENCH_serve.json`` (serving layer, ``python -m emissary.serve bench``)
 shows throughput, the latency distribution, the single-flight dedupe
-ratio, and the results-cache hit/eviction accounting.
+ratio, and the results-cache hit/eviction accounting;
+``BENCH_telemetry.json`` (overhead guard) shows the kernel off-path
+guard per policy plus the serve-path observability overhead and latency
+percentiles derived from its ``serve.latency_us`` histogram.
 
 Legacy (version 1) output — a bare row list with no envelope — still
 loads; missing header fields simply render as absent.
@@ -252,9 +255,46 @@ def render_serve_digest(report: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def render_telemetry_overhead_digest(report: dict[str, Any]) -> str:
+    """Digest of a ``BENCH_telemetry.json`` overhead-guard report: the
+    kernel off-path guard per policy, and — when the serve arm ran — the
+    serve-path obs overhead plus latency percentiles derived from the
+    ``serve.latency_us`` histogram the bench captured."""
+    from emissary.obs.metrics import histogram_quantile
+
+    rows: list[dict[str, Any]] = report.get("policies", [])
+    lines = [f"telemetry overhead guard "
+             f"(trace={report.get('trace', {}).get('kind', '?')} "
+             f"n={report.get('trace', {}).get('n', '?')}, "
+             f"repeats={report.get('repeats', '?')})"]
+    for row in rows:
+        lines.append(f"  {row['policy']}: off {1e3 * row['off_s']:.2f}ms, "
+                     f"on {1e3 * row['on_s']:.2f}ms, "
+                     f"off-path overhead {100 * row['off_overhead']:+.2f}%, "
+                     f"telemetry cost {100 * row['on_cost']:+.1f}%")
+    lines.append(f"  max off-path overhead: "
+                 f"{100 * report.get('max_off_overhead', 0.0):+.2f}%")
+    serve = report.get("serve")
+    if serve:
+        lines.append(
+            f"  serve path: obs overhead {100 * serve['obs_overhead']:+.2f}% "
+            f"(off {serve['off_req_per_s']:.0f} req/s, "
+            f"on {serve['on_req_per_s']:.0f} req/s, "
+            f"{serve['clients']} clients x {serve['requests_per_client']})")
+        hist = serve.get("latency_us_hist") or {}
+        if hist:
+            p50 = histogram_quantile(hist, 0.50) / 1e3
+            p99 = histogram_quantile(hist, 0.99) / 1e3
+            n = sum(int(count) for count in hist.values())
+            lines.append(f"  serve latency (obs on): p50={p50:.2f}ms "
+                         f"p99={p99:.2f}ms (n={n})")
+    return "\n".join(lines)
+
+
 _BENCH_DIGESTS = {
     "backend_throughput": render_backend_digest,
     "serve_load": render_serve_digest,
+    "telemetry_overhead": render_telemetry_overhead_digest,
 }
 
 

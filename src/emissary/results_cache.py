@@ -252,6 +252,11 @@ class BudgetedResultsCache(ResultsCache):
                 continue
             total -= size
             self.evictions += 1
+            logger.info("evicted LRU cache entry %s (%d bytes, %d over "
+                        "budget)", path.stem[:16], size,
+                        max(0, total - self.budget_bytes),
+                        extra={"event": "cache_eviction",
+                               "request_key": path.stem})
             if self.telemetry is not None:
                 self.telemetry.inc("serve.cache_evictions")
                 self.telemetry.inc("serve.cache_evicted_bytes", size)

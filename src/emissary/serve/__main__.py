@@ -6,12 +6,19 @@ Subcommands::
     python -m emissary.serve loadgen  # drive a running server, write bench JSON
     python -m emissary.serve bench    # server + loadgen in one shot
     python -m emissary.serve smoke    # start, POST flat + hierarchy, verify
+    python -m emissary.serve top      # live dashboard over /v1/stats
 
 ``smoke`` is the CI gate: it boots an in-process server on an ephemeral
 port, streams one single-level and one hierarchy request (asserting
 progress ticks arrive), re-posts both (asserting they answer from the
-results cache without a new simulation), and checks ``/v1/stats``
-accounting — a end-to-end pass over the wire API in a few seconds.
+results cache without a new simulation), posts one ``telemetry=True``
+request and verifies the observability plane end to end — the merged
+request trace at ``/v1/trace`` carries server- and worker-side spans
+under one trace id, ``/v1/metrics`` round-trips through the strict
+exposition parser, ``/v1/logz`` records correlate by trace id — and
+checks ``/v1/stats`` accounting: an end-to-end pass over the wire API
+in a few seconds.  ``--trace-out`` additionally writes the merged
+Chrome trace JSON (loadable in Perfetto) for CI artifact upload.
 """
 
 from __future__ import annotations
@@ -30,7 +37,8 @@ from typing import Any
 from emissary.api import PolicySpec, SimRequest
 from emissary.engine import CacheConfig
 from emissary.hierarchy import HierarchyConfig
-from emissary.serve.loadgen import fetch_json, run_loadgen
+from emissary.obs import parse_prometheus, sample_value, setup_serve_logging
+from emissary.serve.loadgen import fetch_json, fetch_text, run_loadgen
 from emissary.serve.server import DEFAULT_HOST, DEFAULT_PORT, start_server
 from emissary.serve.service import (DEFAULT_QUEUE_WATERMARK,
                                     DEFAULT_SERVE_CHUNK_BYTES, SimService)
@@ -55,6 +63,12 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         default=DEFAULT_SERVE_CHUNK_BYTES,
                         help="streaming chunk budget per progress tick "
                              "(default: %(default)s)")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable the observability plane (per-request "
+                             "traces, /v1/logz ring)")
+    parser.add_argument("--obs-seed", type=int, default=0,
+                        help="seed for deterministic trace ids "
+                             "(default: %(default)s)")
 
 
 def _service_from_args(args: argparse.Namespace) -> SimService:
@@ -62,7 +76,9 @@ def _service_from_args(args: argparse.Namespace) -> SimService:
                       cache_budget_bytes=args.cache_budget_bytes,
                       max_workers=args.workers,
                       queue_watermark=args.queue_watermark,
-                      chunk_bytes=args.chunk_bytes)
+                      chunk_bytes=args.chunk_bytes,
+                      obs=not args.no_obs,
+                      obs_seed=args.obs_seed)
 
 
 async def _run_serve(args: argparse.Namespace) -> int:
@@ -101,9 +117,12 @@ async def _run_bench(args: argparse.Namespace) -> int:
            "--cache-dir", args.cache_dir,
            "--workers", str(args.workers),
            "--queue-watermark", str(args.queue_watermark),
-           "--chunk-bytes", str(args.chunk_bytes)]
+           "--chunk-bytes", str(args.chunk_bytes),
+           "--obs-seed", str(args.obs_seed)]
     if args.cache_budget_bytes is not None:
         cmd += ["--cache-budget-bytes", str(args.cache_budget_bytes)]
+    if args.no_obs:
+        cmd += ["--no-obs"]
     proc = subprocess.Popen(cmd)
     try:
         deadline = time.monotonic() + 30.0
@@ -179,15 +198,92 @@ def _smoke_requests() -> tuple[dict[str, Any], dict[str, Any]]:
     return flat.to_dict(), hier.to_dict()
 
 
+def _check_smoke_trace(entry: dict[str, Any], failures: list[str]) -> None:
+    """Assert one merged request trace has server + worker tracks under
+    one trace id."""
+    trace = entry.get("trace", {})
+    if trace.get("otherData", {}).get("trace_id") != entry.get("trace_id"):
+        failures.append(f"trace: otherData/entry trace_id mismatch ({entry})")
+    spans = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+    server_names = {s["name"] for s in spans if s.get("pid") == 0}
+    worker_pids = {s["pid"] for s in spans if s.get("pid") != 0}
+    if "serve.request" not in server_names:
+        failures.append(f"trace: no server-side serve.request span "
+                        f"({sorted(server_names)})")
+    if not worker_pids:
+        failures.append("trace: no worker-side spans in the merged trace")
+    worker_names = {s["name"] for s in spans if s.get("pid") != 0}
+    if not any(tag in name for name in worker_names
+               for tag in ("kernel", "run", "stream", "decode")):
+        failures.append(f"trace: worker spans carry no engine phases "
+                        f"({sorted(worker_names)})")
+
+
+async def _smoke_obs(port: int, traced_body: dict[str, Any],
+                     failures: list[str],
+                     trace_out: str | None) -> None:
+    """The observability leg of the smoke: trace, metrics, logz."""
+    status, _payload = await fetch_json(DEFAULT_HOST, port, "/v1/trace")
+    if status != 404:
+        failures.append(f"obs: expected no trace before any telemetry=True "
+                        f"request, got {status}")
+    status, traced = await fetch_json(DEFAULT_HOST, port, "/v1/simulate",
+                                      method="POST", payload=traced_body)
+    if status != 200:
+        failures.append(f"obs: traced request failed with {status}: {traced}")
+        return
+    status, entry = await fetch_json(DEFAULT_HOST, port, "/v1/trace")
+    if status != 200:
+        failures.append(f"obs: /v1/trace returned {status} after a "
+                        f"telemetry=True request")
+        return
+    _check_smoke_trace(entry, failures)
+
+    status, text = await fetch_text(DEFAULT_HOST, port, "/v1/metrics")
+    if status != 200:
+        failures.append(f"obs: /v1/metrics returned {status}")
+        return
+    try:
+        families = parse_prometheus(text)
+    except ValueError as exc:
+        failures.append(f"obs: /v1/metrics failed the exposition parser: {exc}")
+        return
+    _status, stats = await fetch_json(DEFAULT_HOST, port, "/v1/stats")
+    requests_total = sample_value(families, "emissary_serve_requests_total")
+    if requests_total is None or requests_total < stats.get("requests", 0) - 1:
+        failures.append(f"obs: emissary_serve_requests_total {requests_total} "
+                        f"vs stats requests {stats.get('requests')}")
+    if "emissary_serve_latency_us" not in families:
+        failures.append("obs: no emissary_serve_latency_us histogram family")
+
+    status, logz = await fetch_json(DEFAULT_HOST, port, "/v1/logz")
+    correlated = [r for r in logz.get("records", [])
+                  if r.get("trace_id") == entry.get("trace_id")]
+    if status != 200 or not correlated:
+        failures.append(f"obs: no /v1/logz records correlated with trace "
+                        f"{entry.get('trace_id')}")
+    print(f"smoke obs: trace {entry.get('trace_id')} "
+          f"({entry.get('span_count')} spans), "
+          f"{len(families)} metric families, "
+          f"{len(correlated)} correlated log records")
+    if trace_out:
+        with open(trace_out, "w") as fh:
+            json.dump(entry.get("trace", {}), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {trace_out}")
+
+
 async def _run_smoke(args: argparse.Namespace) -> int:
     with tempfile.TemporaryDirectory(prefix="emissary-smoke-") as tmp:
         service = SimService(cache_dir=tmp, cache_budget_bytes=64 * 1024 * 1024,
-                             chunk_bytes=64 * 1024)
+                             chunk_bytes=64 * 1024, obs=not args.no_obs,
+                             obs_seed=args.obs_seed)
         server = await start_server(service, DEFAULT_HOST, port=0)
         port = server.sockets[0].getsockname()[1]
         failures: list[str] = []
         try:
-            for label, body in zip(("flat", "hierarchy"), _smoke_requests()):
+            flat, hier = _smoke_requests()
+            for label, body in (("flat", flat), ("hierarchy", hier)):
                 events = await _stream_simulate(DEFAULT_HOST, port, body)
                 kinds = [e.get("event") for e in events]
                 if kinds[0] != "accepted" or kinds[-1] != "result":
@@ -202,10 +298,16 @@ async def _run_smoke(args: argparse.Namespace) -> int:
                 print(f"smoke {label}: {len(events)} events "
                       f"({kinds.count('progress')} progress ticks), "
                       f"re-fetch cached")
+            expected_sims = 2
+            if not args.no_obs:
+                traced_body = dict(flat)
+                traced_body["telemetry"] = True
+                await _smoke_obs(port, traced_body, failures, args.trace_out)
+                expected_sims = 3
             _status, stats = await fetch_json(DEFAULT_HOST, port, "/v1/stats")
-            if stats.get("simulations") != 2:
-                failures.append(f"expected 2 simulations, stats says "
-                                f"{stats.get('simulations')}")
+            if stats.get("simulations") != expected_sims:
+                failures.append(f"expected {expected_sims} simulations, stats "
+                                f"says {stats.get('simulations')}")
             if stats.get("cache", {}).get("hits", 0) < 2:
                 failures.append(f"expected >=2 cache hits, stats says "
                                 f"{stats.get('cache')}")
@@ -230,6 +332,8 @@ def main(argv: list[str] | None = None) -> int:
     p_serve = sub.add_parser("serve", help="run the HTTP server")
     p_serve.add_argument("--host", default=DEFAULT_HOST)
     p_serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_serve.add_argument("--log-json", action="store_true",
+                         help="emit one JSON object per log line on stderr")
     _add_service_args(p_serve)
 
     p_load = sub.add_parser("loadgen", help="drive a running server")
@@ -254,11 +358,35 @@ def main(argv: list[str] | None = None) -> int:
     _add_service_args(p_bench)
 
     p_smoke = sub.add_parser("smoke", help="end-to-end wire API check")
+    p_smoke.add_argument("--trace-out", default=None,
+                         help="write the smoke's merged Chrome trace JSON "
+                              "here (CI artifact)")
     _add_service_args(p_smoke)
 
+    p_top = sub.add_parser("top", help="live dashboard over /v1/stats")
+    p_top.add_argument("--host", default=DEFAULT_HOST)
+    p_top.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between polls (default: %(default)s)")
+    p_top.add_argument("--iterations", type=int, default=None,
+                       help="stop after N frames (default: run until ^C)")
+
     args = parser.parse_args(argv)
-    logging.basicConfig(level=logging.INFO,
-                        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    if args.command == "serve" and args.log_json:
+        setup_serve_logging(json_lines=True)
+    else:
+        logging.basicConfig(
+            level=logging.INFO,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    if args.command == "top":
+        from emissary.obs.top import run_top
+
+        try:
+            return asyncio.run(run_top(args.host, args.port,
+                                       interval_s=args.interval,
+                                       iterations=args.iterations))
+        except KeyboardInterrupt:
+            return 0
     runner = {"serve": _run_serve, "loadgen": _run_loadgen,
               "bench": _run_bench, "smoke": _run_smoke}[args.command]
     try:

@@ -121,17 +121,29 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
                        headers=headers, body=body)
 
 
-def response_bytes(status: int, payload: Any, *,
-                   extra_headers: dict[str, str] | None = None) -> bytes:
-    """A complete fixed-length JSON response, ready to write."""
-    body = json.dumps(payload, sort_keys=True).encode() + b"\n"
+def _framed(status: int, body: bytes, content_type: str,
+            extra_headers: dict[str, str] | None) -> bytes:
     reason = STATUS_REASONS.get(status, "Unknown")
     head = [f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}"]
     for name, value in (extra_headers or {}).items():
         head.append(f"{name}: {value}")
     return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def response_bytes(status: int, payload: Any, *,
+                   extra_headers: dict[str, str] | None = None) -> bytes:
+    """A complete fixed-length JSON response, ready to write."""
+    body = json.dumps(payload, sort_keys=True).encode() + b"\n"
+    return _framed(status, body, "application/json", extra_headers)
+
+
+def text_response_bytes(status: int, body: str,
+                        content_type: str = "text/plain; charset=utf-8", *,
+                        extra_headers: dict[str, str] | None = None) -> bytes:
+    """A complete fixed-length plain-text response (metrics exposition)."""
+    return _framed(status, body.encode("utf-8"), content_type, extra_headers)
 
 
 class ChunkedNdjsonWriter:

@@ -96,6 +96,28 @@ async def fetch_json(host: str, port: int, path: str,
         await writer.wait_closed()
 
 
+async def fetch_text(host: str, port: int, path: str) -> tuple[int, str]:
+    """One-shot GET returning the raw body text (``/v1/metrics`` is
+    Prometheus text exposition, not JSON)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(_request_bytes("GET", path))
+        await writer.drain()
+        header_block = await reader.readuntil(b"\r\n\r\n")
+        lines = header_block.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await reader.readexactly(length) if length else b""
+        return status, body.decode("utf-8")
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
 async def _client(index: int, host: str, port: int,
                   mix: list[dict[str, Any]], requests_per_client: int,
                   seed: int, connected: asyncio.Barrier,

@@ -11,6 +11,19 @@ Routes:
     or ``error`` event.
 ``GET /v1/stats``
     Service counters, cache/LRU state, and the full telemetry payload.
+``GET /v1/metrics``
+    Prometheus text exposition (format 0.0.4) of every telemetry counter
+    and histogram plus point-in-time gauges — a pure render of
+    ``Telemetry.to_dict()`` (:func:`emissary.obs.metrics.
+    render_prometheus`).
+``GET /v1/trace``
+    The most recent merged request trace (Chrome trace-event JSON,
+    server + worker tracks under one trace id); ``?id=<trace_id>``
+    fetches a specific ring entry, ``?summary=1`` lists the ring without
+    trace payloads.
+``GET /v1/logz``
+    The bounded in-memory ring of structured log records (trace-id
+    correlated serve lifecycle events).
 ``GET /v1/healthz``
     Liveness probe.
 
@@ -30,10 +43,13 @@ import signal
 import time
 from typing import Any
 
+from emissary.obs import (PROMETHEUS_CONTENT_TYPE, bind_log_context,
+                          render_prometheus)
 from emissary.serve.http import (MAX_HEADER_BYTES, ChunkedNdjsonWriter,
                                  HttpError, HttpRequest, read_request,
-                                 response_bytes)
+                                 response_bytes, text_response_bytes)
 from emissary.serve.service import Admission, QueueFullError, SimService
+from emissary.telemetry import Telemetry, span_factory
 
 logger = logging.getLogger(__name__)
 
@@ -92,11 +108,41 @@ class ServeApp:
             await self._simulate(request, writer)
         elif request.path == "/v1/stats":
             await self._respond(writer, 200, self.service.stats())
+        elif request.path == "/v1/metrics":
+            text = render_prometheus(self.service.telemetry.to_dict(),
+                                     gauges=self.service.metric_gauges())
+            writer.write(text_response_bytes(200, text,
+                                             PROMETHEUS_CONTENT_TYPE))
+            await writer.drain()
+        elif request.path == "/v1/trace":
+            await self._trace(request, writer)
+        elif request.path == "/v1/logz":
+            await self._respond(writer, 200, {
+                "enabled": self.service.obs,
+                "dropped": self.service.log_ring.dropped,
+                "records": self.service.log_ring.records(),
+            })
         elif request.path == "/v1/healthz":
             await self._respond(writer, 200, {"ok": True})
         else:
             await self._respond(writer, 404,
                                 {"error": f"no route {request.path}"})
+
+    async def _trace(self, request: HttpRequest,
+                     writer: asyncio.StreamWriter) -> None:
+        store = self.service.traces
+        if request.query.get("summary", "").lower() in _TRUTHY:
+            await self._respond(writer, 200, {"count": len(store),
+                                              "traces": store.summaries()})
+            return
+        trace_id = request.query.get("id")
+        entry = store.get(trace_id) if trace_id else store.latest()
+        if entry is None:
+            await self._respond(writer, 404, {
+                "error": (f"no trace {trace_id}" if trace_id
+                          else "no traces recorded yet")})
+            return
+        await self._respond(writer, 200, entry)
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
                        payload: Any,
@@ -113,26 +159,46 @@ class ServeApp:
                                 {"error": "body must be a JSON object"})
             return
         stream = request.query.get("stream", "").lower() in _TRUTHY
+        telemetry_enabled = bool(payload.get("telemetry", False))
+        ctx = self.service.next_trace_context()
+        # Server-side phase spans exist only for requests that opted into
+        # telemetry — they are the only ones whose trace is recorded, and
+        # the un-instrumented bulk path must stay cheap (the serve arm of
+        # `bench --telemetry-overhead` guards this).
+        server_tel = Telemetry() if ctx is not None and telemetry_enabled \
+            else None
+        span = span_factory(server_tel)
         start = time.perf_counter()
-        try:
-            admission = self.service.admit(payload)
-        except QueueFullError as exc:
-            await self._respond(
-                writer, 429, {"error": str(exc)},
-                extra_headers={"Retry-After": str(exc.retry_after_s)})
-            return
-        except (KeyError, TypeError, ValueError) as exc:
-            await self._respond(writer, 400, {"error": str(exc)})
-            return
-
-        if stream:
-            await self._stream_response(admission, writer)
-        else:
-            await self._plain_response(admission, writer)
-        self.service.observe_latency(time.perf_counter() - start)
+        # bind_log_context wraps admission too: the simulation task is
+        # created inside admit(), and create_task copies the bound
+        # context, so worker-crash logs emitted long after this handler
+        # returns still carry this request's trace id.
+        with bind_log_context(trace_id=ctx.trace_id if ctx else None):
+            with span("serve.request"):
+                try:
+                    with span("serve.admit"):
+                        admission = self.service.admit(payload)
+                except QueueFullError as exc:
+                    await self._respond(
+                        writer, 429, {"error": str(exc)},
+                        extra_headers={"Retry-After": str(exc.retry_after_s)})
+                    return
+                except (KeyError, TypeError, ValueError) as exc:
+                    await self._respond(writer, 400, {"error": str(exc)})
+                    return
+                with span("serve.await_result"):
+                    if stream:
+                        outcome = await self._stream_response(admission, writer)
+                    else:
+                        outcome = await self._plain_response(admission, writer)
+            elapsed = time.perf_counter() - start
+            self.service.observe_latency(elapsed)
+            self.service.finish_request(ctx, admission, outcome, server_tel,
+                                        telemetry_enabled=telemetry_enabled,
+                                        elapsed_s=elapsed)
 
     async def _plain_response(self, admission: Admission,
-                              writer: asyncio.StreamWriter) -> None:
+                              writer: asyncio.StreamWriter) -> dict[str, Any]:
         if admission.future is None:
             outcome: dict[str, Any] = {"ok": True, "result": admission.result}
         else:
@@ -144,9 +210,10 @@ class ServeApp:
         else:
             await self._respond(writer, 500, {"key": admission.key,
                                               "error": outcome["error"]})
+        return outcome
 
     async def _stream_response(self, admission: Admission,
-                               writer: asyncio.StreamWriter) -> None:
+                               writer: asyncio.StreamWriter) -> dict[str, Any]:
         ndjson = ChunkedNdjsonWriter(writer)
         await ndjson.start()
         await ndjson.event({"event": "accepted", "key": admission.key,
@@ -156,7 +223,7 @@ class ServeApp:
                                 "status": "cached",
                                 "result": admission.result})
             await ndjson.finish()
-            return
+            return {"ok": True, "result": admission.result}
 
         last_tick: dict[str, Any] | None = None
         while True:
@@ -178,6 +245,7 @@ class ServeApp:
             await ndjson.event({"event": "error", "key": admission.key,
                                 "error": outcome["error"]})
         await ndjson.finish()
+        return outcome
 
 
 async def start_server(service: SimService, host: str = DEFAULT_HOST,

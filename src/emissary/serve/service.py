@@ -35,6 +35,7 @@ progress spool
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import logging
 import os
@@ -48,6 +49,8 @@ from pathlib import Path
 from typing import Any
 
 from emissary.api import SimRequest, simulate
+from emissary.obs import (DEFAULT_LOG_CAPACITY, DEFAULT_TRACE_CAPACITY,
+                          LogRing, TraceContext, TraceStore, derive_trace_id)
 from emissary.results_cache import (DEFAULT_CACHE_DIR, BudgetedResultsCache,
                                     config_key)
 from emissary.telemetry import Telemetry
@@ -132,7 +135,12 @@ def run_simulation_worker(request_dict: dict[str, Any], progress_path: str | Non
     else:
         result = simulate(request, stream=True, chunk_bytes=chunk_bytes,
                           progress=progress)
-    return dict(result.to_dict())
+    payload = dict(result.to_dict())
+    # Advisory key (always allowed by check_known_keys, stripped by the
+    # service before caching): lets the merged request trace put worker
+    # spans on the real worker pid's track.
+    payload["_worker_pid"] = os.getpid()
+    return payload
 
 
 @dataclass
@@ -163,7 +171,12 @@ class SimService:
                  chunk_bytes: int = DEFAULT_SERVE_CHUNK_BYTES,
                  spool_dir: str | Path | None = None,
                  telemetry: Telemetry | None = None,
-                 worker_fn: Callable[..., dict[str, Any]] | None = None) -> None:
+                 worker_fn: Callable[..., dict[str, Any]] | None = None,
+                 obs: bool = True,
+                 obs_seed: int = 0,
+                 trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+                 log_capacity: int = DEFAULT_LOG_CAPACITY,
+                 spool_grace_s: float = SPOOL_GRACE_S) -> None:
         if queue_watermark < 1:
             raise ValueError(f"queue_watermark must be >= 1, got {queue_watermark}")
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -175,12 +188,51 @@ class SimService:
         self.spool_dir = Path(spool_dir) if spool_dir is not None \
             else Path(cache_dir) / "progress"
         self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self.spool_grace_s = spool_grace_s
         self._max_workers = max_workers
         self._worker_fn = worker_fn if worker_fn is not None \
             else run_simulation_worker
         self._executor = self._new_executor()
         self._inflight: dict[str, asyncio.Task[dict[str, Any]]] = {}
+        self._spool_timers: dict[str, tuple[asyncio.TimerHandle, Path]] = {}
         self._started = time.monotonic()
+        self.obs = obs
+        self.obs_seed = obs_seed
+        self._trace_counter = itertools.count()
+        self.traces = TraceStore(capacity=trace_capacity)
+        self.log_ring = LogRing(capacity=log_capacity)
+        self._obs_logger: logging.Logger | None = None
+        self._obs_prev_level: int | None = None
+        if obs:
+            self._attach_log_ring()
+        self._purge_orphan_spools()
+
+    def _attach_log_ring(self) -> None:
+        """Attach the ``/v1/logz`` ring to the package logger tree.
+
+        The ring needs INFO records even when the process-level logging
+        config is quieter, so the ``emissary`` logger's level is bumped
+        (and restored at :meth:`aclose`) — handlers attached elsewhere
+        keep filtering at their own levels.
+        """
+        root = logging.getLogger("emissary")
+        self._obs_logger = root
+        if root.getEffectiveLevel() > logging.INFO:
+            self._obs_prev_level = root.level
+            root.setLevel(logging.INFO)
+        root.addHandler(self.log_ring)
+
+    def _purge_orphan_spools(self) -> None:
+        """Evict progress spools orphaned by a previous process.
+
+        A crash (or a SIGKILL mid-grace-period) can strand spool files
+        that no live request owns; sweeping them at startup keeps the
+        spool directory bounded by the in-flight set.
+        """
+        for orphan in sorted(self.spool_dir.glob("*.progress.json")):
+            _unlink_quietly(orphan)
+            logger.info("evicted orphan progress spool %s", orphan.name,
+                        extra={"event": "spool_evicted"})
 
     def _new_executor(self) -> ProcessPoolExecutor:
         """Build the pool and fork its workers *eagerly*.
@@ -219,11 +271,17 @@ class SimService:
         existing = self._inflight.get(key)
         if existing is not None:
             self.telemetry.inc("serve.dedupe_joined")
+            logger.info("joined in-flight simulation %s", key[:16],
+                        extra={"event": "dedupe_joined", "request_key": key})
             return Admission(key=key, status="joined", future=existing)
 
         depth = len(self._inflight)
         if depth >= self.queue_watermark:
             self.telemetry.inc("serve.rejected")
+            logger.warning(
+                "admission rejected: queue depth %d at watermark %d",
+                depth, self.queue_watermark,
+                extra={"event": "admission_rejected", "request_key": key})
             raise QueueFullError(depth, self.queue_watermark)
 
         self.telemetry.inc("serve.cache_misses")
@@ -249,24 +307,25 @@ class SimService:
                 self.telemetry.inc("serve.worker_crashes")
                 self.telemetry.inc("serve.errors")
                 logger.error("worker process died simulating %s; "
-                             "rebuilding pool", key[:16])
+                             "rebuilding pool", key[:16],
+                             extra={"event": "worker_crash",
+                                    "request_key": key})
                 self._rebuild_executor()
                 return {"ok": False,
                         "error": f"worker process died simulating {key[:16]}"}
             except Exception as exc:
                 # A clean worker exception leaves the pool healthy.
                 self.telemetry.inc("serve.errors")
-                logger.error("simulation %s failed: %s", key[:16], exc)
+                logger.error("simulation %s failed: %s", key[:16], exc,
+                             extra={"event": "simulation_failed",
+                                    "request_key": key})
                 return {"ok": False, "error": f"simulation failed: {exc}"}
+            worker_pid = result.pop("_worker_pid", None)
             self.cache.store(request, result)
-            return {"ok": True, "result": result}
+            return {"ok": True, "result": result, "worker_pid": worker_pid}
         finally:
             self._inflight.pop(key, None)
-            # Delay the spool cleanup one grace period: streaming relays
-            # poll every PROGRESS_POLL_INTERVAL_S, and unlinking at
-            # resolution would race a fast simulation's only tick away
-            # from them.
-            loop.call_later(SPOOL_GRACE_S, _unlink_quietly, progress_path)
+            self._schedule_spool_cleanup(loop, key, progress_path)
 
     def _rebuild_executor(self) -> None:
         self._executor.shutdown(wait=False, cancel_futures=True)
@@ -280,6 +339,28 @@ class SimService:
 
     def progress_path(self, key: str) -> Path:
         return self.spool_dir / f"{key}.progress.json"
+
+    def _schedule_spool_cleanup(self, loop: asyncio.AbstractEventLoop,
+                                key: str, progress_path: Path) -> None:
+        """Unlink ``key``'s spool after one grace period, *tracked*.
+
+        Streaming relays poll every ``PROGRESS_POLL_INTERVAL_S``, so
+        unlinking at resolution would race a fast simulation's only tick
+        away from them — but an untracked ``call_later`` leaks the spool
+        whenever the loop dies before the timer fires (client disconnect
+        tearing the test loop down, service shutdown).  Timers are kept
+        in ``_spool_timers`` and drained by :meth:`aclose`.
+        """
+        stale = self._spool_timers.pop(key, None)
+        if stale is not None:
+            stale[0].cancel()
+
+        def _cleanup() -> None:
+            self._spool_timers.pop(key, None)
+            _unlink_quietly(progress_path)
+
+        self._spool_timers[key] = (
+            loop.call_later(self.spool_grace_s, _cleanup), progress_path)
 
     def read_progress(self, key: str) -> dict[str, Any] | None:
         """Latest published tick for ``key``, or None before the first
@@ -296,6 +377,69 @@ class SimService:
         """Record one request's service latency (microsecond histogram —
         bounded cardinality, unlike per-request spans)."""
         self.telemetry.observe("serve.latency_us", int(seconds * 1e6))
+
+    def next_trace_context(self) -> TraceContext | None:
+        """Mint the next deterministic trace identity (None with obs off).
+
+        Ids come from ``sha256(obs_seed, counter)``, so a server replayed
+        from the same seed names its traces identically — no wall clock,
+        no process entropy.
+        """
+        if not self.obs:
+            return None
+        index = next(self._trace_counter)
+        return TraceContext(trace_id=derive_trace_id(self.obs_seed, index),
+                            index=index)
+
+    def finish_request(self, ctx: TraceContext | None, admission: Admission,
+                       outcome: Mapping[str, Any] | None,
+                       server_telemetry: Telemetry | None, *,
+                       telemetry_enabled: bool, elapsed_s: float) -> None:
+        """Request epilogue: the completion log plus the merged trace.
+
+        A trace is recorded only when the request itself asked for
+        telemetry (``telemetry=False`` requests must not accrete trace
+        state).  Cached admissions contribute server-side spans only —
+        the stored result's worker spans carry timestamps from whenever
+        the simulation originally ran, and rebasing them onto this
+        request's timeline would be a lie.
+        """
+        ok = outcome is None or bool(outcome.get("ok"))
+        # Per-request completion records are INFO only for requests that
+        # opted into telemetry; the bulk path logs at DEBUG so a hot
+        # server's obs cost stays in the noise (rejections, joins, and
+        # crashes are still logged unconditionally at their own sites).
+        level = logging.INFO if telemetry_enabled else logging.DEBUG
+        logger.log(level, "request %s %s in %.1f ms", admission.status,
+                   admission.key[:16], elapsed_s * 1e3,
+                   extra={"event": "request", "request_key": admission.key})
+        if ctx is None or not telemetry_enabled:
+            return
+        worker_spans: list[dict[str, Any]] = []
+        worker_pid: int | None = None
+        if admission.status != "cached" and ok and outcome is not None:
+            result = outcome.get("result")
+            if isinstance(result, Mapping):
+                tel = result.get("telemetry")
+                if isinstance(tel, Mapping) and isinstance(tel.get("spans"),
+                                                           list):
+                    worker_spans = list(tel["spans"])
+            pid = outcome.get("worker_pid")
+            worker_pid = pid if isinstance(pid, int) else None
+        server_spans = server_telemetry.spans if server_telemetry is not None \
+            else []
+        self.traces.record(ctx, admission.key, admission.status,
+                           server_spans, worker_spans, worker_pid=worker_pid)
+
+    def metric_gauges(self) -> dict[str, float]:
+        """Point-in-time gauges for the Prometheus exposition."""
+        return {
+            "serve.queue_depth": float(len(self._inflight)),
+            "serve.queue_watermark": float(self.queue_watermark),
+            "serve.cache_total_bytes": float(self.cache.total_bytes()),
+            "serve.trace_ring_size": float(len(self.traces)),
+            "serve.log_ring_dropped": float(self.log_ring.dropped),
+        }
 
     def stats(self) -> dict[str, Any]:
         counters = self.telemetry.counters
@@ -317,13 +461,20 @@ class SimService:
                 "budget_bytes": self.cache.budget_bytes,
                 "total_bytes": self.cache.total_bytes(),
             },
+            "obs": {
+                "enabled": self.obs,
+                "seed": self.obs_seed,
+                "traces": len(self.traces),
+                "log_records": len(self.log_ring.records()),
+                "log_dropped": self.log_ring.dropped,
+            },
             "telemetry": self.telemetry.to_dict(),
         }
 
     # -- lifecycle --------------------------------------------------------
 
     async def aclose(self) -> None:
-        """Cancel in-flight work and release the pool."""
+        """Cancel in-flight work, drain spool timers, release the pool."""
         for task in list(self._inflight.values()):
             task.cancel()
         for task in list(self._inflight.values()):
@@ -332,4 +483,16 @@ class SimService:
             except asyncio.CancelledError:
                 logger.debug("in-flight simulation cancelled during shutdown")
         self._inflight.clear()
+        # Pending grace-period timers would never fire after the loop
+        # dies; run their cleanup now so no spool outlives the service.
+        for handle, path in self._spool_timers.values():
+            handle.cancel()
+            _unlink_quietly(path)
+        self._spool_timers.clear()
+        if self._obs_logger is not None:
+            self._obs_logger.removeHandler(self.log_ring)
+            if self._obs_prev_level is not None:
+                self._obs_logger.setLevel(self._obs_prev_level)
+            self._obs_logger = None
+            self._obs_prev_level = None
         self._executor.shutdown(wait=False, cancel_futures=True)

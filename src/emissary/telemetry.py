@@ -38,12 +38,22 @@ report embeds per config, and ``python -m emissary.report`` renders.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping
 from contextlib import contextmanager
 from typing import Any
 
-#: Version of the ``Telemetry.to_dict`` payload layout.
+from emissary.wire import check_known_keys, check_wire_version
+
+#: Version of the ``Telemetry.to_dict`` payload layout.  The payload has
+#: carried this field since PR 3; it follows the same strict wire
+#: discipline as the PR 7 request/result payloads (:mod:`emissary.wire`):
+#: :meth:`Telemetry.from_dict` rejects unknown keys and refuses newer
+#: versions, and a missing field decodes as version 0 (layout identical
+#: to version 1 minus the stamp).
 TELEMETRY_SCHEMA_VERSION = 1
+
+#: Keys a ``Telemetry.to_dict`` payload may carry.
+_TELEMETRY_WIRE_KEYS = ("schema_version", "counters", "histograms", "spans")
 
 
 class Telemetry:
@@ -136,6 +146,47 @@ class Telemetry:
                            for name, hist in self.histograms.items()},
             "spans": [dict(span) for span in self.spans],
         }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Telemetry":
+        """Strictly decode a ``to_dict`` payload (wire discipline of
+        :mod:`emissary.wire`): unknown keys are rejected, histogram
+        value keys are de-stringified back to ints, and a payload
+        declaring a newer ``schema_version`` than this process
+        understands refuses to half-parse."""
+        check_wire_version(d, "Telemetry",
+                           max_version=TELEMETRY_SCHEMA_VERSION)
+        check_known_keys(d, _TELEMETRY_WIRE_KEYS, "Telemetry")
+        counters = d.get("counters", {})
+        histograms = d.get("histograms", {})
+        spans = d.get("spans", [])
+        if not isinstance(counters, Mapping):
+            raise ValueError("Telemetry: counters must be a mapping")
+        if not isinstance(histograms, Mapping):
+            raise ValueError("Telemetry: histograms must be a mapping")
+        if not isinstance(spans, list):
+            raise ValueError("Telemetry: spans must be a list")
+        tel = cls()
+        for name, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"Telemetry: counter {name!r} must be an "
+                                 f"int, got {type(value).__name__}")
+            tel.counters[str(name)] = value
+        for name, hist in histograms.items():
+            if not isinstance(hist, Mapping):
+                raise ValueError(f"Telemetry: histogram {name!r} must be a "
+                                 f"mapping")
+            try:
+                tel.histograms[str(name)] = {int(value): int(count)
+                                             for value, count in hist.items()}
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"Telemetry: histogram {name!r} has a "
+                                 f"non-integer bucket: {exc}") from exc
+        for span in spans:
+            if not isinstance(span, Mapping):
+                raise ValueError("Telemetry: spans must be span dicts")
+            tel.spans.append(dict(span))
+        return tel
 
     def to_chrome_trace(self) -> dict[str, Any]:
         """Chrome trace-event JSON for this instance's spans."""

@@ -40,12 +40,16 @@ WIRE_SCHEMA_VERSION = 1
 WIRE_SCHEMA_KEY = "schema_version"
 
 
-def check_wire_version(d: Mapping[str, Any], kind: str) -> int:
+def check_wire_version(d: Mapping[str, Any], kind: str,
+                       max_version: int = WIRE_SCHEMA_VERSION) -> int:
     """Validate and return ``d``'s declared schema version.
 
     Missing means version 0 (the pre-versioned layout, accepted as the
-    migration path); anything newer than :data:`WIRE_SCHEMA_VERSION` is
-    refused — a half-understood payload must not be silently decoded.
+    migration path); anything newer than ``max_version`` (the top-level
+    :data:`WIRE_SCHEMA_VERSION` by default — payload families with their
+    own version stream, e.g. :mod:`emissary.telemetry`, pass their own
+    ceiling) is refused — a half-understood payload must not be silently
+    decoded.
     """
     version = d.get(WIRE_SCHEMA_KEY, 0)
     if isinstance(version, bool) or not isinstance(version, int):
@@ -53,10 +57,10 @@ def check_wire_version(d: Mapping[str, Any], kind: str) -> int:
                          f"got {type(version).__name__}")
     if version < 0:
         raise ValueError(f"{kind}: {WIRE_SCHEMA_KEY} must be >= 0, got {version}")
-    if version > WIRE_SCHEMA_VERSION:
+    if version > max_version:
         raise ValueError(
             f"{kind}: {WIRE_SCHEMA_KEY} {version} is newer than this process "
-            f"supports ({WIRE_SCHEMA_VERSION}); upgrade before decoding")
+            f"supports ({max_version}); upgrade before decoding")
     return version
 
 

@@ -1,0 +1,314 @@
+"""Tests for the observability package (:mod:`emissary.obs`).
+
+The Prometheus exposition is pinned byte-for-byte against a golden and
+round-tripped through the strict parser; trace ids are checked for
+determinism (the whole point of deriving them from seed + counter); the
+merged Chrome trace is checked for correct pid/track assignment; and the
+structured-log plumbing is exercised including contextvar propagation
+across ``asyncio.create_task``.
+"""
+
+import asyncio
+import json
+import logging
+
+import pytest
+
+from emissary.obs.logs import (JsonLogFormatter, LogRing, bind_log_context,
+                               bound_trace_id, record_to_dict)
+from emissary.obs.metrics import (GENERIC_BUCKETS, LATENCY_BUCKETS_US,
+                                  histogram_quantile, metric_name,
+                                  parse_prometheus, render_prometheus,
+                                  sample_value)
+from emissary.obs.top import render_frame
+from emissary.obs.tracing import (SERVER_TRACK_PID, TraceContext, TraceStore,
+                                  derive_trace_id, merge_request_trace)
+
+
+def make_record(message="hello", level=logging.INFO, **extra):
+    record = logging.LogRecord("emissary.test", level, __file__, 1,
+                               message, (), None)
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestPrometheusRender:
+    PAYLOAD = {
+        "schema_version": 1,
+        "counters": {"serve.requests": 7, "hits": 90},
+        "histograms": {"serve.latency_us": {"120": 3, "900": 1},
+                       "line_hits": {"0": 2, "3": 5}},
+        "spans": [],
+    }
+    GAUGES = {"serve.queue_depth": 2.0}
+
+    def test_golden_exposition(self):
+        """Byte-for-byte pin: formatting regressions must fail loudly."""
+        text = render_prometheus(self.PAYLOAD, gauges=self.GAUGES)
+        lines = text.splitlines()
+        assert lines[0] == "# HELP emissary_hits_total emissary counter `hits`"
+        assert lines[1] == "# TYPE emissary_hits_total counter"
+        assert lines[2] == "emissary_hits_total 90"
+        assert "emissary_serve_requests_total 7" in lines
+        # Cumulative explicit buckets on the generic ladder.
+        assert 'emissary_line_hits_bucket{le="0"} 2' in lines
+        assert 'emissary_line_hits_bucket{le="2"} 2' in lines
+        assert 'emissary_line_hits_bucket{le="4"} 7' in lines
+        assert 'emissary_line_hits_bucket{le="+Inf"} 7' in lines
+        assert "emissary_line_hits_sum 15" in lines
+        assert "emissary_line_hits_count 7" in lines
+        # Latency ladder + derived quantile gauges for serve.latency_us.
+        assert 'emissary_serve_latency_us_bucket{le="250"} 3' in lines
+        assert "emissary_serve_latency_us_p50 120" in lines
+        assert "emissary_serve_latency_us_p99 900" in lines
+        assert "emissary_serve_queue_depth 2" in lines
+        assert text.endswith("\n")
+
+    def test_pure_function_same_bytes(self):
+        first = render_prometheus(self.PAYLOAD, gauges=self.GAUGES)
+        second = render_prometheus(dict(self.PAYLOAD),
+                                   gauges=dict(self.GAUGES))
+        assert first == second
+
+    def test_round_trips_through_strict_parser(self):
+        families = parse_prometheus(
+            render_prometheus(self.PAYLOAD, gauges=self.GAUGES))
+        assert families["emissary_serve_requests_total"]["type"] == "counter"
+        assert families["emissary_serve_latency_us"]["type"] == "histogram"
+        assert sample_value(families, "emissary_serve_requests_total") == 7
+        assert sample_value(families, "emissary_line_hits_bucket",
+                            {"le": "4"}) == 7
+        assert sample_value(families, "emissary_serve_queue_depth") == 2.0
+        assert sample_value(families, "emissary_nope") is None
+
+    def test_empty_payload_renders_and_parses(self):
+        text = render_prometheus({"counters": {}, "histograms": {}})
+        assert parse_prometheus(text) == {}
+
+    def test_metric_name_sanitizes(self):
+        assert metric_name("serve.latency_us") == "emissary_serve_latency_us"
+        assert metric_name("a-b c") == "emissary_a_b_c"
+
+    def test_bucket_ladders_are_sorted(self):
+        assert list(LATENCY_BUCKETS_US) == sorted(LATENCY_BUCKETS_US)
+        assert list(GENERIC_BUCKETS) == sorted(GENERIC_BUCKETS)
+
+
+class TestPrometheusParser:
+    def test_rejects_sample_before_type(self):
+        with pytest.raises(ValueError, match="before its TYPE"):
+            parse_prometheus("emissary_x_total 1\n")
+
+    def test_rejects_missing_final_newline(self):
+        with pytest.raises(ValueError, match="newline"):
+            parse_prometheus("# TYPE emissary_x counter\nemissary_x 1")
+
+    def test_rejects_malformed_sample_line(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("# TYPE emissary_x counter\nemissary_x one\n")
+
+    def test_rejects_malformed_label_pair(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_prometheus("# TYPE emissary_x histogram\n"
+                             "emissary_x_bucket{le=nope} 1\n")
+
+    def test_rejects_duplicate_type(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus("# TYPE emissary_x counter\n"
+                             "# TYPE emissary_x counter\n")
+
+    def test_rejects_nonmonotonic_buckets(self):
+        with pytest.raises(ValueError, match="below previous"):
+            parse_prometheus("# TYPE emissary_h histogram\n"
+                             'emissary_h_bucket{le="1"} 5\n'
+                             'emissary_h_bucket{le="+Inf"} 3\n'
+                             "emissary_h_sum 5\nemissary_h_count 3\n")
+
+    def test_rejects_count_inf_bucket_disagreement(self):
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus("# TYPE emissary_h histogram\n"
+                             'emissary_h_bucket{le="+Inf"} 3\n'
+                             "emissary_h_sum 5\nemissary_h_count 4\n")
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus("# TYPE emissary_h histogram\n"
+                             'emissary_h_bucket{le="1"} 3\n'
+                             "emissary_h_sum 5\nemissary_h_count 3\n")
+
+
+class TestHistogramQuantile:
+    def test_exact_quantiles_from_value_map(self):
+        hist = {"100": 50, "200": 49, "5000": 1}
+        assert histogram_quantile(hist, 0.50) == 100.0
+        assert histogram_quantile(hist, 0.99) == 200.0
+        assert histogram_quantile(hist, 1.00) == 5000.0
+        assert histogram_quantile(hist, 0.0) == 100.0
+
+    def test_accepts_int_keys(self):
+        assert histogram_quantile({100: 1, 300: 1}, 0.99) == 300.0
+
+    def test_empty_histogram_is_zero(self):
+        assert histogram_quantile({}, 0.5) == 0.0
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            histogram_quantile({"1": 1}, 1.5)
+
+
+class TestTracing:
+    def test_trace_ids_are_deterministic(self):
+        assert derive_trace_id(0, 0) == derive_trace_id(0, 0)
+        assert derive_trace_id(0, 0) != derive_trace_id(0, 1)
+        assert derive_trace_id(0, 0) != derive_trace_id(1, 0)
+        assert len(derive_trace_id(0, 0)) == 16
+        int(derive_trace_id(3, 7), 16)  # hex digits only
+
+    def test_trace_context_round_trip_and_strict_decode(self):
+        ctx = TraceContext(trace_id=derive_trace_id(0, 2), index=2)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+        with pytest.raises(ValueError, match="unknown"):
+            TraceContext.from_dict({**ctx.to_dict(), "color": "red"})
+
+    def test_merge_assigns_server_and_worker_tracks(self):
+        server = [{"name": "serve.request", "ts_us": 0.0, "dur_us": 9.0,
+                   "args": {}}]
+        worker = [{"name": "kernel_loop", "ts_us": 2.0, "dur_us": 5.0,
+                   "args": {}}]
+        chrome = merge_request_trace("abcd", server, worker, worker_pid=4242,
+                                     tid=3)
+        spans = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["serve.request"]["pid"] == SERVER_TRACK_PID
+        assert by_name["kernel_loop"]["pid"] == 4242
+        assert all(e["tid"] == 3 for e in spans)
+        labels = {e["args"]["name"] for e in chrome["traceEvents"]
+                  if e.get("ph") == "M"}
+        assert labels == {"server", "worker 4242"}
+        assert chrome["otherData"] == {"trace_id": "abcd"}
+
+    def test_merge_without_worker_spans_has_single_track(self):
+        chrome = merge_request_trace("ff00", [{"name": "serve.request",
+                                               "ts_us": 0.0, "dur_us": 1.0,
+                                               "args": {}}], [])
+        labels = {e["args"]["name"] for e in chrome["traceEvents"]
+                  if e.get("ph") == "M"}
+        assert labels == {"server"}
+
+    def test_store_ring_evicts_oldest(self):
+        store = TraceStore(capacity=2)
+        contexts = [TraceContext(derive_trace_id(0, i), i) for i in range(3)]
+        for ctx in contexts:
+            store.record(ctx, key=f"k{ctx.index}", status="fresh",
+                         server_spans=[], worker_spans=[])
+        assert len(store) == 2
+        assert store.get(contexts[0].trace_id) is None  # oldest evicted
+        latest = store.latest()
+        assert latest is not None
+        assert latest["trace_id"] == contexts[2].trace_id
+        summaries = store.summaries()
+        assert [s["key"] for s in summaries] == ["k1", "k2"]
+        assert all("trace" not in s for s in summaries)
+
+    def test_store_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceStore(capacity=0)
+
+
+class TestStructuredLogs:
+    def test_bound_context_lands_on_records(self):
+        with bind_log_context(trace_id="t1", request_key="k1"):
+            assert bound_trace_id() == "t1"
+            payload = record_to_dict(make_record())
+        assert payload["trace_id"] == "t1"
+        assert payload["request_key"] == "k1"
+        assert bound_trace_id() is None  # binding restored on exit
+
+    def test_explicit_extra_wins_over_bound_context(self):
+        with bind_log_context(trace_id="bound"):
+            payload = record_to_dict(make_record(trace_id="explicit",
+                                                 event="request"))
+        assert payload["trace_id"] == "explicit"
+        assert payload["event"] == "request"
+
+    def test_context_propagates_through_create_task(self):
+        """``asyncio.create_task`` copies the contextvar binding, so a
+        task outliving the ``bind_log_context`` block keeps the id."""
+        async def scenario():
+            started = asyncio.Event()
+            release = asyncio.Event()
+
+            async def worker():
+                started.set()
+                await release.wait()
+                return record_to_dict(make_record("late"))
+
+            with bind_log_context(trace_id="task-trace"):
+                task = asyncio.create_task(worker())
+                await started.wait()
+            release.set()  # handler has moved on; binding must persist
+            return await task
+
+        payload = asyncio.run(scenario())
+        assert payload["trace_id"] == "task-trace"
+
+    def test_json_formatter_emits_one_parseable_object(self):
+        with bind_log_context(trace_id="t9"):
+            line = JsonLogFormatter().format(make_record("x", event="request"))
+        payload = json.loads(line)
+        assert payload["message"] == "x"
+        assert payload["trace_id"] == "t9"
+        assert payload["level"] == "INFO"
+        assert "\n" not in line
+
+    def test_ring_bounds_and_counts_drops(self):
+        ring = LogRing(capacity=2)
+        for i in range(3):
+            ring.emit(make_record(f"m{i}"))
+        records = ring.records()
+        assert [r["message"] for r in records] == ["m1", "m2"]
+        assert ring.dropped == 1
+        ring.clear()
+        assert ring.records() == []
+
+    def test_ring_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LogRing(capacity=0)
+
+    def test_exception_recorded(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            record = logging.LogRecord("emissary.test", logging.ERROR,
+                                       __file__, 1, "fail", (), __import__(
+                                           "sys").exc_info())
+        assert "boom" in record_to_dict(record)["exc"]
+
+
+class TestTopDashboard:
+    STATS = {
+        "uptime_s": 12.5, "workers": 2, "requests": 100, "simulations": 40,
+        "dedupe_joined": 10, "errors": 1, "rejected": 2, "queue_depth": 3,
+        "queue_watermark": 10, "worker_crashes": 0,
+        "cache": {"hits": 50, "evictions": 4, "total_bytes": 2048,
+                  "budget_bytes": 4096},
+        "telemetry": {"histograms": {"serve.latency_us": {"1000": 9,
+                                                          "9000": 1}}},
+        "obs": {"enabled": True, "traces": 5, "log_records": 7},
+    }
+
+    def test_render_frame_is_pure_text(self):
+        frame = render_frame(self.STATS, None, 0.0)
+        assert "req/s       0.0" in frame  # no previous poll: rate 0
+        assert "p50     1.00" in frame and "p99     9.00" in frame
+        assert "3/10" in frame
+        assert "hit ratio  0.50" in frame
+        assert "2048/4096" in frame
+        assert "obs    on" in frame and "traces 5" in frame
+
+    def test_rates_are_deltas_between_polls(self):
+        before = dict(self.STATS, requests=0, simulations=0)
+        frame = render_frame(self.STATS, before, 2.0)
+        assert "req/s      50.0" in frame
+        assert "sims/s     20.0" in frame

@@ -137,6 +137,51 @@ def test_cli_end_to_end_with_sweep_output(tmp_path, capsys):
     assert "kernel_loop" in names
 
 
+def test_telemetry_overhead_digest_with_serve_arm(tmp_path, capsys):
+    """A ``BENCH_telemetry.json`` payload renders the kernel guard rows
+    plus the serve-path obs-overhead line and latency percentiles
+    derived from the captured ``serve.latency_us`` histogram."""
+    payload = {
+        "benchmark": "telemetry_overhead",
+        "trace": {"kind": "loop", "n": 200000},
+        "repeats": 5,
+        "max_off_overhead": 0.0123,
+        "policies": [
+            {"policy": "lru", "off_s": 0.010, "off_control_s": 0.0101,
+             "on_s": 0.015, "off_overhead": 0.0123, "on_cost": 0.5},
+        ],
+        "serve": {
+            "clients": 64, "requests_per_client": 16, "distinct_configs": 8,
+            "repeats": 3, "off_req_per_s": 2000.0,
+            "off_control_req_per_s": 1980.0, "on_req_per_s": 1960.0,
+            "off_overhead": 0.0101, "obs_overhead": 0.0204,
+            "latency_us_hist": {"1500": 98, "30000": 2},
+        },
+    }
+    path = tmp_path / "BENCH_telemetry.json"
+    path.write_text(json.dumps(payload))
+    assert main([str(path)]) == 0
+    text = capsys.readouterr().out
+    assert "telemetry overhead guard" in text
+    assert "lru: off 10.00ms, on 15.00ms" in text
+    assert "max off-path overhead: +1.23%" in text
+    assert "serve path: obs overhead +2.04%" in text
+    assert "off 2000 req/s, on 1960 req/s" in text
+    assert "serve latency (obs on): p50=1.50ms p99=30.00ms (n=100)" in text
+
+
+def test_telemetry_overhead_digest_without_serve_arm(tmp_path, capsys):
+    payload = {"benchmark": "telemetry_overhead",
+               "trace": {"kind": "loop", "n": 1000}, "repeats": 1,
+               "max_off_overhead": 0.0, "policies": []}
+    path = tmp_path / "kernel_only.json"
+    path.write_text(json.dumps(payload))
+    assert main([str(path)]) == 0
+    text = capsys.readouterr().out
+    assert "telemetry overhead guard" in text
+    assert "serve path" not in text
+
+
 def test_cli_reports_unreadable_input(tmp_path, capsys):
     assert main([str(tmp_path / "missing.json")]) == 2
     assert "error:" in capsys.readouterr().err

@@ -20,9 +20,11 @@ import pytest
 from emissary.api import PolicySpec, SimRequest, simulate
 from emissary.engine import CacheConfig
 from emissary.hierarchy import HierarchyConfig
+from emissary.obs import parse_prometheus, sample_value
+from emissary.obs.tracing import SERVER_TRACK_PID, derive_trace_id
 from emissary.results_cache import BudgetedResultsCache, config_key
 from emissary.serve.__main__ import _stream_simulate
-from emissary.serve.loadgen import build_request_mix, fetch_json
+from emissary.serve.loadgen import build_request_mix, fetch_json, fetch_text
 from emissary.serve.server import start_server
 from emissary.serve.service import QueueFullError, SimService
 from emissary.traces import TraceSpec
@@ -407,6 +409,241 @@ class TestHttpServer:
         assert status == 200
         # The disconnected client's simulation still landed in the cache.
         assert service.cache.load(request) == outcome["result"]
+
+
+class TestObservability:
+    """Tracing, metrics, and structured-log surfaces over a live server."""
+
+    def test_trace_propagates_across_process_pool(self, tmp_path):
+        """A telemetry=True request produces one merged trace: server
+        spans on pid 0 and the worker's real-pid spans under the same
+        deterministic trace id."""
+        body = make_request(seed=11).to_dict()
+        body["telemetry"] = True
+
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache", obs_seed=42)
+            server = await start_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                missing = await fetch_json("127.0.0.1", port, "/v1/trace")
+                status, _ = await fetch_json("127.0.0.1", port,
+                                             "/v1/simulate", "POST", body)
+                assert status == 200
+                traced = await fetch_json("127.0.0.1", port, "/v1/trace")
+                summary = await fetch_json("127.0.0.1", port,
+                                           "/v1/trace?summary=1")
+                by_id = await fetch_json(
+                    "127.0.0.1", port,
+                    f"/v1/trace?id={traced[1]['trace_id']}")
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            return missing, traced, summary, by_id
+
+        missing, (status, entry), (_, summary), (_, by_id) = run(scenario())
+        assert missing[0] == 404  # nothing traced before the request
+        assert status == 200
+        # The id is derived from (obs_seed, counter): replayable, no clock.
+        assert entry["trace_id"] == derive_trace_id(42, 0)
+        assert entry["trace"]["otherData"]["trace_id"] == entry["trace_id"]
+        spans = [e for e in entry["trace"]["traceEvents"]
+                 if e.get("ph") == "X"]
+        server_names = {e["name"] for e in spans
+                        if e["pid"] == SERVER_TRACK_PID}
+        assert "serve.request" in server_names
+        assert "serve.admit" in server_names
+        worker_pids = {e["pid"] for e in spans
+                       if e["pid"] != SERVER_TRACK_PID}
+        assert len(worker_pids) == 1  # one worker process track
+        assert entry["worker_pid"] in worker_pids
+        worker_names = {e["name"] for e in spans
+                        if e["pid"] == entry["worker_pid"]}
+        assert any("kernel" in n or "run" in n or "stream" in n
+                   or "decode" in n for n in worker_names), worker_names
+        assert summary["count"] == 1
+        assert "trace" not in summary["traces"][0]
+        assert by_id["trace_id"] == entry["trace_id"]
+
+    def test_untraced_requests_produce_no_trace(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache",
+                                 worker_fn=fake_worker)
+            server = await start_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                status, _ = await fetch_json(
+                    "127.0.0.1", port, "/v1/simulate", "POST",
+                    make_request(seed=1).to_dict())
+                assert status == 200
+                trace = await fetch_json("127.0.0.1", port, "/v1/trace")
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            return trace, service.stats()
+
+        trace, stats = run(scenario())
+        assert trace[0] == 404
+        assert stats["obs"]["enabled"] is True
+        assert stats["obs"]["traces"] == 0
+
+    def test_metrics_exposition_parses_and_matches_stats(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache",
+                                 worker_fn=fake_worker)
+            server = await start_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                for seed in (1, 2):
+                    await fetch_json("127.0.0.1", port, "/v1/simulate",
+                                     "POST", make_request(seed=seed).to_dict())
+                status, text = await fetch_text("127.0.0.1", port,
+                                                "/v1/metrics")
+                _, stats = await fetch_json("127.0.0.1", port, "/v1/stats")
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            return status, text, stats
+
+        status, text, stats = run(scenario())
+        assert status == 200
+        families = parse_prometheus(text)  # the strict golden parser
+        assert sample_value(families, "emissary_serve_requests_total") == \
+            stats["requests"] == 2
+        assert sample_value(families, "emissary_serve_latency_us_count") == 2
+        assert sample_value(families, "emissary_serve_latency_us_bucket",
+                            {"le": "+Inf"}) == 2
+        assert sample_value(families, "emissary_serve_queue_depth") == 0
+        assert sample_value(families,
+                            "emissary_serve_queue_watermark") is not None
+
+    def test_logz_correlates_events_with_trace_ids(self, tmp_path):
+        body = make_request(seed=3).to_dict()
+        body["telemetry"] = True
+
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache",
+                                 worker_fn=fake_worker)
+            server = await start_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                await fetch_json("127.0.0.1", port, "/v1/simulate", "POST",
+                                 body)
+                _, trace = await fetch_json("127.0.0.1", port, "/v1/trace")
+                _, logz = await fetch_json("127.0.0.1", port, "/v1/logz")
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            return trace, logz
+
+        trace, logz = run(scenario())
+        assert logz["enabled"] is True
+        completions = [r for r in logz["records"]
+                       if r.get("event") == "request"]
+        assert completions, logz["records"]
+        assert completions[-1]["trace_id"] == trace["trace_id"]
+        assert completions[-1]["request_key"] == trace["key"]
+
+    def test_results_bit_identical_with_obs_on_and_off(self, tmp_path):
+        request = make_request(seed=21)
+
+        async def one_pass(obs, cache_dir):
+            service = SimService(cache_dir=cache_dir, obs=obs)
+            server = await start_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                status, payload = await fetch_json(
+                    "127.0.0.1", port, "/v1/simulate", "POST",
+                    request.to_dict())
+                assert status == 200
+                trace = await fetch_json("127.0.0.1", port, "/v1/trace")
+                stats = service.stats()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.aclose()
+            return payload, trace, stats
+
+        async def scenario():
+            on = await one_pass(True, tmp_path / "on")
+            off = await one_pass(False, tmp_path / "off")
+            return on, off
+
+        (res_on, _, stats_on), (res_off, trace_off, stats_off) = \
+            run(scenario())
+        wall_clock = ("elapsed_s", "accesses_per_s")
+        outcome_on = {k: v for k, v in res_on["result"].items()
+                      if k not in wall_clock}
+        outcome_off = {k: v for k, v in res_off["result"].items()
+                       if k not in wall_clock}
+        assert outcome_on == outcome_off  # bit-identical simulation outcome
+        assert trace_off[0] == 404  # obs off records nothing
+        assert stats_off["obs"]["enabled"] is False
+        assert stats_off["obs"]["log_records"] == 0
+        assert stats_on["obs"]["enabled"] is True
+
+    def test_spool_cleanup_is_tracked_and_fires(self, tmp_path):
+        """The grace-period spool unlink is a *tracked* timer: it fires
+        after ``spool_grace_s`` even when no streaming relay is reading,
+        and ``aclose`` drains any timer still pending."""
+        request = make_request(seed=4)
+        key = config_key(request)
+
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache",
+                                 worker_fn=fake_worker,
+                                 spool_dir=tmp_path / "spool",
+                                 spool_grace_s=0.05)
+            spool = service.progress_path(key)
+            try:
+                admission = service.admit(request.to_dict())
+                await admission.future
+                assert key in service._spool_timers  # tracked, not fired
+                # Stand-in for the worker's final tick: written before the
+                # grace timer fires, visible to late-polling relays.
+                spool.write_text('{"done": 1}')
+                await asyncio.sleep(0.2)
+                fired = not spool.exists() and key not in service._spool_timers
+
+                # Second pass: aclose before the timer fires must still
+                # remove the spool (the loop dies with the timer pending).
+                spool.write_text('{"done": 2}')
+                service._schedule_spool_cleanup(asyncio.get_running_loop(),
+                                                key, spool)
+            finally:
+                await service.aclose()
+            return fired, spool.exists(), dict(service._spool_timers)
+
+        fired, exists_after_close, timers = run(scenario())
+        assert fired
+        assert not exists_after_close
+        assert timers == {}
+
+    def test_orphan_spools_purged_at_init(self, tmp_path):
+        spool_dir = tmp_path / "spool"
+        spool_dir.mkdir()
+        orphan = spool_dir / "deadbeef.progress.json"
+        orphan.write_text('{"done": 10}')
+        (spool_dir / "unrelated.txt").write_text("keep me")
+
+        async def scenario():
+            service = SimService(cache_dir=tmp_path / "cache",
+                                 worker_fn=fake_worker, spool_dir=spool_dir)
+            try:
+                records = service.log_ring.records()
+            finally:
+                await service.aclose()
+            return records
+
+        records = run(scenario())
+        assert not orphan.exists()
+        assert (spool_dir / "unrelated.txt").exists()
+        evictions = [r for r in records if r.get("event") == "spool_evicted"]
+        assert any("deadbeef" in r["message"] for r in evictions)
 
 
 class TestLoadgenPieces:

@@ -253,6 +253,33 @@ def test_telemetry_to_dict_is_schema_versioned_and_json_safe():
     json.dumps(payload)
 
 
+def test_telemetry_from_dict_round_trips():
+    tel = Telemetry()
+    tel.inc("fills", 3)
+    tel.observe_many("line_hits", [2, 0, 2])
+    tel.spans.append({"name": "kernel_loop", "ts_us": 1.0, "dur_us": 2.0,
+                      "args": {}})
+    decoded = Telemetry.from_dict(json.loads(json.dumps(tel.to_dict())))
+    assert decoded.counters == tel.counters
+    assert decoded.histograms == tel.histograms  # keys back to ints
+    assert decoded.spans == tel.spans
+    assert decoded.to_dict() == tel.to_dict()
+
+
+def test_telemetry_from_dict_wire_discipline():
+    payload = Telemetry().to_dict()
+    # Unknown keys rejected (strict decode, emissary.wire convention).
+    with pytest.raises(ValueError, match="unknown"):
+        Telemetry.from_dict({**payload, "surprise": 1})
+    # A payload declaring a newer schema refuses to half-parse.
+    with pytest.raises(ValueError, match="schema_version"):
+        Telemetry.from_dict({**payload,
+                             "schema_version": TELEMETRY_SCHEMA_VERSION + 1})
+    # A missing version field decodes as version 0 (pre-stamp layout).
+    legacy = {k: v for k, v in payload.items() if k != "schema_version"}
+    assert Telemetry.from_dict(legacy).to_dict() == payload
+
+
 def test_sim_request_telemetry_roundtrip_and_cache_key_compat():
     request = SimRequest(TraceSpec("loop", 100, 0), PolicySpec("lru"),
                          CacheConfig(num_sets=16, ways=2))
