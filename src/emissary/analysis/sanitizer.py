@@ -102,8 +102,9 @@ class Sanitizer:
                     u: Sequence[float] | None,
                     rep: Sequence[bool] | None = None,
                     cost: Sequence[int] | None = None,
-                    extra: Sequence[int] | None = None) -> list[bool]:
-            hits = inner(set_index, tags, u, rep, cost, extra)
+                    extra: Sequence[int] | None = None,
+                    core: Sequence[int] | None = None) -> list[bool]:
+            hits = inner(set_index, tags, u, rep, cost, extra, core)
             self.accesses += len(tags)
             if check is not None:
                 check(set_index, self.accesses)
@@ -122,8 +123,9 @@ class Sanitizer:
                       u: "UniformArray | None" = None,
                       rep: "NDArray[np.bool_] | None" = None,
                       cost: "IndexArray | None" = None,
-                      extra: "IndexArray | None" = None) -> BoolArray:
-            hits = inner(set_idx, tags, u, rep, cost, extra)
+                      extra: "IndexArray | None" = None,
+                      core: "IndexArray | None" = None) -> BoolArray:
+            hits = inner(set_idx, tags, u, rep, cost, extra, core)
             self.accesses += len(tags)
             for s in sorted(set(set_idx.tolist())):
                 self._check_compiled(kernel, s, self.accesses)
@@ -181,6 +183,16 @@ class Sanitizer:
                 raise SanitizerError(
                     f"{name}: {hp} HP lines exceed hp_threshold="
                     f"{kernel.hp_threshold}", set_index=s, access_position=pos)
+            if getattr(kernel, "_partitioned", False):
+                nc = kernel.num_cores
+                prios = kernel._prio[base:base + size].tolist()
+                owner_slice = kernel._owner[base:base + size].tolist()
+                self._check_partition(
+                    name, s, pos, kernel._quota.tolist(),
+                    kernel._hp_by_core[s * nc:(s + 1) * nc].tolist(), hp,
+                    owner_of={w for w, p in enumerate(prios) if p},
+                    owners={w: owner_slice[w] for w in range(size)
+                            if owner_slice[w] >= 0})
 
     def _kernel_checker(
             self, kernel: PolicyKernel) -> Callable[[int, int], None] | None:
@@ -233,6 +245,47 @@ class Sanitizer:
             raise SanitizerError(
                 "emissary: instrumented hit accounting tracks different "
                 "tags than the residency map", set_index=s, access_position=pos)
+        if kernel.partitioned:
+            self._check_partition(
+                "emissary", s, pos, kernel.core_quotas,
+                kernel.hp_by_core[s], hp,
+                owner_of={t for t, p in d.items() if p},
+                owners=kernel._owner[s])
+
+    @staticmethod
+    def _check_partition(name: str, s: int, pos: int, quotas: Sequence[int],
+                         by_core: Sequence[int], hp: int,
+                         owner_of: set, owners: dict) -> None:
+        """Partitioned-budget invariants: per-core counts stay inside
+        their quotas and sum to the set's HP total, and exactly the HP
+        lines carry an owner whose tally matches the per-core counts."""
+        if owners.keys() != owner_of:
+            raise SanitizerError(
+                f"{name}: owner map tracks {sorted(owners)} but the HP "
+                f"lines are {sorted(owner_of)}",
+                set_index=s, access_position=pos)
+        tallied = [0] * len(quotas)
+        for cr in owners.values():
+            if not 0 <= cr < len(quotas):
+                raise SanitizerError(
+                    f"{name}: owner core {cr} outside [0, {len(quotas)})",
+                    set_index=s, access_position=pos)
+            tallied[cr] += 1
+        if list(by_core) != tallied:
+            raise SanitizerError(
+                f"{name}: hp_by_core {list(by_core)} disagrees with the "
+                f"owner map tally {tallied}",
+                set_index=s, access_position=pos)
+        if sum(by_core) != hp:
+            raise SanitizerError(
+                f"{name}: per-core HP counts sum to {sum(by_core)} but "
+                f"{hp} HP lines are resident",
+                set_index=s, access_position=pos)
+        for cr, (count, quota) in enumerate(zip(by_core, quotas)):
+            if not 0 <= count <= quota:
+                raise SanitizerError(
+                    f"{name}: core {cr} holds {count} HP lines outside its "
+                    f"quota [0, {quota}]", set_index=s, access_position=pos)
 
     def _check_srrip(self, kernel: SRRIPKernel, s: int, pos: int) -> None:
         self._check_residency(kernel, "srrip", s, pos)
@@ -283,8 +336,9 @@ class Sanitizer:
             self.checks += 1
 
         def on_fill(set_index: int, way: int, access_index: int, u_i: float,
-                    cost_i: int | None = None) -> None:
-            inner_fill(set_index, way, access_index, u_i, cost_i)
+                    cost_i: int | None = None,
+                    core_i: int | None = None) -> None:
+            inner_fill(set_index, way, access_index, u_i, cost_i, core_i)
             if check is not None:
                 check(set_index, access_index)
             self.checks += 1
@@ -345,6 +399,14 @@ class Sanitizer:
             raise SanitizerError(
                 f"emissary: {hp} HP lines exceed hp_threshold="
                 f"{impl.hp_threshold}", set_index=s, access_position=pos)
+        if impl.partitioned:
+            self._check_partition(
+                "emissary", s, pos, impl.core_quotas,
+                impl.hp_by_core[s], hp,
+                owner_of={w for w in range(impl.ways)
+                          if impl.priority[base + w]},
+                owners={w: impl.owner[base + w] for w in range(impl.ways)
+                        if impl.owner[base + w] >= 0})
 
     def _check_naive_srrip(self, impl: NaiveSRRIP, s: int, pos: int) -> None:
         base = s * impl.ways

@@ -37,7 +37,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from emissary.policies import PARAM_SCHEMAS, REGISTRY
-from emissary.traces import FILE_KIND, FrozenParams, TraceSpec
+from emissary.traces import (FILE_KIND, FrozenParams, InterleaveSpec,
+                             TraceSpec, trace_spec_from_dict)
 from emissary.wire import (WIRE_SCHEMA_KEY, WIRE_SCHEMA_VERSION,
                            check_known_keys, check_wire_version)
 
@@ -121,7 +122,7 @@ class SimRequest:
     entry (and keep every pre-existing key byte-identical).
     """
 
-    trace: TraceSpec
+    trace: TraceSpec | InterleaveSpec
     policy: PolicySpec
     config: Any = None  # CacheConfig (single-level) or HierarchyConfig (L1I -> L2)
     seed: int = 0
@@ -132,8 +133,15 @@ class SimRequest:
         from emissary.engine import CacheConfig
         from emissary.hierarchy import HierarchyConfig
 
-        if not isinstance(self.trace, TraceSpec):
-            raise TypeError(f"trace must be a TraceSpec, got {type(self.trace).__name__}")
+        if not isinstance(self.trace, (TraceSpec, InterleaveSpec)):
+            raise TypeError(f"trace must be a TraceSpec or InterleaveSpec, "
+                            f"got {type(self.trace).__name__}")
+        if isinstance(self.trace, InterleaveSpec) and not isinstance(
+                self.config, HierarchyConfig):
+            raise TypeError(
+                "multi-core traces (InterleaveSpec) describe N L1I "
+                "front-ends sharing one L2, so the config must be a "
+                f"HierarchyConfig, got {type(self.config).__name__}")
         if not isinstance(self.policy, PolicySpec):
             raise TypeError(
                 f"policy must be a PolicySpec, got {type(self.policy).__name__} "
@@ -157,6 +165,12 @@ class SimRequest:
         from emissary.hierarchy import HierarchyConfig
 
         return isinstance(self.config, HierarchyConfig)
+
+    @property
+    def is_multicore(self) -> bool:
+        """True when the trace interleaves multiple cores (the request
+        then runs the N-core shared-L2 engines)."""
+        return isinstance(self.trace, InterleaveSpec)
 
     def to_dict(self) -> dict[str, Any]:
         """Version-stamped canonical encoding — the wire payload *and*
@@ -203,7 +217,7 @@ class SimRequest:
         cfg = d["config"]
         config = (HierarchyConfig.from_dict(cfg) if "l1" in cfg
                   else CacheConfig.from_dict(cfg))
-        return cls(trace=TraceSpec.from_dict(d["trace"]),
+        return cls(trace=trace_spec_from_dict(d["trace"]),
                    policy=PolicySpec.from_dict(d["policy"]),
                    config=config, seed=int(d.get("seed", 0)),
                    telemetry=bool(d.get("telemetry", False)),
@@ -224,11 +238,13 @@ def _progress_chunks(chunks: Any, progress: Any, total: int):
     """Wrap a chunk iterable so ``progress(done, total)`` fires at every
     chunk boundary, *after* the engine has consumed the chunk (the
     callback runs when the engine asks for the next one, so reported
-    work is always completed work)."""
+    work is always completed work).  Chunks are either address arrays or
+    multi-core ``(addresses, core_ids)`` pairs; ``done`` counts accesses
+    either way."""
     done = 0
     for chunk in chunks:
         yield chunk
-        done += len(chunk)
+        done += len(chunk[0]) if isinstance(chunk, tuple) else len(chunk)
         progress(done, total)
 
 
@@ -284,6 +300,9 @@ def simulate(target: Any, policy: PolicySpec | None = None, config: Any = None,
 
     chunks: Any = None
     total = 0
+    multicore = False
+    num_cores = 1
+    core_ids = None
     if isinstance(target, SimRequest):
         if policy is not None or config is not None:
             raise TypeError("simulate(SimRequest) takes no policy/config "
@@ -292,6 +311,9 @@ def simulate(target: Any, policy: PolicySpec | None = None, config: Any = None,
         telemetry = telemetry or target.telemetry
         if engine is None:
             engine = target.backend
+        multicore = target.is_multicore
+        if multicore:
+            num_cores = target.trace.num_cores
         if stream:
             from emissary import trace_io
 
@@ -299,6 +321,8 @@ def simulate(target: Any, policy: PolicySpec | None = None, config: Any = None,
                 chunk_bytes=chunk_bytes or trace_io.DEFAULT_CHUNK_BYTES)
             total = target.trace.n
             addresses = None
+        elif multicore:
+            addresses, core_ids = target.trace.generate()
         else:
             addresses = target.trace.generate()
     else:
@@ -336,5 +360,12 @@ def simulate(target: Any, policy: PolicySpec | None = None, config: Any = None,
                 addresses, chunk_bytes or trace_io.DEFAULT_CHUNK_BYTES)
         if progress is not None:
             chunks = _progress_chunks(chunks, progress, total)
+        if multicore:
+            return eng.simulate_stream_multicore(chunks, spec,
+                                                 num_cores=num_cores,
+                                                 seed=seed)
         return eng.simulate_stream(chunks, spec, seed=seed)
+    if multicore:
+        return eng.run_multicore(addresses, core_ids, spec,
+                                 num_cores=num_cores, seed=seed)
     return eng.run(addresses, spec, seed=seed)

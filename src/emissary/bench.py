@@ -44,7 +44,7 @@ from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
                                 HierarchyReferenceEngine)
 from emissary.policies import POLICY_NAMES
 from emissary.telemetry import Telemetry
-from emissary.traces import AddressArray, TraceSpec
+from emissary.traces import AddressArray, InterleaveSpec, TraceSpec
 
 #: In the hierarchy bench, EMISSARY gates HP candidacy on measured L1I
 #: miss counts (a line must have cost >= 2 demand misses to qualify).
@@ -99,6 +99,44 @@ def bench_hierarchy_policy(addresses: AddressArray, spec: PolicySpec,
                              seed, repeats)
         identical = bool(np.array_equal(batched.l1.hits, reference.l1.hits)
                          and np.array_equal(batched.l2.hits, reference.l2.hits))
+        row["reference"] = reference.to_dict()
+        row["outcomes_identical"] = identical
+        row["speedup"] = reference.elapsed_s / batched.elapsed_s
+    return row
+
+
+def bench_multicore_policy(addresses: AddressArray, core_ids: Any,
+                           num_cores: int, spec: PolicySpec,
+                           config: HierarchyConfig, seed: int,
+                           skip_reference: bool = False,
+                           repeats: int = 3) -> dict[str, Any]:
+    """One N-core shared-L2 bench row: batched throughput, and (unless
+    skipped) bit-identity plus speedup against the per-access multi-core
+    oracle — hit vectors at both levels *and* the per-core fairness
+    breakdown must match."""
+    engine = BatchedHierarchyEngine(config)
+    batched = None
+    for _ in range(max(1, repeats)):
+        result = engine.run_multicore(addresses, core_ids, spec,
+                                      num_cores=num_cores, seed=seed)
+        if batched is None or result.elapsed_s < batched.elapsed_s:
+            batched = result
+    row: dict[str, Any] = {
+        "policy": spec.name,
+        "params": dict(spec.params),
+        "num_cores": num_cores,
+        "batched": batched.to_dict(),
+        "l1_hit_rate": batched.l1_hit_rate,
+        "l2_local_hit_rate": batched.l2_local_hit_rate,
+        "l2_mpki": batched.l2_mpki,
+        "per_core": batched.per_core,
+    }
+    if not skip_reference:
+        reference = HierarchyReferenceEngine(config).run_multicore(
+            addresses, core_ids, spec, num_cores=num_cores, seed=seed)
+        identical = bool(np.array_equal(batched.l1.hits, reference.l1.hits)
+                         and np.array_equal(batched.l2.hits, reference.l2.hits)
+                         and batched.per_core == reference.per_core)
         row["reference"] = reference.to_dict()
         row["outcomes_identical"] = identical
         row["speedup"] = reference.elapsed_s / batched.elapsed_s
@@ -166,7 +204,34 @@ def run_hierarchy_bench(n: int = 1_000_000, policies: list[str] | None = None,
             for p in _bench_specs(policies, hierarchy=True)]
     report = _report_header("hierarchy_throughput", spec)
     report["hierarchy"] = config.to_dict()
-    return _finalize(report, rows, skip_reference)
+    report = _finalize(report, rows, skip_reference)
+
+    # Multi-core arm: two instruction streams interleaved 2:1 into the
+    # shared L2, benched with LRU and partitioned-budget EMISSARY and
+    # (unless skipped) proven bit-identical to the per-access N-core
+    # oracle — including the per-core fairness breakdown.
+    mix = InterleaveSpec(
+        cores=(TraceSpec(trace_kind, n // 2, seed,
+                         {"footprint_lines": footprint}
+                         if trace_kind in ("loop", "shift") else {}),
+               TraceSpec("call", n // 4, seed + 1)),
+        weights=(2, 1))
+    mc_addresses, mc_cores = mix.generate()
+    mc_specs = [PolicySpec("lru"),
+                PolicySpec("emissary", {**EMISSARY_HIERARCHY_PARAMS,
+                                        "hp_budget": "partitioned"})]
+    mc_rows = [bench_multicore_policy(mc_addresses, mc_cores, mix.num_cores,
+                                      p, config, seed, skip_reference, repeats)
+               for p in mc_specs]
+    multicore: dict[str, Any] = {"trace": mix.to_dict(), "policies": mc_rows}
+    if not skip_reference:
+        multicore["all_outcomes_identical"] = all(
+            r["outcomes_identical"] for r in mc_rows)
+        report["all_outcomes_identical"] = (
+            report["all_outcomes_identical"]
+            and multicore["all_outcomes_identical"])
+    report["multicore"] = multicore
+    return report
 
 
 def run_backend_bench(n: int = 1_000_000, policies: list[str] | None = None,

@@ -9,7 +9,7 @@ see :mod:`emissary.compiled.kernels_py` for the proof obligations) and
 one call into native code processes the whole batch over flat per-set
 state arrays.
 
-Three providers implement the same eight kernel entry points:
+Three providers implement the same ten kernel entry points:
 
 ``numba``
     ``@njit`` over ``kernels_py`` (optional dependency; install extra
@@ -58,10 +58,12 @@ from emissary.compiled.kernels_py import (
     STAT_HP_PROMOTIONS,
 )
 from emissary.policies.emissary import (
+    DEFAULT_HP_BUDGET,
     DEFAULT_HP_THRESHOLD,
     DEFAULT_MIN_L1_MISSES,
     DEFAULT_PROB_INV,
     _check_params,
+    core_quotas,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -224,6 +226,8 @@ class CompiledKernel:
         self.needs_rng = policy in ("random", "emissary")
         self.needs_repeat_flags = policy == "srrip"
         self.consumes_cost = policy == "emissary"
+        self.consumes_core = False
+        self._partitioned = False
         self._tel: "Telemetry" | None = None
         self._dispatches = 0
 
@@ -243,12 +247,26 @@ class CompiledKernel:
             self.prob_inv = int(self.params.get("prob_inv", DEFAULT_PROB_INV))
             self.min_l1_misses = int(
                 self.params.get("min_l1_misses", DEFAULT_MIN_L1_MISSES))
+            self.hp_budget = str(
+                self.params.get("hp_budget", DEFAULT_HP_BUDGET))
+            # Execution context injected by the engine, not a policy
+            # parameter (see ``_make_engine_kernel``).
+            self.num_cores = int(self.params.pop("num_cores", 1))
             _check_params(ways, self.hp_threshold, self.prob_inv,
-                          self.min_l1_misses)
+                          self.min_l1_misses, self.hp_budget, self.num_cores)
             self._prio = np.zeros(lines, dtype=np.int64)
             self._hp = np.zeros(num_sets, dtype=np.int64)
             self._stats = np.zeros(NUM_STATS, dtype=np.int64)
             self._dummy_cost = np.zeros(0, dtype=np.int64)
+            self._partitioned = self.hp_budget == "partitioned"
+            if self._partitioned:
+                self.consumes_core = True
+                self._owner = np.full(lines, -1, dtype=np.int64)
+                self._hp_by_core = np.zeros(num_sets * self.num_cores,
+                                            dtype=np.int64)
+                self._quota = np.asarray(
+                    core_quotas(self.hp_threshold, self.num_cores),
+                    dtype=np.int64)
 
     # -- execution --------------------------------------------------------
 
@@ -256,11 +274,12 @@ class CompiledKernel:
                   u: UniformArray | None = None,
                   rep: NDArray[np.bool_] | None = None,
                   cost: IndexArray | None = None,
-                  extra: IndexArray | None = None) -> BoolArray:
+                  extra: IndexArray | None = None,
+                  core: IndexArray | None = None) -> BoolArray:
         """Simulate one batch of accesses **in trace order**.
 
         ``set_idx`` / ``tags`` are aligned per access; ``u`` / ``rep`` /
-        ``cost`` / ``extra`` follow the same contract as
+        ``cost`` / ``extra`` / ``core`` follow the same contract as
         :meth:`~emissary.policies.base.PolicyKernel.run_set`.  Returns
         the per-access hit/miss outcomes.
         """
@@ -289,6 +308,18 @@ class CompiledKernel:
                 k.srrip_run(set_idx, tags,
                             np.ascontiguousarray(rep, dtype=np.uint8),
                             self._tag, self._rrpv, self._size, ways, h8)
+            elif self._partitioned:
+                assert u is not None
+                cost_arr, has_cost = self._cost_args(cost)
+                k.emissary_part_run(set_idx, tags,
+                                    np.ascontiguousarray(u, dtype=np.float64),
+                                    cost_arr, has_cost, self._core_arg(core, m),
+                                    self._tag, self._ts, self._prio,
+                                    self._owner, self._size, self._hp,
+                                    self._hp_by_core, self._quota, self._clock,
+                                    self._stats, ways, self.num_cores,
+                                    self.hp_threshold, self.prob_inv,
+                                    self.min_l1_misses, h8)
             else:
                 assert u is not None
                 cost_arr, has_cost = self._cost_args(cost)
@@ -322,6 +353,17 @@ class CompiledKernel:
                                   extra_arr, self._tag, self._rrpv, self._size,
                                   self._line_hits, self._counters, evbuf,
                                   ways, h8)
+        elif self._partitioned:
+            assert u is not None
+            cost_arr, has_cost = self._cost_args(cost)
+            nev = k.emissary_part_run_tel(
+                set_idx, tags, np.ascontiguousarray(u, dtype=np.float64),
+                cost_arr, has_cost, self._core_arg(core, m), extra_arr,
+                self._tag, self._ts, self._prio, self._owner, self._size,
+                self._hp, self._hp_by_core, self._quota, self._clock,
+                self._line_hits, self._counters, evbuf, self._stats, ways,
+                self.num_cores, self.hp_threshold, self.prob_inv,
+                self.min_l1_misses, h8)
         else:
             assert u is not None
             cost_arr, has_cost = self._cost_args(cost)
@@ -343,6 +385,13 @@ class CompiledKernel:
         if cost is None:
             return self._dummy_cost, 0
         return np.ascontiguousarray(cost, dtype=np.int64), 1
+
+    def _core_arg(self, core: IndexArray | None, m: int) -> IndexArray:
+        """Partitioned kernels index ``core`` unconditionally; a
+        core-less caller (single-core engine) is treated as core 0."""
+        if core is None:
+            return np.zeros(m, dtype=np.int64)
+        return np.ascontiguousarray(core, dtype=np.int64)
 
     # -- telemetry --------------------------------------------------------
 
@@ -385,7 +434,7 @@ class CompiledKernel:
     def extra_stats(self) -> dict[str, Any]:
         if self.policy != "emissary":
             return {}
-        return {
+        stats = {
             "hp_threshold": self.hp_threshold,
             "prob_inv": self.prob_inv,
             "min_l1_misses": self.min_l1_misses,
@@ -393,6 +442,12 @@ class CompiledKernel:
             "hp_evictions": int(self._stats[STAT_HP_EVICTIONS]),
             "hp_lines_final": int(self._hp.sum()),
         }
+        if self._partitioned:
+            stats["hp_budget"] = self.hp_budget
+            stats["hp_lines_final_by_core"] = (
+                self._hp_by_core.reshape(self.num_sets, self.num_cores)
+                .sum(axis=0).tolist())
+        return stats
 
     # -- introspection (sanitizer / tests) --------------------------------
 

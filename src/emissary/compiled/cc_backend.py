@@ -479,6 +479,185 @@ int64_t emissary_emissary_run_tel(
     counters[CTR_HP_PROMOTIONS] += promotions;
     return nev;
 }
+
+int64_t emissary_emissary_part_run(
+        const int64_t *set_idx, const int64_t *tags, int64_t m,
+        const double *u, const int64_t *cost, int64_t has_cost,
+        const int64_t *core, int64_t *tag_arr, int64_t *ts_arr,
+        int64_t *prio_arr, int64_t *owner_arr, int64_t *size_arr,
+        int64_t *hp_counts, int64_t *hp_by_core, const int64_t *quota,
+        int64_t *clock, int64_t *stats, int64_t ways, int64_t num_cores,
+        int64_t hp_threshold, int64_t prob_inv, int64_t min_cost,
+        uint8_t *hits) {
+    int64_t c = clock[0];
+    double p_hit = 1.0 / (double)prob_inv;
+    int64_t promotions = 0, hp_evictions = 0;
+    for (int64_t i = 0; i < m; i++) {
+        int64_t s = set_idx[i];
+        int64_t base = s * ways;
+        int64_t tag = tags[i];
+        int64_t size = size_arr[s];
+        int64_t way = -1;
+        for (int64_t w = 0; w < size; w++) {
+            if (tag_arr[base + w] == tag) { way = w; break; }
+        }
+        if (way >= 0) {
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+            int64_t hp = hp_counts[s];
+            if (size == ways) {
+                int64_t want = hp >= hp_threshold ? 1 : 0;
+                way = -1;
+                int64_t best = 0;
+                for (int64_t w = 0; w < ways; w++) {
+                    if (prio_arr[base + w] == want
+                            && (way < 0 || ts_arr[base + w] < best)) {
+                        best = ts_arr[base + w];
+                        way = w;
+                    }
+                }
+                if (way < 0) {  /* preferred class empty: overall LRU */
+                    way = 0;
+                    best = ts_arr[base];
+                    for (int64_t w = 1; w < ways; w++) {
+                        if (ts_arr[base + w] < best) {
+                            best = ts_arr[base + w];
+                            way = w;
+                        }
+                    }
+                }
+                if (prio_arr[base + way] != 0) {
+                    hp -= 1;
+                    hp_evictions += 1;
+                    hp_by_core[s * num_cores + owner_arr[base + way]] -= 1;
+                    owner_arr[base + way] = -1;
+                }
+            } else {
+                way = size;
+                size_arr[s] = size + 1;
+            }
+            int64_t cr = core[i];
+            if ((has_cost == 0 || cost[i] >= min_cost) && u[i] < p_hit
+                    && hp_by_core[s * num_cores + cr] < quota[cr]) {
+                prio_arr[base + way] = 1;
+                owner_arr[base + way] = cr;
+                hp_by_core[s * num_cores + cr] += 1;
+                hp += 1;
+                promotions += 1;
+            } else {
+                prio_arr[base + way] = 0;
+                owner_arr[base + way] = -1;
+            }
+            hp_counts[s] = hp;
+            tag_arr[base + way] = tag;
+        }
+        ts_arr[base + way] = c;
+        c += 1;
+    }
+    clock[0] = c;
+    stats[STAT_HP_PROMOTIONS] += promotions;
+    stats[STAT_HP_EVICTIONS] += hp_evictions;
+    return 0;
+}
+
+int64_t emissary_emissary_part_run_tel(
+        const int64_t *set_idx, const int64_t *tags, int64_t m,
+        const double *u, const int64_t *cost, int64_t has_cost,
+        const int64_t *core, const int64_t *extra, int64_t *tag_arr,
+        int64_t *ts_arr, int64_t *prio_arr, int64_t *owner_arr,
+        int64_t *size_arr, int64_t *hp_counts, int64_t *hp_by_core,
+        const int64_t *quota, int64_t *clock, int64_t *line_hits,
+        int64_t *counters, int64_t *evbuf, int64_t *stats, int64_t ways,
+        int64_t num_cores, int64_t hp_threshold, int64_t prob_inv,
+        int64_t min_cost, uint8_t *hits) {
+    int64_t c = clock[0];
+    double p_hit = 1.0 / (double)prob_inv;
+    int64_t promotions = 0, hp_evictions = 0;
+    int64_t fills = 0, evictions = 0, dead = 0, lp_evictions = 0, nev = 0;
+    for (int64_t i = 0; i < m; i++) {
+        int64_t s = set_idx[i];
+        int64_t base = s * ways;
+        int64_t tag = tags[i];
+        int64_t size = size_arr[s];
+        int64_t way = -1;
+        for (int64_t w = 0; w < size; w++) {
+            if (tag_arr[base + w] == tag) { way = w; break; }
+        }
+        if (way >= 0) {
+            line_hits[base + way] += 1 + extra[i];
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+            int64_t hp = hp_counts[s];
+            if (size == ways) {
+                int64_t want = hp >= hp_threshold ? 1 : 0;
+                way = -1;
+                int64_t best = 0;
+                for (int64_t w = 0; w < ways; w++) {
+                    if (prio_arr[base + w] == want
+                            && (way < 0 || ts_arr[base + w] < best)) {
+                        best = ts_arr[base + w];
+                        way = w;
+                    }
+                }
+                if (way < 0) {  /* preferred class empty: overall LRU */
+                    way = 0;
+                    best = ts_arr[base];
+                    for (int64_t w = 1; w < ways; w++) {
+                        if (ts_arr[base + w] < best) {
+                            best = ts_arr[base + w];
+                            way = w;
+                        }
+                    }
+                }
+                int64_t victim_hits = line_hits[base + way];
+                evbuf[nev++] = victim_hits;
+                evictions += 1;
+                if (victim_hits == 0) dead += 1;
+                if (prio_arr[base + way] != 0) {
+                    hp -= 1;
+                    hp_evictions += 1;
+                    hp_by_core[s * num_cores + owner_arr[base + way]] -= 1;
+                    owner_arr[base + way] = -1;
+                } else {
+                    lp_evictions += 1;
+                }
+            } else {
+                way = size;
+                size_arr[s] = size + 1;
+            }
+            int64_t cr = core[i];
+            if ((has_cost == 0 || cost[i] >= min_cost) && u[i] < p_hit
+                    && hp_by_core[s * num_cores + cr] < quota[cr]) {
+                prio_arr[base + way] = 1;
+                owner_arr[base + way] = cr;
+                hp_by_core[s * num_cores + cr] += 1;
+                hp += 1;
+                promotions += 1;
+            } else {
+                prio_arr[base + way] = 0;
+                owner_arr[base + way] = -1;
+            }
+            hp_counts[s] = hp;
+            tag_arr[base + way] = tag;
+            line_hits[base + way] = extra[i];
+            fills += 1;
+        }
+        ts_arr[base + way] = c;
+        c += 1;
+    }
+    clock[0] = c;
+    stats[STAT_HP_PROMOTIONS] += promotions;
+    stats[STAT_HP_EVICTIONS] += hp_evictions;
+    counters[CTR_FILLS] += fills;
+    counters[CTR_EVICTIONS] += evictions;
+    counters[CTR_DEAD_ON_FILL] += dead;
+    counters[CTR_EVICTIONS_HP] += hp_evictions;
+    counters[CTR_EVICTIONS_LP] += lp_evictions;
+    counters[CTR_HP_PROMOTIONS] += promotions;
+    return nev;
+}
 """
 
 
@@ -565,7 +744,9 @@ class CcKernels:
                 "emissary_lru_run", "emissary_lru_run_tel",
                 "emissary_random_run", "emissary_random_run_tel",
                 "emissary_srrip_run", "emissary_srrip_run_tel",
-                "emissary_emissary_run", "emissary_emissary_run_tel"):
+                "emissary_emissary_run", "emissary_emissary_run_tel",
+                "emissary_emissary_part_run",
+                "emissary_emissary_part_run_tel"):
             fn = getattr(lib, symbol)
             fn.restype = ctypes.c_int64
             fn.argtypes = None  # all-int marshalling via raw addresses
@@ -650,6 +831,41 @@ class CcKernels:
             _ptr(clock), _ptr(line_hits), _ptr(counters), _ptr(evbuf),
             _ptr(stats), _i64(ways), _i64(hp_threshold), _i64(prob_inv),
             _i64(min_cost), _ptr(hits)))
+
+    def emissary_part_run(self, set_idx: _I64, tags: _I64, u: _F64,
+                          cost: _I64, has_cost: int, core: _I64,
+                          tag_arr: _I64, ts_arr: _I64, prio_arr: _I64,
+                          owner_arr: _I64, size_arr: _I64, hp_counts: _I64,
+                          hp_by_core: _I64, quota: _I64, clock: _I64,
+                          stats: _I64, ways: int, num_cores: int,
+                          hp_threshold: int, prob_inv: int, min_cost: int,
+                          hits: _U8) -> int:
+        return int(self._lib.emissary_emissary_part_run(
+            _ptr(set_idx), _ptr(tags), _i64(len(set_idx)), _ptr(u),
+            _ptr(cost), _i64(has_cost), _ptr(core), _ptr(tag_arr),
+            _ptr(ts_arr), _ptr(prio_arr), _ptr(owner_arr), _ptr(size_arr),
+            _ptr(hp_counts), _ptr(hp_by_core), _ptr(quota), _ptr(clock),
+            _ptr(stats), _i64(ways), _i64(num_cores), _i64(hp_threshold),
+            _i64(prob_inv), _i64(min_cost), _ptr(hits)))
+
+    def emissary_part_run_tel(self, set_idx: _I64, tags: _I64, u: _F64,
+                              cost: _I64, has_cost: int, core: _I64,
+                              extra: _I64, tag_arr: _I64, ts_arr: _I64,
+                              prio_arr: _I64, owner_arr: _I64,
+                              size_arr: _I64, hp_counts: _I64,
+                              hp_by_core: _I64, quota: _I64, clock: _I64,
+                              line_hits: _I64, counters: _I64, evbuf: _I64,
+                              stats: _I64, ways: int, num_cores: int,
+                              hp_threshold: int, prob_inv: int,
+                              min_cost: int, hits: _U8) -> int:
+        return int(self._lib.emissary_emissary_part_run_tel(
+            _ptr(set_idx), _ptr(tags), _i64(len(set_idx)), _ptr(u),
+            _ptr(cost), _i64(has_cost), _ptr(core), _ptr(extra),
+            _ptr(tag_arr), _ptr(ts_arr), _ptr(prio_arr), _ptr(owner_arr),
+            _ptr(size_arr), _ptr(hp_counts), _ptr(hp_by_core), _ptr(quota),
+            _ptr(clock), _ptr(line_hits), _ptr(counters), _ptr(evbuf),
+            _ptr(stats), _i64(ways), _i64(num_cores), _i64(hp_threshold),
+            _i64(prob_inv), _i64(min_cost), _ptr(hits)))
 
 
 def load_kernels() -> CcKernels:

@@ -479,9 +479,182 @@ def emissary_run_tel(set_idx: I64, tags: I64, u: F64, cost: I64,
     return nev
 
 
+def emissary_part_run(set_idx: I64, tags: I64, u: F64, cost: I64,
+                      has_cost: int, core: I64, tag_arr: I64, ts_arr: I64,
+                      prio_arr: I64, owner_arr: I64, size_arr: I64,
+                      hp_counts: I64, hp_by_core: I64, quota: I64,
+                      clock: I64, stats: I64, ways: int, num_cores: int,
+                      hp_threshold: int, prob_inv: int, min_cost: int,
+                      hits: U8) -> int:
+    """Partitioned-budget twin of ``emissary_run``: HP candidacy is
+    gated by the issuing core's per-set sub-budget (``hp_by_core``, a
+    flat num_sets x num_cores array, against ``quota``).  Quotas sum to
+    ``hp_threshold`` and every sub-count is bounded by its quota, so the
+    per-set HP total never exceeds the shared bound and the two-class
+    victim walk is unchanged.  ``owner_arr`` tracks the owning core per
+    (set, way); -1 marks low-priority lines."""
+    c = clock[0]
+    p_hit = 1.0 / prob_inv
+    promotions = 0
+    hp_evictions = 0
+    for i in range(set_idx.shape[0]):
+        s = set_idx[i]
+        base = s * ways
+        tag = tags[i]
+        size = size_arr[s]
+        way = -1
+        for w in range(size):
+            if tag_arr[base + w] == tag:
+                way = w
+                break
+        if way >= 0:
+            hits[i] = 1
+        else:
+            hits[i] = 0
+            hp = hp_counts[s]
+            if size == ways:
+                want = 1 if hp >= hp_threshold else 0
+                way = -1
+                best = np.int64(0)
+                for w in range(ways):
+                    if prio_arr[base + w] == want and \
+                            (way < 0 or ts_arr[base + w] < best):
+                        best = ts_arr[base + w]
+                        way = w
+                if way < 0:  # preferred class empty: overall LRU
+                    way = 0
+                    best = ts_arr[base]
+                    for w in range(1, ways):
+                        if ts_arr[base + w] < best:
+                            best = ts_arr[base + w]
+                            way = w
+                if prio_arr[base + way] != 0:
+                    hp -= 1
+                    hp_evictions += 1
+                    hp_by_core[s * num_cores + owner_arr[base + way]] -= 1
+                    owner_arr[base + way] = -1
+            else:
+                way = size
+                size_arr[s] = size + 1
+            cr = core[i]
+            if (has_cost == 0 or cost[i] >= min_cost) and u[i] < p_hit \
+                    and hp_by_core[s * num_cores + cr] < quota[cr]:
+                prio_arr[base + way] = 1
+                owner_arr[base + way] = cr
+                hp_by_core[s * num_cores + cr] += 1
+                hp += 1
+                promotions += 1
+            else:
+                prio_arr[base + way] = 0
+                owner_arr[base + way] = -1
+            hp_counts[s] = hp
+            tag_arr[base + way] = tag
+        ts_arr[base + way] = c
+        c += 1
+    clock[0] = c
+    stats[STAT_HP_PROMOTIONS] += promotions
+    stats[STAT_HP_EVICTIONS] += hp_evictions
+    return 0
+
+
+def emissary_part_run_tel(set_idx: I64, tags: I64, u: F64, cost: I64,
+                          has_cost: int, core: I64, extra: I64, tag_arr: I64,
+                          ts_arr: I64, prio_arr: I64, owner_arr: I64,
+                          size_arr: I64, hp_counts: I64, hp_by_core: I64,
+                          quota: I64, clock: I64, line_hits: I64,
+                          counters: I64, evbuf: I64, stats: I64, ways: int,
+                          num_cores: int, hp_threshold: int, prob_inv: int,
+                          min_cost: int, hits: U8) -> int:
+    c = clock[0]
+    p_hit = 1.0 / prob_inv
+    promotions = 0
+    hp_evictions = 0
+    fills = 0
+    evictions = 0
+    dead = 0
+    lp_evictions = 0
+    nev = 0
+    for i in range(set_idx.shape[0]):
+        s = set_idx[i]
+        base = s * ways
+        tag = tags[i]
+        size = size_arr[s]
+        way = -1
+        for w in range(size):
+            if tag_arr[base + w] == tag:
+                way = w
+                break
+        if way >= 0:
+            line_hits[base + way] += 1 + extra[i]
+            hits[i] = 1
+        else:
+            hits[i] = 0
+            hp = hp_counts[s]
+            if size == ways:
+                want = 1 if hp >= hp_threshold else 0
+                way = -1
+                best = np.int64(0)
+                for w in range(ways):
+                    if prio_arr[base + w] == want and \
+                            (way < 0 or ts_arr[base + w] < best):
+                        best = ts_arr[base + w]
+                        way = w
+                if way < 0:  # preferred class empty: overall LRU
+                    way = 0
+                    best = ts_arr[base]
+                    for w in range(1, ways):
+                        if ts_arr[base + w] < best:
+                            best = ts_arr[base + w]
+                            way = w
+                victim_hits = line_hits[base + way]
+                evbuf[nev] = victim_hits
+                nev += 1
+                evictions += 1
+                if victim_hits == 0:
+                    dead += 1
+                if prio_arr[base + way] != 0:
+                    hp -= 1
+                    hp_evictions += 1
+                    hp_by_core[s * num_cores + owner_arr[base + way]] -= 1
+                    owner_arr[base + way] = -1
+                else:
+                    lp_evictions += 1
+            else:
+                way = size
+                size_arr[s] = size + 1
+            cr = core[i]
+            if (has_cost == 0 or cost[i] >= min_cost) and u[i] < p_hit \
+                    and hp_by_core[s * num_cores + cr] < quota[cr]:
+                prio_arr[base + way] = 1
+                owner_arr[base + way] = cr
+                hp_by_core[s * num_cores + cr] += 1
+                hp += 1
+                promotions += 1
+            else:
+                prio_arr[base + way] = 0
+                owner_arr[base + way] = -1
+            hp_counts[s] = hp
+            tag_arr[base + way] = tag
+            line_hits[base + way] = extra[i]
+            fills += 1
+        ts_arr[base + way] = c
+        c += 1
+    clock[0] = c
+    stats[STAT_HP_PROMOTIONS] += promotions
+    stats[STAT_HP_EVICTIONS] += hp_evictions
+    counters[CTR_FILLS] += fills
+    counters[CTR_EVICTIONS] += evictions
+    counters[CTR_DEAD_ON_FILL] += dead
+    counters[CTR_EVICTIONS_HP] += hp_evictions
+    counters[CTR_EVICTIONS_LP] += lp_evictions
+    counters[CTR_HP_PROMOTIONS] += promotions
+    return nev
+
+
 KERNEL_NAMES = (
     "lru_run", "lru_run_tel",
     "random_run", "random_run_tel",
     "srrip_run", "srrip_run_tel",
     "emissary_run", "emissary_run_tel",
+    "emissary_part_run", "emissary_part_run_tel",
 )

@@ -68,7 +68,8 @@ KERNEL_BACKENDS = ("python", "compiled")
 
 def _make_engine_kernel(spec: PolicySpec, config: "CacheConfig",
                         kernel_backend: str,
-                        compiled_provider: str | None
+                        compiled_provider: str | None,
+                        num_cores: int = 1
                         ) -> "PolicyKernel | CompiledKernel":
     """Build the policy kernel for one run.
 
@@ -79,12 +80,19 @@ def _make_engine_kernel(spec: PolicySpec, config: "CacheConfig",
     or a C compiler.  A pinned ``compiled_provider`` turns that fallback
     into a hard :class:`~emissary.compiled.CompiledUnavailableError` —
     benchmarks must fail loudly rather than silently time Python.
+
+    ``num_cores`` is the engine's execution context (how many front-ends
+    feed this cache), not a policy parameter — it is injected into the
+    kernel rather than carried in ``spec.params`` so multi-core and solo
+    requests keep their natural results-cache keys.  Only EMISSARY's
+    partitioned HP budget consumes it.
     """
+    extra = {"num_cores": num_cores} if spec.name == "emissary" else {}
     if kernel_backend == "compiled":
         try:
             return make_compiled_kernel(
                 spec.name, config.num_sets, config.ways,
-                provider=compiled_provider, **spec.params)
+                provider=compiled_provider, **spec.params, **extra)
         except CompiledUnavailableError as exc:
             if compiled_provider is not None:
                 raise
@@ -96,7 +104,8 @@ def _make_engine_kernel(spec: PolicySpec, config: "CacheConfig",
     elif kernel_backend != "python":
         raise ValueError(f"unknown kernel_backend {kernel_backend!r} "
                          f"(expected one of {KERNEL_BACKENDS})")
-    return make_kernel(spec.name, config.num_sets, config.ways, **spec.params)
+    return make_kernel(spec.name, config.num_sets, config.ways,
+                       **spec.params, **extra)
 
 
 def _is_pow2(x: int) -> bool:
@@ -265,9 +274,14 @@ class BatchedEngine:
                  telemetry: Telemetry | None = None,
                  sanitizer: "Sanitizer" | None = None,
                  kernel_backend: str = "python",
-                 compiled_provider: str | None = None) -> None:
+                 compiled_provider: str | None = None,
+                 num_cores: int = 1) -> None:
         self.config = config or CacheConfig()
         self.collapse_runs = collapse_runs
+        #: How many front-ends feed this cache (execution context, not a
+        #: policy parameter).  Injected into core-aware kernels; 1 for
+        #: the ordinary single-stream engine.
+        self.num_cores = num_cores
         #: Optional :class:`~emissary.telemetry.Telemetry` registry; when
         #: None (the default) the run takes the uninstrumented fast path.
         self.telemetry = telemetry
@@ -285,7 +299,8 @@ class BatchedEngine:
         self.compiled_provider = compiled_provider
 
     def run(self, addresses: AddressArray, policy: PolicySpec, seed: int = 0,
-            keep_hits: bool = True, cost: IndexArray | None = None) -> SimResult:
+            keep_hits: bool = True, cost: IndexArray | None = None,
+            core: IndexArray | None = None) -> SimResult:
         spec = require_policy_spec(policy, caller="BatchedEngine.run")
         config = self.config
         tel = self.telemetry
@@ -298,7 +313,8 @@ class BatchedEngine:
             u = _uniforms(n, spec.name, seed)
 
         kernel = _make_engine_kernel(spec, config, self.kernel_backend,
-                                     self.compiled_provider)
+                                     self.compiled_provider,
+                                     num_cores=self.num_cores)
         if tel is not None:
             kernel.attach_telemetry(tel)
         if self.sanitizer is not None:
@@ -311,6 +327,13 @@ class BatchedEngine:
                 cost = None  # cost-blind policy: skip the slicing work
             else:
                 cost = np.ascontiguousarray(cost, dtype=np.int64)
+        if core is not None:
+            if len(core) != n:
+                raise ValueError(f"core has {len(core)} entries for {n} accesses")
+            if not getattr(kernel, "consumes_core", False):
+                core = None  # core-blind policy: skip the slicing work
+            else:
+                core = np.ascontiguousarray(core, dtype=np.int64)
 
         work_rep: NDArray[np.bool_] | None = None
         work_extra: IndexArray | None = None
@@ -323,6 +346,7 @@ class BatchedEngine:
                 work_lines = lines[edge_idx]
                 work_u = u[edge_idx] if u is not None else None
                 work_cost = cost[edge_idx] if cost is not None else None
+                work_core = core[edge_idx] if core is not None else None
                 if kernel.needs_repeat_flags or tel is not None:
                     # Run length per edge access; > 1 means the line is
                     # re-referenced immediately after (the collapsed hits).
@@ -338,6 +362,7 @@ class BatchedEngine:
                 work_lines = lines
                 work_u = u
                 work_cost = cost
+                work_core = core
                 if kernel.needs_repeat_flags:
                     work_rep = np.zeros(len(work_lines), dtype=bool)
                 if tel is not None:
@@ -354,7 +379,7 @@ class BatchedEngine:
                 tags = (work_lines
                         >> np.uint64(config.set_bits)).astype(np.int64)
                 work_hits = kernel.run_batch(set_idx, tags, work_u, work_rep,
-                                             work_cost, work_extra)
+                                             work_cost, work_extra, work_core)
                 if tel is not None:
                     kernel.telemetry_finalize()
             if edge_idx is None:
@@ -375,6 +400,7 @@ class BatchedEngine:
             sorted_u = work_u[order] if work_u is not None else None
             sorted_rep = work_rep[order] if work_rep is not None else None
             sorted_cost = work_cost[order] if work_cost is not None else None
+            sorted_core = work_core[order] if work_core is not None else None
             sorted_extra = work_extra[order] if work_extra is not None else None
 
             # bounds[s] .. bounds[s + 1] is set s's contiguous chunk.
@@ -391,11 +417,12 @@ class BatchedEngine:
                 chunk_u = sorted_u[lo:hi].tolist() if sorted_u is not None else None
                 chunk_rep = sorted_rep[lo:hi].tolist() if sorted_rep is not None else None
                 chunk_cost = sorted_cost[lo:hi].tolist() if sorted_cost is not None else None
+                chunk_core = sorted_core[lo:hi].tolist() if sorted_core is not None else None
                 chunk_extra = (sorted_extra[lo:hi].tolist()
                                if sorted_extra is not None else None)
                 sorted_hits[lo:hi] = kernel.run_set(s, sorted_tags[lo:hi].tolist(),
                                                     chunk_u, chunk_rep, chunk_cost,
-                                                    chunk_extra)
+                                                    chunk_extra, chunk_core)
             if tel is not None:
                 kernel.telemetry_finalize()
 
@@ -484,8 +511,8 @@ class EngineStream:
     RRPV 0) and its folded-hit count are only knowable once its MRU run
     *ends*, which may be several chunks later.  The stream therefore
     holds back each chunk's trailing run as a compressed carry
-    ``(line, u, cost, length)`` — O(1) memory however long the run —
-    and dispatches it the moment a different line arrives (or the
+    ``(line, u, cost, core, length)`` — O(1) memory however long the
+    run — and dispatches it the moment a different line arrives (or the
     stream is flushed).  Consequently :meth:`feed` returns outcomes for
     the accesses it *resolved*, which can trail the accesses fed so far
     by one run.
@@ -501,7 +528,8 @@ class EngineStream:
         self.telemetry = engine.telemetry
         self._span = span_factory(self.telemetry)
         self.kernel = _make_engine_kernel(spec, config, engine.kernel_backend,
-                                          engine.compiled_provider)
+                                          engine.compiled_provider,
+                                          num_cores=engine.num_cores)
         if self.telemetry is not None:
             self.kernel.attach_telemetry(self.telemetry)
         self.sanitizer = engine.sanitizer
@@ -515,14 +543,23 @@ class EngineStream:
         self._hit_count = 0
         self._hit_chunks: list[BoolArray] = []
         self._chunk_index = 0
-        #: Trailing unresolved MRU run: (line, u, cost, length) or None.
-        self._pending: tuple[int, float | None, int | None, int] | None = None
+        #: Trailing unresolved MRU run: (line, u, cost, core, length) or None.
+        self._pending: tuple[int, float | None, int | None, int | None,
+                             int] | None = None
+        #: Core ids of the misses returned by the latest ``feed``/``flush``
+        #: (aligned with its ``miss_lines``), or None for core-blind runs.
+        #: Per-chunk attribution can't be read off the *fed* cores because
+        #: resolved accesses trail fed accesses by the pending run.
+        self.last_miss_cores: IndexArray | None = None
+        self._track_cores = False
         self._flushed = False
         self._start = time.perf_counter()
 
     def feed(self, addresses: AddressArray,
-             cost: IndexArray | None = None) -> tuple[BoolArray, AddressArray]:
-        """Process the next chunk of addresses (with optional per-access cost).
+             cost: IndexArray | None = None,
+             core: IndexArray | None = None) -> tuple[BoolArray, AddressArray]:
+        """Process the next chunk of addresses (with optional per-access
+        cost and issuing-core ids).
 
         Returns ``(hits, miss_lines)`` for the accesses *resolved* by
         this call: ``hits`` is their hit/miss outcomes in access order
@@ -542,6 +579,18 @@ class EngineStream:
                 cost = np.ascontiguousarray(cost, dtype=np.int64)
             else:
                 cost = None
+        if core is not None:
+            if len(core) != k_total:
+                raise ValueError(f"core has {len(core)} entries for "
+                                 f"{k_total} accesses")
+            # Kept even for core-blind kernels: ``last_miss_cores``
+            # attribution is an engine concern, not a policy one.
+            core = np.ascontiguousarray(core, dtype=np.int64)
+            self._track_cores = True
+        if self._track_cores:
+            # Reset every call so early returns (empty chunk, run
+            # continuation) never leave a stale attribution array.
+            self.last_miss_cores = np.zeros(0, dtype=np.int64)
         u_chunk = self._rng.random(k_total) if self._rng is not None else None
         self.n += k_total
         index = self._chunk_index
@@ -553,16 +602,17 @@ class EngineStream:
 
             if not self.collapse_runs:
                 # Every access is its own length-1 run; nothing is carried.
-                return self._dispatch(lines, u_chunk, cost,
+                return self._dispatch(lines, u_chunk, cost, core,
                                       np.ones(k_total, dtype=np.int64))
 
             pending = self._pending
             if pending is not None:
-                pline, pu, pcost, pcount = pending
+                pline, pu, pcost, pcore, pcount = pending
                 differs = np.flatnonzero(lines != np.uint64(pline))
                 if differs.size == 0:
                     # Whole chunk continues the carried run.
-                    self._pending = (pline, pu, pcost, pcount + k_total)
+                    self._pending = (pline, pu, pcost, pcore,
+                                     pcount + k_total)
                     return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.uint64)
                 k = int(differs[0])
                 pcount += k
@@ -580,6 +630,7 @@ class EngineStream:
             run_lines = lines[inner]
             run_u = u_chunk[inner] if u_chunk is not None else None
             run_cost = cost[inner] if cost is not None else None
+            run_core = core[inner] if core is not None else None
             run_lengths = np.diff(edge_pos).astype(np.int64)
             if pending is not None:
                 run_lines = np.concatenate(
@@ -592,42 +643,55 @@ class EngineStream:
                 if run_cost is not None:
                     run_cost = np.concatenate(
                         [np.array([pcost], dtype=np.int64), run_cost])
+                if run_core is not None:
+                    run_core = np.concatenate(
+                        [np.array([pcore], dtype=np.int64), run_core])
             self._pending = (
                 int(lines[last_edge]),
                 float(u_chunk[last_edge]) if u_chunk is not None else None,
                 int(cost[last_edge]) if cost is not None else None,
+                int(core[last_edge]) if core is not None else None,
                 k_total - last_edge,
             )
-            return self._dispatch(run_lines, run_u, run_cost, run_lengths)
+            return self._dispatch(run_lines, run_u, run_cost, run_core,
+                                  run_lengths)
 
     def _dispatch(self, run_lines: AddressArray, run_u: UniformArray | None,
                   run_cost: IndexArray | None,
+                  run_core: IndexArray | None,
                   run_lengths: IndexArray) -> tuple[BoolArray, AddressArray]:
         """Run the resolved runs' edge accesses through the kernel
         (set-major, exactly like the one-shot path) and expand outcomes
         back to per-access hits."""
         m = len(run_lines)
         if m == 0:
+            if run_core is not None:
+                self.last_miss_cores = np.zeros(0, dtype=np.int64)
             return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.uint64)
         config = self.config
         kernel = self.kernel
         tel = self.telemetry
         rep = run_lengths > 1 if kernel.needs_repeat_flags else None
         extra = run_lengths - 1 if tel is not None else None
+        # Core-blind kernels never see the array, but miss attribution
+        # (``last_miss_cores``) still tracks it.
+        kern_core = (run_core
+                     if getattr(kernel, "consumes_core", False) else None)
 
         set_idx = (run_lines & np.uint64(config.num_sets - 1)).astype(np.int64)
         tags = (run_lines >> np.uint64(config.set_bits)).astype(np.int64)
         if isinstance(kernel, CompiledKernel):
             # Trace-order native dispatch: no set-major sort needed.
             edge_hits = kernel.run_batch(set_idx, tags, run_u, rep,
-                                         run_cost, extra)
-            return self._expand(run_lines, run_lengths, edge_hits)
+                                         run_cost, extra, kern_core)
+            return self._expand(run_lines, run_core, run_lengths, edge_hits)
         order = np.argsort(set_idx, kind="stable")
         sorted_sets = set_idx[order]
         sorted_tags = tags[order]
         sorted_u = run_u[order] if run_u is not None else None
         sorted_rep = rep[order] if rep is not None else None
         sorted_cost = run_cost[order] if run_cost is not None else None
+        sorted_core = kern_core[order] if kern_core is not None else None
         sorted_extra = extra[order] if extra is not None else None
 
         # Only the sets this batch actually touches (chunks are usually
@@ -644,16 +708,19 @@ class EngineStream:
                          if sorted_rep is not None else None)
             chunk_cost = (sorted_cost[lo:hi].tolist()
                           if sorted_cost is not None else None)
+            chunk_core = (sorted_core[lo:hi].tolist()
+                          if sorted_core is not None else None)
             chunk_extra = (sorted_extra[lo:hi].tolist()
                            if sorted_extra is not None else None)
             sorted_hits[lo:hi] = kernel.run_set(s, sorted_tags[lo:hi].tolist(),
                                                 chunk_u, chunk_rep, chunk_cost,
-                                                chunk_extra)
+                                                chunk_extra, chunk_core)
         edge_hits = np.empty(m, dtype=bool)
         edge_hits[order] = sorted_hits
-        return self._expand(run_lines, run_lengths, edge_hits)
+        return self._expand(run_lines, run_core, run_lengths, edge_hits)
 
-    def _expand(self, run_lines: AddressArray, run_lengths: IndexArray,
+    def _expand(self, run_lines: AddressArray, run_core: IndexArray | None,
+                run_lengths: IndexArray,
                 edge_hits: BoolArray) -> tuple[BoolArray, AddressArray]:
         """Expand run outcomes to per-access hits: each run contributes
         its edge outcome followed by (length - 1) collapsed hits."""
@@ -665,6 +732,8 @@ class EngineStream:
         self._hit_count += int(hits.sum())
         if self.keep_hits:
             self._hit_chunks.append(hits)
+        if run_core is not None:
+            self.last_miss_cores = run_core[~edge_hits]
         return hits, run_lines[~edge_hits]
 
     def flush(self) -> tuple[BoolArray, AddressArray]:
@@ -673,15 +742,18 @@ class EngineStream:
         if self._flushed:
             raise RuntimeError("stream already flushed")
         self._flushed = True
+        if self._track_cores:
+            self.last_miss_cores = np.zeros(0, dtype=np.int64)
         pending = self._pending
         self._pending = None
         if pending is None:
             return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.uint64)
-        pline, pu, pcost, pcount = pending
+        pline, pu, pcost, pcore, pcount = pending
         return self._dispatch(
             np.array([pline], dtype=np.uint64),
             np.array([pu], dtype=np.float64) if pu is not None else None,
             np.array([pcost], dtype=np.int64) if pcost is not None else None,
+            np.array([pcore], dtype=np.int64) if pcore is not None else None,
             np.array([pcount], dtype=np.int64))
 
     def finish(self) -> SimResult:
@@ -728,13 +800,16 @@ class ReferenceEngine:
 
     def __init__(self, config: CacheConfig | None = None,
                  telemetry: Telemetry | None = None,
-                 sanitizer: "Sanitizer" | None = None) -> None:
+                 sanitizer: "Sanitizer" | None = None,
+                 num_cores: int = 1) -> None:
         self.config = config or CacheConfig()
         self.telemetry = telemetry
         self.sanitizer = sanitizer
+        self.num_cores = num_cores
 
     def run(self, addresses: AddressArray, policy: PolicySpec, seed: int = 0,
-            keep_hits: bool = True, cost: IndexArray | None = None) -> SimResult:
+            keep_hits: bool = True, cost: IndexArray | None = None,
+            core: IndexArray | None = None) -> SimResult:
         spec = require_policy_spec(policy, caller="ReferenceEngine.run")
         config = self.config
         tel = self.telemetry
@@ -744,13 +819,18 @@ class ReferenceEngine:
         set_mask = num_sets - 1
         if cost is not None and len(cost) != n:
             raise ValueError(f"cost has {len(cost)} entries for {n} accesses")
+        if core is not None and len(core) != n:
+            raise ValueError(f"core has {len(core)} entries for {n} accesses")
 
         start = time.perf_counter()
         u_arr = _uniforms(n, spec.name, seed)
         u_list = u_arr.tolist() if u_arr is not None else None
         cost_list = (np.asarray(cost, dtype=np.int64).tolist()
                      if cost is not None else None)
-        impl = make_naive(spec.name, num_sets, ways, **spec.params)
+        core_list = (np.asarray(core, dtype=np.int64).tolist()
+                     if core is not None else None)
+        extra = {"num_cores": self.num_cores} if spec.name == "emissary" else {}
+        impl = make_naive(spec.name, num_sets, ways, **spec.params, **extra)
         if self.sanitizer is not None:
             self.sanitizer.attach_naive(impl)
         tag_table = [[None] * ways for _ in range(num_sets)]
@@ -794,7 +874,8 @@ class ReferenceEngine:
                             dead += 1
                 set_tags[way] = tag
                 impl.on_fill(s, way, i, u_i,
-                             cost_list[i] if cost_list is not None else None)
+                             cost_list[i] if cost_list is not None else None,
+                             core_list[i] if core_list is not None else None)
                 if track:
                     line_hits[s * ways + way] = 0
                     fills += 1

@@ -32,7 +32,8 @@ PARAM_SCHEMAS: dict[str, dict[str, type]] = {
     "lru": {},
     "random": {},
     "srrip": {},
-    "emissary": {"hp_threshold": int, "prob_inv": int, "min_l1_misses": int},
+    "emissary": {"hp_threshold": int, "prob_inv": int, "min_l1_misses": int,
+                 "hp_budget": str},
 }
 
 

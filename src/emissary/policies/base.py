@@ -49,6 +49,10 @@ class PolicyKernel:
     #: L1I miss count for the access's line, supplied by the hierarchy
     #: engine).  Cost-blind kernels never receive the array.
     consumes_cost: bool = False
+    #: True if the kernel uses the per-access core id (which L1I
+    #: front-end issued the access, supplied by the multi-core hierarchy
+    #: engine).  Core-blind kernels never receive the array.
+    consumes_core: bool = False
 
     def __init__(self, num_sets: int, ways: int, **params: Any) -> None:
         self.num_sets = num_sets
@@ -59,7 +63,8 @@ class PolicyKernel:
                 u: Sequence[float] | None,
                 rep: Sequence[bool] | None = None,
                 cost: Sequence[int] | None = None,
-                extra: Sequence[int] | None = None) -> list[bool]:
+                extra: Sequence[int] | None = None,
+                core: Sequence[int] | None = None) -> list[bool]:
         """Simulate ``tags`` (in access order) against set ``set_index``.
 
         ``u`` is the per-access uniform slice aligned with ``tags`` (None
@@ -70,7 +75,9 @@ class PolicyKernel:
         in the L1I -> L2 hierarchy, the line's running L1I miss count.
         ``extra`` is only supplied to instrumented kernels: the number of
         MRU-collapsed hits folded into each access, so per-line hit
-        accounting stays exact under run collapsing.
+        accounting stays exact under run collapsing.  ``core`` (only when
+        ``consumes_core``) is the per-access issuing core id; None means
+        a single-core caller (treated as core 0).
         Returns one hit/miss bool per access.
         """
         raise NotImplementedError
@@ -90,7 +97,8 @@ class PolicyKernel:
                      u: Sequence[float] | None,
                      rep: Sequence[bool] | None = None,
                      cost: Sequence[int] | None = None,
-                     extra: Sequence[int] | None = None) -> list[bool]:
+                     extra: Sequence[int] | None = None,
+                     core: Sequence[int] | None = None) -> list[bool]:
         raise NotImplementedError(
             f"{type(self).__name__} has no instrumented loop")
 
@@ -128,9 +136,11 @@ class NaivePolicy:
         """Victim bookkeeping before the new line is installed."""
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
-                cost_i: int | None = None) -> None:
+                cost_i: int | None = None,
+                core_i: int | None = None) -> None:
         """Install bookkeeping.  ``cost_i`` is the access's cost signal
-        (line's running L1I miss count) or None when unmeasured."""
+        (line's running L1I miss count) or None when unmeasured;
+        ``core_i`` the issuing core id or None for single-core callers."""
         raise NotImplementedError
 
     def telemetry_finalize(self, telemetry: "Telemetry", prefix: str = "") -> None:

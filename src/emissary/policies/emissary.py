@@ -46,10 +46,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 DEFAULT_HP_THRESHOLD = 4
 DEFAULT_PROB_INV = 32
 DEFAULT_MIN_L1_MISSES = 1
+DEFAULT_HP_BUDGET = "shared"
+
+#: HP-budget sharing modes under a multi-core shared L2.  ``shared`` is
+#: the paper's policy verbatim: one per-set pool of ``hp_threshold``
+#: protected ways contended by every core.  ``partitioned`` splits the
+#: threshold into per-core sub-budgets (round-robin remainder), so no
+#: core can starve another's protection; victim selection is unchanged
+#: (two-class over the *total* HP population).
+HP_BUDGET_MODES = ("shared", "partitioned")
 
 
 def _check_params(ways: int, hp_threshold: int, prob_inv: int,
-                  min_l1_misses: int) -> None:
+                  min_l1_misses: int, hp_budget: str = DEFAULT_HP_BUDGET,
+                  num_cores: int = 1) -> None:
     if hp_threshold < 0:
         raise ValueError("hp_threshold must be >= 0")
     if hp_threshold > ways:
@@ -58,6 +68,19 @@ def _check_params(ways: int, hp_threshold: int, prob_inv: int,
         raise ValueError("prob_inv must be >= 1")
     if min_l1_misses < 1:
         raise ValueError("min_l1_misses must be >= 1")
+    if hp_budget not in HP_BUDGET_MODES:
+        raise ValueError(f"hp_budget must be one of {HP_BUDGET_MODES}, "
+                         f"got {hp_budget!r}")
+    if num_cores < 1:
+        raise ValueError("num_cores must be >= 1")
+
+
+def core_quotas(hp_threshold: int, num_cores: int) -> list[int]:
+    """Per-core HP sub-budgets for the partitioned mode: the threshold
+    split as evenly as possible (lower core ids absorb the remainder),
+    so the quotas always sum to exactly ``hp_threshold``."""
+    base, rem = divmod(hp_threshold, num_cores)
+    return [base + (1 if c < rem else 0) for c in range(num_cores)]
 
 
 class EmissaryKernel(PolicyKernel):
@@ -69,12 +92,17 @@ class EmissaryKernel(PolicyKernel):
                  hp_threshold: int = DEFAULT_HP_THRESHOLD,
                  prob_inv: int = DEFAULT_PROB_INV,
                  min_l1_misses: int = DEFAULT_MIN_L1_MISSES,
+                 hp_budget: str = DEFAULT_HP_BUDGET,
+                 num_cores: int = 1,
                  **params: Any) -> None:
         super().__init__(num_sets, ways, **params)
-        _check_params(ways, hp_threshold, prob_inv, min_l1_misses)
+        _check_params(ways, hp_threshold, prob_inv, min_l1_misses,
+                      hp_budget, num_cores)
         self.hp_threshold = hp_threshold
         self.prob_inv = prob_inv
         self.min_l1_misses = min_l1_misses
+        self.hp_budget = hp_budget
+        self.num_cores = num_cores
         # One insertion-ordered dict per set mapping tag -> priority bit.
         # A hit pops and reinserts, so dict order is recency order (front =
         # LRU) and the two-class victim search walks it oldest-first.
@@ -82,9 +110,24 @@ class EmissaryKernel(PolicyKernel):
         self.hp_counts: list[int] = [0] * num_sets
         self.hp_promotions = 0
         self.hp_evictions = 0
+        self.partitioned = hp_budget == "partitioned"
+        if self.partitioned:
+            # Partitioned candidacy needs the issuing core; priority bits
+            # stay 0/1 (victim search and all invariants are unchanged) —
+            # ownership lives in a parallel per-set tag -> core dict.
+            self.consumes_core = True
+            self.core_quotas = core_quotas(hp_threshold, num_cores)
+            self._owner: list[dict[int, int]] = [{} for _ in range(num_sets)]
+            self.hp_by_core: list[list[int]] = [[0] * num_cores
+                                                for _ in range(num_sets)]
+            # The shared-mode hot loop stays untouched; partitioned runs
+            # dispatch through their own twin.
+            self.run_set = self._run_set_part  # type: ignore[method-assign]
 
     def attach_telemetry(self, telemetry: "Telemetry") -> None:
         super().attach_telemetry(telemetry)
+        if self.partitioned:
+            self.run_set = self._run_set_part_tel  # type: ignore[method-assign]
         # Per-set tag -> hits-since-fill, parallel to the priority dicts.
         self._hits_of: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
 
@@ -92,7 +135,8 @@ class EmissaryKernel(PolicyKernel):
                 u: Sequence[float] | None,
                 rep: Sequence[bool] | None = None,
                 cost: Sequence[int] | None = None,
-                extra: Sequence[int] | None = None) -> list[bool]:
+                extra: Sequence[int] | None = None,
+                core: Sequence[int] | None = None) -> list[bool]:
         assert u is not None
         d = self._sets[set_index]
         ways = self.ways
@@ -144,7 +188,8 @@ class EmissaryKernel(PolicyKernel):
                      u: Sequence[float] | None,
                      rep: Sequence[bool] | None = None,
                      cost: Sequence[int] | None = None,
-                     extra: Sequence[int] | None = None) -> list[bool]:
+                     extra: Sequence[int] | None = None,
+                     core: Sequence[int] | None = None) -> list[bool]:
         """Instrumented twin of ``run_set``: identical two-class victim
         search, plus the paper's diagnostic accounting (eviction split by
         priority class, promotions, demotions, dead-on-fill lines)."""
@@ -216,6 +261,154 @@ class EmissaryKernel(PolicyKernel):
         tel.inc("hp_demotions", hp_evictions)
         return hits
 
+    def _run_set_part(self, set_index: int, tags: list[int],
+                      u: Sequence[float] | None,
+                      rep: Sequence[bool] | None = None,
+                      cost: Sequence[int] | None = None,
+                      extra: Sequence[int] | None = None,
+                      core: Sequence[int] | None = None) -> list[bool]:
+        """Partitioned-budget twin of ``run_set``: candidacy is gated by
+        the issuing core's sub-budget (``hp_by_core < quota``) instead of
+        the shared pool.  Quotas sum to ``hp_threshold``, so the per-set
+        total can never exceed the shared bound and victim selection is
+        byte-for-byte the same two-class walk."""
+        assert u is not None
+        d = self._sets[set_index]
+        owner = self._owner[set_index]
+        hp_by_core = self.hp_by_core[set_index]
+        quota = self.core_quotas
+        ways = self.ways
+        threshold = self.hp_threshold
+        min_cost = self.min_l1_misses
+        p_hit = 1.0 / self.prob_inv
+        hp = self.hp_counts[set_index]
+        promotions = 0
+        hp_evictions = 0
+        hits: list[bool] = []
+        hit_append = hits.append
+        pop = d.pop
+        if cost is None:
+            cost = (min_cost,) * len(tags)
+        if core is None:
+            core = (0,) * len(tags)
+        for tag, u_i, c_i, cr in zip(tags, u, cost, core):
+            prio = pop(tag, -1)
+            if prio >= 0:
+                d[tag] = prio  # reinsert at the MRU end
+                hit_append(True)
+            else:
+                if len(d) == ways:
+                    want = 1 if hp >= threshold else 0
+                    victim = -1
+                    for vt, vp in d.items():
+                        if vp == want:
+                            victim = vt
+                            break
+                    if victim < 0:
+                        victim = next(iter(d))  # preferred class empty: overall LRU
+                    if pop(victim):
+                        hp -= 1
+                        hp_evictions += 1
+                        hp_by_core[owner.pop(victim)] -= 1
+                # hp_by_core[cr] < quota[cr] implies hp < threshold (the
+                # quotas sum to the threshold and every sub-count is
+                # bounded by its quota), so no shared-pool check remains.
+                if c_i >= min_cost and u_i < p_hit \
+                        and hp_by_core[cr] < quota[cr]:
+                    d[tag] = 1
+                    owner[tag] = cr
+                    hp_by_core[cr] += 1
+                    hp += 1
+                    promotions += 1
+                else:
+                    d[tag] = 0
+                hit_append(False)
+        self.hp_counts[set_index] = hp
+        self.hp_promotions += promotions
+        self.hp_evictions += hp_evictions
+        return hits
+
+    def _run_set_part_tel(self, set_index: int, tags: list[int],
+                          u: Sequence[float] | None,
+                          rep: Sequence[bool] | None = None,
+                          cost: Sequence[int] | None = None,
+                          extra: Sequence[int] | None = None,
+                          core: Sequence[int] | None = None) -> list[bool]:
+        """Instrumented twin of ``_run_set_part``."""
+        tel = self._tel
+        assert u is not None and tel is not None and extra is not None
+        d = self._sets[set_index]
+        owner = self._owner[set_index]
+        hp_by_core = self.hp_by_core[set_index]
+        quota = self.core_quotas
+        hits_of = self._hits_of[set_index]
+        ways = self.ways
+        threshold = self.hp_threshold
+        min_cost = self.min_l1_misses
+        p_hit = 1.0 / self.prob_inv
+        hp = self.hp_counts[set_index]
+        promotions = 0
+        hp_evictions = 0
+        hits: list[bool] = []
+        hit_append = hits.append
+        pop = d.pop
+        observe = tel.observe
+        fills = evictions = dead = lp_evictions = 0
+        if cost is None:
+            cost = (min_cost,) * len(tags)
+        if core is None:
+            core = (0,) * len(tags)
+        for tag, u_i, c_i, extra_i, cr in zip(tags, u, cost, extra, core):
+            prio = pop(tag, -1)
+            if prio >= 0:
+                d[tag] = prio  # reinsert at the MRU end
+                hits_of[tag] += 1 + extra_i
+                hit_append(True)
+            else:
+                if len(d) == ways:
+                    want = 1 if hp >= threshold else 0
+                    victim = -1
+                    for vt, vp in d.items():
+                        if vp == want:
+                            victim = vt
+                            break
+                    if victim < 0:
+                        victim = next(iter(d))  # preferred class empty: overall LRU
+                    victim_hits = hits_of.pop(victim)
+                    observe("line_hits", victim_hits)
+                    evictions += 1
+                    if victim_hits == 0:
+                        dead += 1
+                    if pop(victim):
+                        hp -= 1
+                        hp_evictions += 1
+                        hp_by_core[owner.pop(victim)] -= 1
+                    else:
+                        lp_evictions += 1
+                if c_i >= min_cost and u_i < p_hit \
+                        and hp_by_core[cr] < quota[cr]:
+                    d[tag] = 1
+                    owner[tag] = cr
+                    hp_by_core[cr] += 1
+                    hp += 1
+                    promotions += 1
+                else:
+                    d[tag] = 0
+                hits_of[tag] = extra_i
+                fills += 1
+                hit_append(False)
+        self.hp_counts[set_index] = hp
+        self.hp_promotions += promotions
+        self.hp_evictions += hp_evictions
+        tel.inc("fills", fills)
+        tel.inc("evictions", evictions)
+        tel.inc("dead_on_fill", dead)
+        tel.inc("evictions_hp", hp_evictions)
+        tel.inc("evictions_lp", lp_evictions)
+        tel.inc("hp_promotions", promotions)
+        tel.inc("hp_demotions", hp_evictions)
+        return hits
+
     def telemetry_finalize(self) -> None:
         tel = self._tel
         if tel is None:
@@ -230,7 +423,7 @@ class EmissaryKernel(PolicyKernel):
         return list(self._sets[set_index].items())
 
     def extra_stats(self) -> dict[str, Any]:
-        return {
+        stats = {
             "hp_threshold": self.hp_threshold,
             "prob_inv": self.prob_inv,
             "min_l1_misses": self.min_l1_misses,
@@ -238,6 +431,12 @@ class EmissaryKernel(PolicyKernel):
             "hp_evictions": self.hp_evictions,
             "hp_lines_final": sum(self.hp_counts),
         }
+        if self.partitioned:
+            stats["hp_budget"] = self.hp_budget
+            stats["hp_lines_final_by_core"] = [
+                sum(per_set[c] for per_set in self.hp_by_core)
+                for c in range(self.num_cores)]
+        return stats
 
 
 class NaiveEmissary(NaivePolicy):
@@ -248,12 +447,17 @@ class NaiveEmissary(NaivePolicy):
                  hp_threshold: int = DEFAULT_HP_THRESHOLD,
                  prob_inv: int = DEFAULT_PROB_INV,
                  min_l1_misses: int = DEFAULT_MIN_L1_MISSES,
+                 hp_budget: str = DEFAULT_HP_BUDGET,
+                 num_cores: int = 1,
                  **params: Any) -> None:
         super().__init__(num_sets, ways, **params)
-        _check_params(ways, hp_threshold, prob_inv, min_l1_misses)
+        _check_params(ways, hp_threshold, prob_inv, min_l1_misses,
+                      hp_budget, num_cores)
         self.hp_threshold = hp_threshold
         self.prob_inv = prob_inv
         self.min_l1_misses = min_l1_misses
+        self.hp_budget = hp_budget
+        self.num_cores = num_cores
         self.timestamps = [0] * (num_sets * ways)
         self.priority = [0] * (num_sets * ways)
         self.hp_counts = [0] * num_sets
@@ -261,6 +465,12 @@ class NaiveEmissary(NaivePolicy):
         self.evictions_hp = 0
         self.evictions_lp = 0
         self._clock = 1
+        self.partitioned = hp_budget == "partitioned"
+        if self.partitioned:
+            self.core_quotas = core_quotas(hp_threshold, num_cores)
+            # Owning core per (set, way); -1 marks low-priority lines.
+            self.owner = [-1] * (num_sets * ways)
+            self.hp_by_core = [[0] * num_cores for _ in range(num_sets)]
 
     def _touch(self, set_index: int, way: int) -> None:
         self.timestamps[set_index * self.ways + way] = self._clock
@@ -296,14 +506,29 @@ class NaiveEmissary(NaivePolicy):
             self.priority[idx] = 0
             self.hp_counts[set_index] -= 1
             self.evictions_hp += 1
+            if self.partitioned:
+                self.hp_by_core[set_index][self.owner[idx]] -= 1
+                self.owner[idx] = -1
         else:
             self.evictions_lp += 1
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
-                cost_i: int | None = None) -> None:
+                cost_i: int | None = None,
+                core_i: int | None = None) -> None:
         idx = set_index * self.ways + way
         eligible = cost_i is None or cost_i >= self.min_l1_misses
-        if eligible and u_i < 1.0 / self.prob_inv \
+        if self.partitioned:
+            cr = 0 if core_i is None else core_i
+            if eligible and u_i < 1.0 / self.prob_inv \
+                    and self.hp_by_core[set_index][cr] < self.core_quotas[cr]:
+                self.priority[idx] = 1
+                self.owner[idx] = cr
+                self.hp_by_core[set_index][cr] += 1
+                self.hp_counts[set_index] += 1
+                self.hp_promotions += 1
+            else:
+                self.priority[idx] = 0
+        elif eligible and u_i < 1.0 / self.prob_inv \
                 and self.hp_counts[set_index] < self.hp_threshold:
             self.priority[idx] = 1
             self.hp_counts[set_index] += 1

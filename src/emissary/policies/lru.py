@@ -31,7 +31,8 @@ class LRUKernel(PolicyKernel):
                 u: Sequence[float] | None,
                 rep: Sequence[bool] | None = None,
                 cost: Sequence[int] | None = None,
-                extra: Sequence[int] | None = None) -> list[bool]:
+                extra: Sequence[int] | None = None,
+                core: Sequence[int] | None = None) -> list[bool]:
         d = self._sets[set_index]
         ways = self.ways
         hits: list[bool] = []
@@ -52,7 +53,8 @@ class LRUKernel(PolicyKernel):
                      u: Sequence[float] | None,
                      rep: Sequence[bool] | None = None,
                      cost: Sequence[int] | None = None,
-                     extra: Sequence[int] | None = None) -> list[bool]:
+                     extra: Sequence[int] | None = None,
+                     core: Sequence[int] | None = None) -> list[bool]:
         """Instrumented twin of ``run_set``: identical replacement
         decisions, with dict values repurposed as per-line hit counts."""
         tel = self._tel
@@ -124,5 +126,6 @@ class NaiveLRU(NaivePolicy):
         self.timestamps[set_index * self.ways + way] = 0
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
-                cost_i: int | None = None) -> None:
+                cost_i: int | None = None,
+                core_i: int | None = None) -> None:
         self._touch(set_index, way)

@@ -33,7 +33,8 @@ class RandomKernel(PolicyKernel):
                 u: Sequence[float] | None,
                 rep: Sequence[bool] | None = None,
                 cost: Sequence[int] | None = None,
-                extra: Sequence[int] | None = None) -> list[bool]:
+                extra: Sequence[int] | None = None,
+                core: Sequence[int] | None = None) -> list[bool]:
         assert u is not None
         ways_of = self._ways_of[set_index]
         tag_at = self._tag_at[set_index]
@@ -65,7 +66,8 @@ class RandomKernel(PolicyKernel):
                      u: Sequence[float] | None,
                      rep: Sequence[bool] | None = None,
                      cost: Sequence[int] | None = None,
-                     extra: Sequence[int] | None = None) -> list[bool]:
+                     extra: Sequence[int] | None = None,
+                     core: Sequence[int] | None = None) -> list[bool]:
         """Instrumented twin of ``run_set`` with per-way hit accounting."""
         tel = self._tel
         assert u is not None and tel is not None and extra is not None
@@ -125,5 +127,6 @@ class NaiveRandom(NaivePolicy):
         return int(u_i * self.ways)
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
-                cost_i: int | None = None) -> None:
+                cost_i: int | None = None,
+                core_i: int | None = None) -> None:
         pass

@@ -93,7 +93,8 @@ class SRRIPKernel(PolicyKernel):
                 u: Sequence[float] | None,
                 rep: Sequence[bool] | None = None,
                 cost: Sequence[int] | None = None,
-                extra: Sequence[int] | None = None) -> list[bool]:
+                extra: Sequence[int] | None = None,
+                core: Sequence[int] | None = None) -> list[bool]:
         assert rep is not None
         if not self._packed_ok:
             return self._run_set_wide(set_index, tags, rep)
@@ -173,7 +174,8 @@ class SRRIPKernel(PolicyKernel):
                      u: Sequence[float] | None,
                      rep: Sequence[bool] | None = None,
                      cost: Sequence[int] | None = None,
-                     extra: Sequence[int] | None = None) -> list[bool]:
+                     extra: Sequence[int] | None = None,
+                     core: Sequence[int] | None = None) -> list[bool]:
         """Instrumented twin of ``_run_set_wide`` with per-way hit counts."""
         tel = self._tel
         assert rep is not None and tel is not None and extra is not None
@@ -263,5 +265,6 @@ class NaiveSRRIP(NaivePolicy):
                 rrpv[base + w] += 1
 
     def on_fill(self, set_index: int, way: int, access_index: int, u_i: float,
-                cost_i: int | None = None) -> None:
+                cost_i: int | None = None,
+                core_i: int | None = None) -> None:
         self.rrpv[set_index * self.ways + way] = RRPV_INSERT

@@ -40,7 +40,7 @@ import json
 import sys
 from typing import Any
 
-from emissary.sweep import SWEEP_SCHEMA_VERSION, _format_table
+from emissary.sweep import SWEEP_SCHEMA_VERSION, _format_table, _trace_label
 from emissary.telemetry import spans_to_chrome_trace
 
 
@@ -68,7 +68,8 @@ def load_sweep_output(path: str) -> dict[str, Any]:
 def _config_label(config: dict[str, Any], index: int) -> str:
     policy = config.get("policy", {})
     params = ",".join(f"{k}={v}" for k, v in sorted(policy.get("params", {}).items()))
-    trace = config.get("trace", {}).get("kind", "?")
+    trace_cfg = config.get("trace", {})
+    trace = _trace_label(trace_cfg) if trace_cfg else "?"
     level = "hier" if "l1" in config.get("config", {}) else "single"
     label = f"[{index}] {trace}/{policy.get('name', '?')}"
     if params:
@@ -99,7 +100,8 @@ def _telemetry_lines(telemetry: dict[str, Any]) -> list[str]:
     # prefixes are actually present, engine.* internals last.
     prefixes = sorted({name.split(".", 1)[0] + "."
                        for name in counters if "." in name and
-                       not name.startswith("engine.")}) or [""]
+                       not name.startswith("engine.") and
+                       not name.startswith("core")}) or [""]
     for prefix in prefixes:
         tag = f"  {prefix.rstrip('.')}: " if prefix else "  "
 
@@ -122,6 +124,12 @@ def _telemetry_lines(telemetry: dict[str, Any]) -> list[str]:
             hist = histograms.get(prefix + hist_name)
             if hist:
                 lines.append(f"{tag}{hist_name} {_hist_summary(hist)}")
+    core = 0
+    while f"core{core}.n" in counters:
+        lines.append(f"  core{core}: n={counters[f'core{core}.n']}  "
+                     f"l1_misses={counters[f'core{core}.l1_misses']}  "
+                     f"l2_misses={counters[f'core{core}.l2_misses']}")
+        core += 1
     engine = {name: value for name, value in counters.items() if "engine." in name}
     if engine:
         lines.append("  " + "  ".join(f"{name}={value}"
@@ -156,6 +164,35 @@ def _stream_digest(spans: list[dict[str, Any]]) -> str | None:
             f"ingest {ingest_us / 1e3:.1f}ms, simulate {chunk_us / 1e3:.1f}ms")
 
 
+def fairness_lines(rows: list[dict[str, Any]]) -> list[str]:
+    """The multi-core fairness digest: per core, the solo-baseline L2
+    MPKI against the MPKI inside the contended run (``delta`` is the
+    contention penalty; negative means the core *gained* from sharing),
+    plus the per-row spread — the imbalance a partitioned HP budget is
+    meant to bound."""
+    annotated = [(i, row) for i, row in enumerate(rows)
+                 if isinstance(row.get("fairness"), dict)]
+    if not annotated:
+        return []
+    out = ["", "fairness (per-core L2 MPKI vs solo baseline):"]
+    for i, row in annotated:
+        out.append(_config_label(row["config"], i))
+        deltas = []
+        for pc in row["fairness"].get("per_core", []):
+            if "error" in pc:
+                out.append(f"  core {pc['core']}: baseline error: "
+                           f"{pc['error']}")
+                continue
+            out.append(f"  core {pc['core']}: solo {pc['solo_l2_mpki']:.2f} "
+                       f"-> shared {pc['shared_l2_mpki']:.2f} MPKI "
+                       f"(delta {pc['delta_l2_mpki']:+.2f})")
+            deltas.append(pc["delta_l2_mpki"])
+        if deltas:
+            out.append(f"  worst delta {max(deltas):+.2f}, "
+                       f"spread {max(deltas) - min(deltas):.2f}")
+    return out
+
+
 def render_report(envelope: dict[str, Any]) -> str:
     """Render the full text report for a loaded sweep envelope."""
     rows: list[dict[str, Any]] = envelope["rows"]
@@ -175,6 +212,8 @@ def render_report(envelope: dict[str, Any]) -> str:
     if header_bits:
         out.append("  " + "  ".join(header_bits))
     out += ["", _format_table(rows)]
+
+    out += fairness_lines(rows)
 
     workers = envelope.get("workers") or {}
     if workers:

@@ -16,7 +16,12 @@ or renaming the file never invalidates cached results.
 Stores are concurrency-safe: each writer stages the entry under its own
 unique temp name and atomically renames it into place, so concurrent
 workers publishing the same key can never interleave writes into one
-temp file and expose torn JSON.
+temp file and expose torn JSON.  Loads and LRU eviction are audited
+against cross-process check-then-use races too: a load never pre-checks
+existence (it reads and treats "vanished" as a miss), and an evictor
+re-validates an entry's recency immediately before unlinking so a key
+republished or touched after the directory scan is not evicted on stale
+information.
 """
 
 from __future__ import annotations
@@ -129,11 +134,16 @@ class ResultsCache:
         :class:`~emissary.api.SimRequest`), or None (corrupt => warn + None)."""
         key = config_key(config)
         path = self._path(key)
-        if not path.exists():
-            self.misses += 1
-            return None
+        # No exists() pre-check: that would be a check-then-use race with
+        # concurrent evictors (the entry can vanish between the two
+        # calls).  Read directly and treat "not there" as an ordinary
+        # miss — it is one, whether the entry never existed or a
+        # concurrent eviction just removed it.
         try:
             entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, json.JSONDecodeError) as exc:
             logger.warning("results cache: failed to read %s (%s); skipping", path, exc)
             self.misses += 1
@@ -240,10 +250,23 @@ class BudgetedResultsCache(ResultsCache):
         total = sum(size for _, size, _ in entries)
         if total <= self.budget_bytes:
             return
-        for _, size, path in sorted(entries):
+        for mtime, size, path in sorted(entries):
             if total <= self.budget_bytes:
                 break
             if path == keep:
+                continue
+            # Re-check recency at the last moment: between the directory
+            # scan and this point, a concurrent process may have stored a
+            # *fresh* entry under the same key (atomic replace) or
+            # LRU-touched it on a hit.  Unlinking on the stale scan would
+            # evict a now-hot entry, so skip anything whose mtime moved.
+            # The stat->unlink window that remains is benign: losing a
+            # touch-vs-evict race costs one recomputation, never a torn
+            # or wrong read.
+            try:
+                if path.stat().st_mtime > mtime:
+                    continue
+            except OSError:  # already gone: a concurrent evictor won
                 continue
             try:
                 path.unlink()

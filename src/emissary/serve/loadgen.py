@@ -60,19 +60,26 @@ def build_request_mix(distinct: int, trace_n: int = MIX_TRACE_N) -> list[dict[st
     return mix
 
 
-async def _read_response(reader: asyncio.StreamReader) -> tuple[int, dict[str, Any]]:
-    """Read one fixed-length JSON response off a keep-alive connection."""
+async def _read_response(
+        reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, Any], dict[str, str]]:
+    """Read one fixed-length JSON response off a keep-alive connection.
+
+    Returns ``(status, payload, headers)`` — headers lower-cased, so a
+    429's ``retry-after`` back-pressure hint survives to the client.
+    """
     header_block = await reader.readuntil(b"\r\n\r\n")
     lines = header_block.decode("latin-1").split("\r\n")
     status = int(lines[0].split(" ")[1])
-    length = 0
+    headers: dict[str, str] = {}
     for line in lines[1:]:
-        name, _, value = line.partition(":")
-        if name.strip().lower() == "content-length":
-            length = int(value.strip())
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
     body = await reader.readexactly(length) if length else b""
     payload = json.loads(body) if body else {}
-    return status, payload
+    return status, payload, headers
 
 
 def _request_bytes(method: str, path: str, payload: Any | None = None) -> bytes:
@@ -90,7 +97,8 @@ async def fetch_json(host: str, port: int, path: str,
     try:
         writer.write(_request_bytes(method, path, payload))
         await writer.drain()
-        return await _read_response(reader)
+        status, body, _headers = await _read_response(reader)
+        return status, body
     finally:
         writer.close()
         await writer.wait_closed()
@@ -142,11 +150,23 @@ async def _client(index: int, host: str, port: int,
             start = time.perf_counter()
             writer.write(_request_bytes("POST", "/v1/simulate", body))
             await writer.drain()
-            status, _payload = await _read_response(reader)
+            status, _payload, headers = await _read_response(reader)
             latencies.append(time.perf_counter() - start)
             status_counts[status] = status_counts.get(status, 0) + 1
             if status == 429:
-                await asyncio.sleep(0.2 * float(rng.random()))  # honor backpressure
+                # Honor the server's Retry-After hint (it reflects the
+                # queue's actual drain time), jittered so refused clients
+                # do not retry in lockstep; a missing/garbled header
+                # falls back to a short random pause.
+                try:
+                    hinted = float(headers.get("retry-after", ""))
+                except ValueError:
+                    hinted = 0.0
+                if hinted > 0.0:
+                    delay = min(hinted, 5.0) * (0.75 + 0.5 * float(rng.random()))
+                else:
+                    delay = 0.2 * float(rng.random())
+                await asyncio.sleep(delay)
     except (ConnectionResetError, BrokenPipeError,
             asyncio.IncompleteReadError) as exc:
         status_counts[-1] = status_counts.get(-1, 0) + 1

@@ -38,6 +38,7 @@ import asyncio
 import itertools
 import json
 import logging
+import math
 import os
 import time
 import uuid
@@ -66,13 +67,33 @@ DEFAULT_QUEUE_WATERMARK = 64
 #: and a served request should tick several times, not once.
 DEFAULT_SERVE_CHUNK_BYTES = 256 * 1024
 
-#: Suggested client back-off for 429 responses, seconds.
+#: Suggested client back-off for 429 responses, seconds — the floor and
+#: the cold-start fallback before any service latency has been observed.
 DEFAULT_RETRY_AFTER_S = 1
+
+#: Ceiling for derived Retry-After hints, seconds: a deep queue should
+#: push clients back, not tell them to go away for minutes.
+MAX_RETRY_AFTER_S = 30
 
 #: How long a finished request's progress spool file lingers so
 #: streaming relays (polling at their own cadence) can still observe the
 #: final tick before cleanup.
 SPOOL_GRACE_S = 2.0
+
+
+def _histogram_p50(hist: Mapping[int, int]) -> float | None:
+    """Median observed value of a ``{value: count}`` histogram, or None
+    for an empty one."""
+    total = sum(hist.values())
+    if total <= 0:
+        return None
+    midpoint = (total + 1) // 2
+    seen = 0
+    for value in sorted(hist):
+        seen += hist[value]
+        if seen >= midpoint:
+            return float(value)
+    return None
 
 
 def _unlink_quietly(path: Path) -> None:
@@ -282,7 +303,8 @@ class SimService:
                 "admission rejected: queue depth %d at watermark %d",
                 depth, self.queue_watermark,
                 extra={"event": "admission_rejected", "request_key": key})
-            raise QueueFullError(depth, self.queue_watermark)
+            raise QueueFullError(depth, self.queue_watermark,
+                                 retry_after_s=self.retry_after_s(depth))
 
         self.telemetry.inc("serve.cache_misses")
         self.telemetry.inc("serve.simulations")
@@ -377,6 +399,26 @@ class SimService:
         """Record one request's service latency (microsecond histogram —
         bounded cardinality, unlike per-request spans)."""
         self.telemetry.observe("serve.latency_us", int(seconds * 1e6))
+
+    def retry_after_s(self, depth: int) -> int:
+        """Back-off hint for a refused request, in whole seconds.
+
+        A static hint is either uselessly short under a deep queue or
+        punitively long under a shallow one, so the hint is the time the
+        queue plausibly needs to drain to the caller's position: queue
+        depth x the observed p50 service time (read from the
+        ``serve.latency_us`` histogram that :meth:`observe_latency`
+        feeds), rounded up and clamped to
+        [``DEFAULT_RETRY_AFTER_S``, ``MAX_RETRY_AFTER_S``].  Before any
+        latency has been observed the static default stands.
+        """
+        p50_us = _histogram_p50(
+            self.telemetry.histograms.get("serve.latency_us", {}))
+        if p50_us is None:
+            return DEFAULT_RETRY_AFTER_S
+        drain_s = depth * p50_us / 1e6
+        return max(DEFAULT_RETRY_AFTER_S,
+                   min(MAX_RETRY_AFTER_S, math.ceil(drain_s)))
 
     def next_trace_context(self) -> TraceContext | None:
         """Mint the next deterministic trace identity (None with obs off).

@@ -39,7 +39,7 @@ from emissary.hierarchy import BatchedHierarchyEngine, HierarchyConfig
 from emissary.policies import POLICY_NAMES
 from emissary.results_cache import DEFAULT_CACHE_DIR, ResultsCache
 from emissary.telemetry import Telemetry
-from emissary.traces import FILE_KIND, TraceSpec
+from emissary.traces import FILE_KIND, InterleaveSpec, TraceSpec
 
 logger = logging.getLogger(__name__)
 
@@ -90,7 +90,12 @@ def run_config(config: dict[str, Any],
     else:
         engine = BatchedEngine(request.config, telemetry=telemetry,
                                kernel_backend=kernel_backend)
-    if request.trace.kind == FILE_KIND:
+    if request.is_multicore:
+        addresses, core_ids = request.trace.generate()
+        result = engine.run_multicore(addresses, core_ids, request.policy,
+                                      num_cores=request.trace.num_cores,
+                                      seed=request.seed, keep_hits=False)
+    elif request.trace.kind == FILE_KIND:
         from emissary import trace_io
 
         source = trace_io.spec_source(request.trace)
@@ -121,14 +126,23 @@ def _run_indexed(item: tuple[int, dict[str, Any], str]
     return index, payload, worker
 
 
-def build_grid(traces: Sequence[TraceSpec], policies: Sequence[str],
+def build_grid(traces: Sequence[TraceSpec | InterleaveSpec],
+               policies: Sequence[str],
                cache: AnyCacheConfig, seed: int, hp_thresholds: Sequence[int],
-               prob_invs: Sequence[int], min_l1_misses: int = 1) -> list[SimRequest]:
+               prob_invs: Sequence[int], min_l1_misses: int = 1,
+               hp_budgets: Sequence[str] = ("shared",)) -> list[SimRequest]:
     """Cross traces x policies (x EMISSARY parameter grid) into SimRequests.
 
     ``min_l1_misses`` only applies to EMISSARY points and only has a
     measured signal to gate on when ``cache`` is a
     :class:`~emissary.hierarchy.HierarchyConfig`.
+
+    ``hp_budgets`` adds the EMISSARY partitioned-vs-shared HP-budget axis
+    (``"shared"`` / ``"partitioned"``): partitioning only bites on
+    multi-core :class:`~emissary.traces.InterleaveSpec` traces, where the
+    per-set HP quota is split across cores.  The default ``"shared"`` is
+    encoded implicitly (no ``hp_budget`` param), so existing single-core
+    cache keys are untouched.
     """
     grid: list[SimRequest] = []
     for trace in traces:
@@ -136,14 +150,92 @@ def build_grid(traces: Sequence[TraceSpec], policies: Sequence[str],
             if policy == "emissary":
                 for thr in hp_thresholds:
                     for pinv in prob_invs:
-                        params = {"hp_threshold": thr, "prob_inv": pinv}
-                        if min_l1_misses != 1:
-                            params["min_l1_misses"] = min_l1_misses
-                        grid.append(SimRequest(trace, PolicySpec(policy, params),
-                                               cache, seed))
+                        for budget in hp_budgets:
+                            params = {"hp_threshold": thr, "prob_inv": pinv}
+                            if min_l1_misses != 1:
+                                params["min_l1_misses"] = min_l1_misses
+                            if budget != "shared":
+                                params["hp_budget"] = budget
+                            grid.append(SimRequest(trace,
+                                                   PolicySpec(policy, params),
+                                                   cache, seed))
             else:
                 grid.append(SimRequest(trace, PolicySpec(policy), cache, seed))
     return grid
+
+
+def solo_requests(request: SimRequest) -> list[SimRequest]:
+    """One single-core request per core of a multi-core sweep point.
+
+    Each core's own :class:`~emissary.traces.TraceSpec` runs alone on the
+    same hierarchy, policy, and seed — the baseline the fairness metric
+    compares the contended run against.  Solo requests are ordinary
+    cacheable sweep points, so repeated fairness sweeps reuse them.
+    """
+    if not request.is_multicore:
+        raise ValueError("solo_requests needs a multi-core request "
+                         "(trace must be an InterleaveSpec)")
+    # A solo run has one core, where a partitioned HP budget is provably
+    # identical to the shared one — drop the axis so the shared and
+    # partitioned variants of a mix compare against the *same* cached
+    # baselines.
+    params = {k: v for k, v in request.policy.params.items()
+              if k != "hp_budget"}
+    policy = PolicySpec(request.policy.name, params)
+    return [SimRequest(core_spec, policy, request.config, request.seed)
+            for core_spec in request.trace.cores]
+
+
+def add_fairness(rows: list[dict[str, Any]], workers: int = 0,
+                 cache_dir: str = DEFAULT_CACHE_DIR,
+                 store: ResultsCache | None = None,
+                 backend: str = "batched") -> int:
+    """Attach per-core fairness deltas to every multi-core sweep row.
+
+    For each multi-core row, every core's trace is re-run *solo* (same
+    hierarchy, policy, seed; deduplicated across rows and served from the
+    results cache), and the row gains ``row["fairness"]["per_core"]``:
+    the core's solo L2 MPKI, its MPKI inside the contended run, and the
+    contention penalty ``delta_l2_mpki = shared - solo``.  Returns the
+    number of rows annotated.
+    """
+    targets: list[tuple[dict[str, Any], list[dict[str, Any]]]] = []
+    solo_configs: dict[str, dict[str, Any]] = {}
+    for row in rows:
+        if "result" not in row or "cores" not in row["config"].get("trace", {}):
+            continue
+        request = SimRequest.from_dict(row["config"])
+        keys = []
+        for solo in solo_requests(request):
+            config = solo.to_dict()
+            key = json.dumps(config, sort_keys=True)
+            solo_configs[key] = config
+            keys.append(key)
+        targets.append((row, keys))
+    if not targets:
+        return 0
+    ordered = sorted(solo_configs)
+    solo_rows = run_sweep([solo_configs[key] for key in ordered],
+                          workers=workers, cache_dir=cache_dir, store=store,
+                          backend=backend)
+    by_key = dict(zip(ordered, solo_rows))
+    for row, keys in targets:
+        per_core = []
+        for core, key in enumerate(keys):
+            solo_row = by_key[key]
+            shared = row["result"]["per_core"][core]
+            if "error" in solo_row:
+                per_core.append({"core": core, "error": solo_row["error"]})
+                continue
+            solo_mpki = solo_row["result"]["l2_mpki"]
+            per_core.append({
+                "core": core,
+                "solo_l2_mpki": solo_mpki,
+                "shared_l2_mpki": shared["l2_mpki"],
+                "delta_l2_mpki": shared["l2_mpki"] - solo_mpki,
+            })
+        row["fairness"] = {"per_core": per_core}
+    return len(targets)
 
 
 def run_sweep(grid: Sequence[SimRequest | dict[str, Any]], workers: int = 0,
@@ -254,19 +346,29 @@ def build_envelope(rows: list[dict[str, Any]], seed: int, elapsed_s: float,
     }
 
 
+def _trace_label(trace: dict[str, Any]) -> str:
+    """Table label for a trace config dict: the kind for a single-core
+    trace, ``mix/<kinds>`` for a multi-core interleave."""
+    if "cores" in trace:
+        return "mix/" + "+".join(core["kind"] for core in trace["cores"])
+    return trace["kind"]
+
+
 def _format_table(rows: list[dict[str, Any]]) -> str:
     def params_of(cfg: dict[str, Any]) -> str:
         return ",".join(f"{k}={v}"
                         for k, v in sorted(cfg["policy"]["params"].items())) or "-"
 
     pw = max([22] + [len(params_of(row["config"])) for row in rows])
-    header = (f"{'trace':<8} {'policy':<10} {'params':<{pw}} {'L1hit%':>7} "
+    tw = max([8] + [len(_trace_label(row["config"]["trace"])) for row in rows])
+    header = (f"{'trace':<{tw}} {'policy':<10} {'params':<{pw}} {'L1hit%':>7} "
               f"{'L2hit%':>7} {'MPKI':>8} {'Macc/s':>8} {'cached':>6}")
     lines = [header, "-" * len(header)]
     for row in rows:
         cfg = row["config"]
         params = params_of(cfg)
-        prefix = f"{cfg['trace']['kind']:<8} {cfg['policy']['name']:<10} {params:<{pw}} "
+        prefix = (f"{_trace_label(cfg['trace']):<{tw}} "
+                  f"{cfg['policy']['name']:<10} {params:<{pw}} ")
         if "error" in row:
             lines.append(prefix + f"ERROR: {row['error']}")
             continue
@@ -308,6 +410,14 @@ def demo_grid(n: int = 200_000, seed: int = 42) -> list[SimRequest]:
     hierarchy = HierarchyConfig(l1=CacheConfig(num_sets=64, ways=8), l2=l2)
     grid += build_grid(traces, list(POLICY_NAMES), hierarchy, seed,
                        hp_thresholds=[4, 6], prob_invs=[8, 32], min_l1_misses=2)
+    # Multi-core contention leg: two instruction streams interleaved 2:1
+    # into the same shared L2, swept with the HP budget both shared and
+    # partitioned — the fairness digest compares each core against its
+    # solo baseline.
+    mix = InterleaveSpec(cores=(traces[0], traces[2]), weights=(2, 1))
+    grid += build_grid([mix], ["lru", "emissary"], hierarchy, seed,
+                       hp_thresholds=[6], prob_invs=[8], min_l1_misses=2,
+                       hp_budgets=("shared", "partitioned"))
     return grid
 
 
@@ -342,6 +452,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-l1-misses", type=int, default=1,
                         help="EMISSARY HP candidacy: minimum measured L1I "
                              "misses for a line to qualify (hierarchy only)")
+    parser.add_argument("--hp-budgets", default="shared",
+                        help="comma-separated EMISSARY HP budget modes "
+                             "('shared', 'partitioned'); partitioning "
+                             "splits each set's HP quota across cores")
+    parser.add_argument("--interleave", action="store_true",
+                        help="also sweep the listed traces interleaved as "
+                             "one multi-core mix contending for the shared "
+                             "L2 (requires --l1-sets > 0)")
+    parser.add_argument("--weights", default="",
+                        help="comma-separated per-core interleave weights "
+                             "for --interleave (default: equal round-robin)")
+    parser.add_argument("--no-fairness", action="store_true",
+                        help="skip the per-core solo-baseline fairness "
+                             "annotation of multi-core rows")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (0 = one per CPU)")
@@ -385,16 +509,35 @@ def main(argv: list[str] | None = None) -> int:
 
             traces += [trace_io.file_spec(path) for path in args.trace_file]
         policies = [p for p in args.policies.split(",") if p]
-        grid = build_grid(traces, policies, cache, args.seed,
+        hp_budgets = [b for b in args.hp_budgets.split(",") if b]
+        sweep_traces: list[TraceSpec | InterleaveSpec] = list(traces)
+        if args.interleave:
+            if args.l1_sets <= 0:
+                parser.error("--interleave needs --l1-sets > 0 (multi-core "
+                             "runs share an L2 behind per-core L1Is)")
+            if len(traces) < 2:
+                parser.error("--interleave needs at least two traces")
+            weights = tuple(int(x) for x in args.weights.split(",") if x)
+            sweep_traces.append(InterleaveSpec(cores=tuple(traces),
+                                               weights=weights))
+        grid = build_grid(sweep_traces, policies, cache, args.seed,
                           [int(x) for x in args.hp_thresholds.split(",") if x],
                           [int(x) for x in args.prob_invs.split(",") if x],
-                          min_l1_misses=args.min_l1_misses)
+                          min_l1_misses=args.min_l1_misses,
+                          hp_budgets=hp_budgets)
 
     store = ResultsCache(args.cache_dir)
     start = time.perf_counter()
     rows = run_sweep(grid, workers=args.workers, cache_dir=args.cache_dir,
                      telemetry=args.telemetry, store=store,
                      backend=args.backend)
+    if not args.no_fairness:
+        annotated = add_fairness(rows, workers=args.workers,
+                                 cache_dir=args.cache_dir, store=store,
+                                 backend=args.backend)
+        if annotated:
+            logger.info("fairness baselines attached to %d multi-core rows",
+                        annotated)
     elapsed = time.perf_counter() - start
 
     print(_format_table(rows))

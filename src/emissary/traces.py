@@ -473,3 +473,166 @@ class TraceSpec:
         check_known_keys(d, ("kind", "n", "seed", "params"), "TraceSpec")
         return cls(kind=d["kind"], n=int(d["n"]), seed=int(d.get("seed", 0)),
                    params=dict(d.get("params", {})))
+
+
+#: Per-access core ids accompanying an interleaved multi-core trace.
+CoreIdArray = NDArray[np.int64]
+
+#: Hard cap on front-ends per :class:`InterleaveSpec`.  Keeps the
+#: (core, line) key packing (`line << core_bits | core`) comfortably
+#: inside 64 bits and matches any real shared-L2 fan-in.
+MAX_CORES = 64
+
+
+class _CoreFeed:
+    """Buffered puller over one core's chunk iterator: ``take(k)``
+    returns exactly the core's next ``k`` addresses (fewer at end of
+    stream), regardless of where the underlying generator cut chunks."""
+
+    def __init__(self, chunks: Iterator[AddressArray]) -> None:
+        self._chunks = iter(chunks)
+        self._buf: list[AddressArray] = []
+        self._have = 0
+        self._done = False
+
+    def take(self, k: int) -> AddressArray:
+        while self._have < k and not self._done:
+            chunk = next(self._chunks, None)
+            if chunk is None:
+                self._done = True
+            elif len(chunk):
+                self._buf.append(chunk)
+                self._have += len(chunk)
+        k = min(k, self._have)
+        parts: list[AddressArray] = []
+        need = k
+        while need:
+            head = self._buf[0]
+            if len(head) <= need:
+                parts.append(self._buf.pop(0))
+                need -= len(head)
+            else:
+                parts.append(head[:need])
+                self._buf[0] = head[need:]
+                need = 0
+        self._have -= k
+        if not parts:
+            return np.empty(0, dtype=np.uint64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
+@dataclass(frozen=True)
+class InterleaveSpec:
+    """Deterministic weighted round-robin interleaving of per-core traces.
+
+    Describes N L1I front-ends feeding one shared L2: core ``i`` runs its
+    own :class:`TraceSpec` and contributes ``weights[i]`` consecutive
+    accesses per round (plain round-robin when weights are omitted).  A
+    core that exhausts its trace drops out of later rounds; the
+    interleaved stream always contains every access of every core, so
+    ``n == sum(core.n)``.
+
+    Like :class:`TraceSpec` it is frozen, hashable, and wire-encodable —
+    ``to_dict`` / ``from_dict`` round-trips, and the encoding doubles as
+    the results-cache content key for multi-core requests.
+    """
+
+    cores: tuple[TraceSpec, ...]
+    weights: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        cores = tuple(self.cores)
+        if not cores:
+            raise ValueError("InterleaveSpec needs at least one core trace")
+        if len(cores) > MAX_CORES:
+            raise ValueError(f"at most {MAX_CORES} cores supported, "
+                             f"got {len(cores)}")
+        for spec in cores:
+            if not isinstance(spec, TraceSpec):
+                raise TypeError(f"cores must be TraceSpec instances, "
+                                f"got {type(spec).__name__}")
+        weights = tuple(self.weights) or (1,) * len(cores)
+        if len(weights) != len(cores):
+            raise ValueError(f"got {len(weights)} weights for "
+                             f"{len(cores)} cores")
+        for w in weights:
+            if isinstance(w, bool) or not isinstance(w, int) or w <= 0:
+                raise ValueError(f"weights must be positive ints, got {w!r}")
+        object.__setattr__(self, "cores", cores)
+        object.__setattr__(self, "weights", weights)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def n(self) -> int:
+        return sum(spec.n for spec in self.cores)
+
+    def _keys(self, counts: list[int]) -> CoreIdArray:
+        """Interleave sort keys: position ``p`` of core ``i`` belongs to
+        round ``p // weights[i]``; ``key = round * C + i`` makes a stable
+        argsort produce (round, core, within-burst) order — exactly the
+        weighted round-robin schedule."""
+        num_cores = self.num_cores
+        return np.concatenate([
+            np.arange(count, dtype=np.int64) // self.weights[i]
+            * num_cores + i
+            for i, count in enumerate(counts)])
+
+    def generate(self) -> tuple[AddressArray, CoreIdArray]:
+        """(interleaved byte addresses, aligned per-access core ids)."""
+        parts = [spec.generate() for spec in self.cores]
+        counts = [len(part) for part in parts]
+        order = np.argsort(self._keys(counts), kind="stable")
+        addresses = np.concatenate(parts)[order]
+        core_ids = np.concatenate([
+            np.full(count, i, dtype=np.int64)
+            for i, count in enumerate(counts)])[order]
+        return addresses, core_ids
+
+    def generate_chunks(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+                        ) -> Iterator[tuple[AddressArray, CoreIdArray]]:
+        """Stream the interleave as ``(addresses, core_ids)`` chunk pairs.
+
+        Blocks cover a whole number of rounds, so each block's local
+        stable argsort reproduces the global schedule restricted to that
+        block: concatenating the chunks is bit-identical to
+        :meth:`generate`.  Peak memory is one block (~``chunk_bytes``)
+        plus each core's own chunk buffer — bounded by the budget times
+        ``num_cores + 1``, never by the trace size.
+        """
+        step = _chunk_step(chunk_bytes)
+        rounds = max(1, step // sum(self.weights))
+        feeds = [_CoreFeed(spec.generate_chunks(chunk_bytes))
+                 for spec in self.cores]
+        while True:
+            parts = [feed.take(rounds * self.weights[i])
+                     for i, feed in enumerate(feeds)]
+            counts = [len(part) for part in parts]
+            if not any(counts):
+                return
+            order = np.argsort(self._keys(counts), kind="stable")
+            addresses = np.concatenate(parts)[order]
+            core_ids = np.concatenate([
+                np.full(count, i, dtype=np.int64)
+                for i, count in enumerate(counts)])[order]
+            yield addresses, core_ids
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"cores": [spec.to_dict() for spec in self.cores],
+                "weights": list(self.weights)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "InterleaveSpec":
+        check_known_keys(d, ("cores", "weights"), "InterleaveSpec")
+        return cls(cores=tuple(TraceSpec.from_dict(c) for c in d["cores"]),
+                   weights=tuple(int(w) for w in d.get("weights", ())))
+
+
+def trace_spec_from_dict(d: Mapping[str, Any]) -> "TraceSpec | InterleaveSpec":
+    """Decode a trace wire dict, dispatching on shape: a ``cores`` key
+    means a multi-core :class:`InterleaveSpec`, else a :class:`TraceSpec`."""
+    if "cores" in d:
+        return InterleaveSpec.from_dict(d)
+    return TraceSpec.from_dict(d)

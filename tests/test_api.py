@@ -8,9 +8,10 @@ import pytest
 
 from emissary.api import PolicySpec, SimRequest, require_policy_spec, simulate
 from emissary.engine import BatchedEngine, CacheConfig, ReferenceEngine, SimResult
-from emissary.hierarchy import HierarchyConfig, HierarchyResult
+from emissary.hierarchy import (HierarchyConfig, HierarchyResult,
+                                MultiCoreHierarchyResult, simulate_multicore)
 from emissary.results_cache import ResultsCache, config_key
-from emissary.traces import TraceSpec
+from emissary.traces import InterleaveSpec, TraceSpec
 from emissary.wire import (WIRE_SCHEMA_KEY, WIRE_SCHEMA_VERSION,
                            check_known_keys, check_wire_version,
                            migrate_wire_dict)
@@ -100,6 +101,57 @@ class TestSimRequest:
         cache.store(request, {"hit_rate": 0.5})
         assert cache.load(request) == {"hit_rate": 0.5}
         assert cache.load(request.to_dict()) == {"hit_rate": 0.5}
+
+
+MIX = InterleaveSpec(cores=(TraceSpec("loop", 4_000, 1,
+                                      {"footprint_lines": 200}),
+                            TraceSpec("call", 2_000, 2)),
+                     weights=(2, 1))
+
+
+class TestMultiCoreRequest:
+    """SimRequest over an InterleaveSpec: N cores into one shared L2."""
+
+    def test_requires_hierarchy_config(self):
+        request = SimRequest(MIX, PolicySpec("lru"), HierarchyConfig())
+        assert request.is_multicore and request.is_hierarchy
+        with pytest.raises(TypeError, match="[Hh]ierarchy"):
+            SimRequest(MIX, PolicySpec("lru"))
+        with pytest.raises(TypeError, match="[Hh]ierarchy"):
+            SimRequest(MIX, PolicySpec("lru"), CacheConfig())
+
+    def test_round_trip_and_cache_key(self, tmp_path):
+        request = SimRequest(MIX, PolicySpec("emissary",
+                                             {"hp_threshold": 2,
+                                              "hp_budget": "partitioned"}),
+                             HierarchyConfig(), seed=9)
+        assert SimRequest.from_dict(request.to_dict()) == request
+        cache = ResultsCache(tmp_path)
+        cache.store(request, {"l2_mpki": 1.0})
+        assert cache.load(request.to_dict()) == {"l2_mpki": 1.0}
+
+    @pytest.mark.parametrize("stream", [False, True])
+    def test_simulate_dispatches_multicore(self, stream):
+        request = SimRequest(MIX, PolicySpec("emissary", {"hp_threshold": 2}),
+                             HierarchyConfig(), seed=9)
+        result = simulate(request, stream=stream)
+        assert isinstance(result, MultiCoreHierarchyResult)
+        assert result.num_cores == 2
+        assert [row["n"] for row in result.per_core] == [4_000, 2_000]
+        addresses, core_ids = MIX.generate()
+        direct = simulate_multicore(addresses, core_ids, request.policy,
+                                    config=HierarchyConfig(), seed=9)
+        assert result.per_core == direct.per_core
+        assert np.array_equal(result.l2.hits, direct.l2.hits)
+
+    def test_reference_backend_dispatches(self):
+        request = SimRequest(MIX, PolicySpec("lru"), HierarchyConfig(),
+                             seed=9, backend="reference")
+        result = simulate(request)
+        assert isinstance(result, MultiCoreHierarchyResult)
+        batched = simulate(SimRequest(MIX, PolicySpec("lru"),
+                                      HierarchyConfig(), seed=9))
+        assert result.per_core == batched.per_core
 
 
 class TestWireSchema:

@@ -41,6 +41,24 @@ def test_run_hierarchy_bench_cross_checks_engines():
         assert row["batched"]["l2"]["n"] == row["batched"]["l1"]["miss_count"]
 
 
+def test_hierarchy_bench_multicore_arm_cross_checks_oracle():
+    report = run_hierarchy_bench(n=5_000, policies=["lru"], seed=3,
+                                 config=SMALL_HIERARCHY)
+    multicore = report["multicore"]
+    assert [c["kind"] for c in multicore["trace"]["cores"]] == ["loop", "call"]
+    names = [(row["policy"], row["params"].get("hp_budget"))
+             for row in multicore["policies"]]
+    assert names == [("lru", None), ("emissary", "partitioned")]
+    for row in multicore["policies"]:
+        assert row["outcomes_identical"] is True
+        assert row["num_cores"] == 2
+        assert [pc["core"] for pc in row["per_core"]] == [0, 1]
+        assert sum(pc["n"] for pc in row["per_core"]) \
+            == row["batched"]["l1"]["n"]
+    # The arm's identity verdicts fold into the report-wide flag.
+    assert report["all_outcomes_identical"] is True
+
+
 def test_hierarchy_bench_gates_emissary_on_measured_misses():
     report = run_hierarchy_bench(n=5_000, policies=["emissary"], seed=3,
                                  config=SMALL_HIERARCHY, skip_reference=True)

@@ -11,9 +11,11 @@ from emissary.api import PolicySpec, SimRequest, simulate
 from emissary.engine import BatchedEngine, CacheConfig
 from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
                                 HierarchyReferenceEngine, HierarchyResult,
-                                running_miss_counts, simulate_hierarchy)
+                                MultiCoreHierarchyResult, running_miss_counts,
+                                simulate_hierarchy, simulate_multicore)
 from emissary.policies import POLICY_NAMES
-from emissary.traces import TraceSpec
+from emissary.telemetry import Telemetry
+from emissary.traces import MAX_CORES, InterleaveSpec, TraceSpec
 
 N = 30_000
 
@@ -175,3 +177,101 @@ def test_empty_trace_hierarchy():
     assert result.n == 0
     assert result.l2.n == 0
     assert result.l2_mpki == 0.0
+
+
+# -- multi-core shared L2 --------------------------------------------------
+
+MIX = InterleaveSpec(cores=(TraceSpec("loop", 9_000, 3,
+                                      {"footprint_lines": 500}),
+                            TraceSpec("call", 6_000, 5)),
+                     weights=(2, 1))
+MIX_ADDRESSES, MIX_CORE_IDS = MIX.generate()
+
+
+def test_multicore_per_core_rows_fold_to_totals():
+    result = BatchedHierarchyEngine(CONFIG).run_multicore(
+        MIX_ADDRESSES, MIX_CORE_IDS, POLICY_SPECS["emissary"], seed=7)
+    assert result.num_cores == 2
+    assert [row["core"] for row in result.per_core] == [0, 1]
+    assert [row["n"] for row in result.per_core] == [9_000, 6_000]
+    assert sum(row["l1_misses"] for row in result.per_core) \
+        == result.l1.miss_count
+    assert sum(row["l2_misses"] for row in result.per_core) \
+        == result.l2.miss_count
+    for row in result.per_core:
+        assert row["l2_hits"] == row["l1_misses"] - row["l2_misses"]
+        assert row["l2_mpki"] == pytest.approx(
+            1000.0 * row["l2_misses"] / row["n"])
+
+
+def test_multicore_result_round_trips_through_dicts():
+    result = BatchedHierarchyEngine(CONFIG).run_multicore(
+        MIX_ADDRESSES, MIX_CORE_IDS, POLICY_SPECS["emissary"], seed=7)
+    rebuilt = MultiCoreHierarchyResult.from_dict(result.to_dict())
+    assert rebuilt.to_dict() == result.to_dict()
+    assert rebuilt.num_cores == 2
+    assert rebuilt.per_core == result.per_core
+
+
+def test_multicore_telemetry_parity_batched_vs_oracle():
+    """Per-core counters and histograms must agree exactly between the
+    core-virtualized batched engine and the per-access oracle.  Spans
+    (and the engine-internal dispatch counters) differ by construction —
+    the two engines batch work differently — so only the observable
+    surface is compared."""
+    tel_b, tel_r = Telemetry(), Telemetry()
+    BatchedHierarchyEngine(CONFIG, telemetry=tel_b).run_multicore(
+        MIX_ADDRESSES, MIX_CORE_IDS, POLICY_SPECS["emissary"], seed=7)
+    HierarchyReferenceEngine(CONFIG, telemetry=tel_r).run_multicore(
+        MIX_ADDRESSES, MIX_CORE_IDS, POLICY_SPECS["emissary"], seed=7)
+    b, r = tel_b.to_dict(), tel_r.to_dict()
+
+    def observable(counters):
+        return {k: v for k, v in counters.items() if "engine." not in k}
+
+    assert observable(b["counters"]) == observable(r["counters"])
+    assert b["histograms"] == r["histograms"]
+    assert b["counters"]["core0.n"] == 9_000
+    assert b["counters"]["core1.n"] == 6_000
+
+
+def test_multicore_engines_dispatch_and_agree():
+    spec = POLICY_SPECS["emissary"]
+    batched = simulate_multicore(MIX_ADDRESSES, MIX_CORE_IDS, spec,
+                                 config=CONFIG, seed=7)
+    reference = simulate_multicore(MIX_ADDRESSES, MIX_CORE_IDS, spec,
+                                   config=CONFIG, seed=7, engine="reference")
+    assert np.array_equal(batched.l1.hits, reference.l1.hits)
+    assert np.array_equal(batched.l2.hits, reference.l2.hits)
+    assert batched.per_core == reference.per_core
+
+
+def test_multicore_interleave_stream_matches_oneshot():
+    """Feeding the InterleaveSpec's own chunked generator through the
+    streamed engine equals the one-shot run on the full interleave."""
+    spec = POLICY_SPECS["emissary"]
+    oneshot = BatchedHierarchyEngine(CONFIG).run_multicore(
+        MIX_ADDRESSES, MIX_CORE_IDS, spec, seed=7)
+    streamed = BatchedHierarchyEngine(CONFIG).simulate_stream_multicore(
+        MIX.generate_chunks(chunk_bytes=4_096), spec,
+        num_cores=MIX.num_cores, seed=7)
+    assert np.array_equal(streamed.l1.hits, oneshot.l1.hits)
+    assert np.array_equal(streamed.l2.hits, oneshot.l2.hits)
+    assert streamed.per_core == oneshot.per_core
+
+
+def test_multicore_core_id_validation():
+    engine = BatchedHierarchyEngine(CONFIG)
+    addresses = MIX_ADDRESSES[:4]
+    with pytest.raises(ValueError, match="length"):
+        engine.run_multicore(addresses, np.zeros(3, dtype=np.int64),
+                             PolicySpec("lru"))
+    with pytest.raises(ValueError, match="negative"):
+        engine.run_multicore(addresses, np.array([0, -1, 0, 0]),
+                             PolicySpec("lru"))
+    with pytest.raises(ValueError, match="num_cores"):
+        engine.run_multicore(addresses, np.array([0, 3, 0, 0]),
+                             PolicySpec("lru"), num_cores=2)
+    with pytest.raises(ValueError, match=str(MAX_CORES)):
+        engine.run_multicore(addresses, np.array([0, MAX_CORES, 0, 0]),
+                             PolicySpec("lru"))

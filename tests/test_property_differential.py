@@ -11,7 +11,13 @@ access patterns, cache geometries, and chunk splits for divergence between
   and
 * the compiled kernel backend (:mod:`emissary.compiled`) against both,
   one-shot and streamed, flat and two-level — skipped only when no
-  compiled provider (numba or a C compiler) is available.
+  compiled provider (numba or a C compiler) is available, and
+* the multi-core shared-L2 paths: N interleaved instruction streams
+  (generated core counts, per-access core-id patterns, chunk cuts)
+  through the batched, streamed, and compiled engines against the
+  per-access multi-core reference — including the partitioned
+  EMISSARY HP budget, and the invariant that a one-core partitioned
+  run is bit-identical to a shared one.
 
 Address pools are tiny (a handful of lines, few sets) so traces constantly
 collide in sets, re-reference immediately (repeat-flag paths), and evict —
@@ -208,3 +214,126 @@ def test_hierarchy_compiled_matches_python(policy, chunked):
         assert np.array_equal(other.l1.hits, oneshot.l1.hits)
         assert np.array_equal(other.l2.hits, oneshot.l2.hits)
         assert other.l2.policy_stats == oneshot.l2.policy_stats
+
+
+# -- multi-core shared L2 --------------------------------------------------
+
+multicore_policies = st.sampled_from([
+    PolicySpec("lru"),
+    PolicySpec("srrip"),
+    PolicySpec("emissary", {"hp_threshold": 2, "prob_inv": 4}),
+    PolicySpec("emissary", {"hp_threshold": 2, "prob_inv": 4,
+                            "hp_budget": "partitioned"}),
+])
+
+MC_CONFIG = HierarchyConfig(l1=CacheConfig(num_sets=2, ways=1),
+                            l2=CacheConfig(num_sets=4, ways=2))
+
+
+@st.composite
+def multicore_traces(draw, max_len=300):
+    """An adversarial shared-L2 workload: a tiny-pool access pattern plus
+    a drawn per-access core-id pattern (tiled across the trace), so the
+    cores' streams constantly interleave and contend in the same sets.
+    Cores may be absent from the pattern — ``num_cores`` is explicit."""
+    num_cores = draw(st.integers(min_value=1, max_value=4))
+    addresses = draw(traces(max_len=max_len))
+    pattern = draw(st.lists(st.integers(0, num_cores - 1),
+                            min_size=1, max_size=12))
+    core_ids = np.resize(np.array(pattern, dtype=np.int64), len(addresses))
+    return num_cores, addresses, core_ids
+
+
+@st.composite
+def chunked_multicore(draw):
+    """A multi-core workload plus a random partition of the aligned
+    (addresses, core_ids) pair into contiguous chunk tuples."""
+    num_cores, addresses, core_ids = draw(multicore_traces())
+    n = len(addresses)
+    if n > 1:
+        cut_count = draw(st.integers(min_value=0, max_value=min(8, n - 1)))
+        cuts = sorted(draw(st.sets(st.integers(1, n - 1),
+                                   min_size=cut_count, max_size=cut_count)))
+    else:
+        cuts = []
+    bounds = [0, *cuts, n]
+    chunks = [(addresses[lo:hi], core_ids[lo:hi])
+              for lo, hi in zip(bounds[:-1], bounds[1:])]
+    return num_cores, addresses, core_ids, chunks
+
+
+@settings(max_examples=30, deadline=None)
+@given(policy=multicore_policies, mc=multicore_traces())
+def test_multicore_batched_matches_reference(policy, mc):
+    num_cores, addresses, core_ids = mc
+    batched = _sanitized(BatchedHierarchyEngine, MC_CONFIG).run_multicore(
+        addresses, core_ids, policy, num_cores=num_cores, seed=SEED)
+    reference = _sanitized(HierarchyReferenceEngine, MC_CONFIG).run_multicore(
+        addresses, core_ids, policy, num_cores=num_cores, seed=SEED)
+    assert np.array_equal(batched.l1.hits, reference.l1.hits)
+    assert np.array_equal(batched.l2.hits, reference.l2.hits)
+    assert batched.per_core == reference.per_core
+    # The naive oracle reports only the shared unique-footprint stat
+    # (hierarchy convention); it must agree with the batched engine's.
+    assert (batched.l2.policy_stats["unique_l1_miss_lines"]
+            == reference.l2.policy_stats["unique_l1_miss_lines"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(policy=multicore_policies, mc=chunked_multicore())
+def test_multicore_stream_matches_oneshot(policy, mc):
+    num_cores, addresses, core_ids, chunks = mc
+    oneshot = _sanitized(BatchedHierarchyEngine, MC_CONFIG).run_multicore(
+        addresses, core_ids, policy, num_cores=num_cores, seed=SEED)
+    streamed = _sanitized(
+        BatchedHierarchyEngine, MC_CONFIG).simulate_stream_multicore(
+        chunks, policy, num_cores=num_cores, seed=SEED)
+    assert np.array_equal(streamed.l1.hits, oneshot.l1.hits)
+    assert np.array_equal(streamed.l2.hits, oneshot.l2.hits)
+    assert streamed.per_core == oneshot.per_core
+    assert streamed.l2.policy_stats == oneshot.l2.policy_stats
+
+
+@needs_compiled
+@settings(max_examples=25, deadline=None)
+@given(policy=multicore_policies, mc=chunked_multicore())
+def test_multicore_compiled_matches_python(policy, mc):
+    num_cores, addresses, core_ids, chunks = mc
+    oneshot = _sanitized(BatchedHierarchyEngine, MC_CONFIG).run_multicore(
+        addresses, core_ids, policy, num_cores=num_cores, seed=SEED)
+    compiled = _sanitized_compiled(
+        BatchedHierarchyEngine, MC_CONFIG).run_multicore(
+        addresses, core_ids, policy, num_cores=num_cores, seed=SEED)
+    streamed = _sanitized_compiled(
+        BatchedHierarchyEngine, MC_CONFIG).simulate_stream_multicore(
+        chunks, policy, num_cores=num_cores, seed=SEED)
+    for other in (compiled, streamed):
+        assert np.array_equal(other.l1.hits, oneshot.l1.hits)
+        assert np.array_equal(other.l2.hits, oneshot.l2.hits)
+        assert other.per_core == oneshot.per_core
+        assert other.l2.policy_stats == oneshot.l2.policy_stats
+
+
+@settings(max_examples=20, deadline=None)
+@given(addresses=traces())
+def test_partitioned_budget_equals_shared_on_one_core(addresses):
+    """With one core the partitioned HP budget degenerates to the whole
+    shared budget, so the two modes must be bit-identical — this is what
+    lets single-core solo baselines drop the ``hp_budget`` param."""
+    core_ids = np.zeros(len(addresses), dtype=np.int64)
+    shared = PolicySpec("emissary", {"hp_threshold": 2, "prob_inv": 4})
+    partitioned = PolicySpec("emissary", {"hp_threshold": 2, "prob_inv": 4,
+                                          "hp_budget": "partitioned"})
+    a = _sanitized(BatchedHierarchyEngine, MC_CONFIG).run_multicore(
+        addresses, core_ids, shared, num_cores=1, seed=SEED)
+    b = _sanitized(BatchedHierarchyEngine, MC_CONFIG).run_multicore(
+        addresses, core_ids, partitioned, num_cores=1, seed=SEED)
+    assert np.array_equal(a.l2.hits, b.l2.hits)
+    assert a.per_core == b.per_core
+    # Partitioned runs annotate two extra stat keys; everything the two
+    # modes share must be identical, and the one quota holds everything.
+    b_stats = dict(b.l2.policy_stats)
+    assert b_stats.pop("hp_budget") == "partitioned"
+    by_core = b_stats.pop("hp_lines_final_by_core")
+    assert sum(by_core) == b_stats["hp_lines_final"]
+    assert a.l2.policy_stats == b_stats

@@ -88,6 +88,47 @@ def test_render_report_stream_digest():
     assert render_report(_envelope()).count("stream:") == 0
 
 
+def test_render_report_fairness_digest_golden():
+    """Multi-core rows annotated by ``sweep.add_fairness`` render a
+    per-core solo-vs-shared MPKI digest with the worst delta and spread."""
+    envelope = _envelope()
+    row = envelope["rows"][0]
+    row["config"]["trace"] = {
+        "cores": [{"kind": "loop", "n": 60, "seed": 0, "params": {}},
+                  {"kind": "call", "n": 40, "seed": 1, "params": {}}],
+        "weights": [2, 1]}
+    row["result"]["num_cores"] = 2
+    row["result"]["per_core"] = [
+        {"core": 0, "n": 60, "l1_misses": 9, "l2_misses": 6, "l2_hits": 3,
+         "l1_mpki": 150.0, "l2_mpki": 100.0},
+        {"core": 1, "n": 40, "l1_misses": 6, "l2_misses": 2, "l2_hits": 4,
+         "l1_mpki": 150.0, "l2_mpki": 50.0}]
+    row["fairness"] = {"per_core": [
+        {"core": 0, "solo_l2_mpki": 80.0, "shared_l2_mpki": 100.0,
+         "delta_l2_mpki": 20.0},
+        {"core": 1, "solo_l2_mpki": 55.0, "shared_l2_mpki": 50.0,
+         "delta_l2_mpki": -5.0}]}
+    row["result"]["telemetry"]["counters"].update(
+        {"core0.n": 60, "core0.l1_misses": 9, "core0.l2_misses": 6,
+         "core1.n": 40, "core1.l1_misses": 6, "core1.l2_misses": 2})
+    report = render_report(envelope)
+    # Multi-core configs are labelled by their core mix.
+    assert "mix/loop+call" in report
+    # The digest itself, line for line.
+    assert "fairness (per-core L2 MPKI vs solo baseline):" in report
+    assert "core 0: solo 80.00 -> shared 100.00 MPKI (delta +20.00)" in report
+    assert "core 1: solo 55.00 -> shared 50.00 MPKI (delta -5.00)" in report
+    assert "worst delta +20.00, spread 25.00" in report
+    # Per-core telemetry counters render alongside the l1./l2. digests.
+    assert "core0: n=60  l1_misses=9  l2_misses=6" in report
+    assert "core1: n=40  l1_misses=6  l2_misses=2" in report
+    # A fairness baseline error is surfaced, not dropped.
+    row["fairness"]["per_core"][1] = {"core": 1, "error": "boom"}
+    assert "core 1: baseline error: boom" in render_report(envelope)
+    # Rows without fairness annotations don't grow the section.
+    assert "fairness" not in render_report(_envelope())
+
+
 def test_load_sweep_output_accepts_legacy_bare_list(tmp_path):
     rows = _envelope()["rows"][:1]
     path = tmp_path / "legacy.json"

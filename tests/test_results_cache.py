@@ -1,10 +1,12 @@
 """Tests for the on-disk results cache and its integrity guard."""
 
 import json
+import multiprocessing
 import threading
 
 from emissary.results_cache import (
     SCHEMA_VERSION,
+    BudgetedResultsCache,
     ResultsCache,
     config_key,
     strip_advisory,
@@ -134,6 +136,66 @@ def test_concurrent_stores_never_publish_torn_entries(tmp_path):
     assert loaded["round"] == rounds - 1
     assert loaded["worker"] in range(threads_n)
     # No staging litter left behind.
+    assert not list(tmp_path.glob("*.tmp"))
+    assert not list(tmp_path.glob(".*.tmp"))
+
+
+def _stress_worker(cache_dir: str, worker: int, rounds: int,
+                   n_keys: int, queue) -> None:
+    """Hammer one shared budgeted cache dir: interleaved stores (which
+    evict) and loads over a small rotating key set.  Every load must be
+    either a miss (None) or a *complete, intact* result — the integrity
+    guard turns any torn/corrupt read into a warned miss, and a torn
+    read slipping through validation would surface as a wrong payload
+    here.  Runs in a separate process, so must be module-level."""
+    try:
+        cache = BudgetedResultsCache(cache_dir, budget_bytes=2_000)
+        bad = []
+        for round_no in range(rounds):
+            key_no = (worker + round_no) % n_keys
+            config = {"policy": "lru", "key_no": key_no}
+            payload = {"hit_rate": 0.5, "worker": worker, "round": round_no,
+                       "pad": "x" * 200}  # big enough to force evictions
+            cache.store(config, payload)
+            loaded = cache.load({"policy": "lru",
+                                 "key_no": round_no % n_keys})
+            if loaded is not None and (
+                    set(loaded) != {"hit_rate", "worker", "round", "pad"}
+                    or loaded["pad"] != "x" * 200):
+                bad.append(loaded)
+        queue.put(("ok", worker, bad))
+    except Exception as exc:  # pragma: no cover - failure path
+        queue.put(("error", worker, repr(exc)))
+
+
+def test_multiprocess_store_load_evict_stress(tmp_path):
+    """Several processes concurrently store, load, and LRU-evict in one
+    budgeted cache directory.  The TOCTOU audit promises: no crashes
+    (vanished files are ordinary misses, lost eviction races are
+    skipped), and no torn reads (every successful load is one writer's
+    complete entry)."""
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    procs_n, rounds, n_keys = 4, 30, 6
+    procs = [ctx.Process(target=_stress_worker,
+                         args=(str(tmp_path), i, rounds, n_keys, queue))
+             for i in range(procs_n)]
+    for p in procs:
+        p.start()
+    outcomes = [queue.get(timeout=120) for _ in procs]
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    errors = [o for o in outcomes if o[0] == "error"]
+    assert not errors, errors
+    torn = [o[2] for o in outcomes if o[2]]
+    assert not torn, torn
+    # The survivors must still be a valid cache under budget: everything
+    # left on disk loads cleanly, and no staging litter remains.
+    cache = BudgetedResultsCache(str(tmp_path), budget_bytes=2_000)
+    for key_no in range(n_keys):
+        loaded = cache.load({"policy": "lru", "key_no": key_no})
+        assert loaded is None or loaded["pad"] == "x" * 200
     assert not list(tmp_path.glob("*.tmp"))
     assert not list(tmp_path.glob(".*.tmp"))
 

@@ -26,7 +26,8 @@ from emissary.results_cache import BudgetedResultsCache, config_key
 from emissary.serve.__main__ import _stream_simulate
 from emissary.serve.loadgen import build_request_mix, fetch_json, fetch_text
 from emissary.serve.server import start_server
-from emissary.serve.service import QueueFullError, SimService
+from emissary.serve.service import (DEFAULT_RETRY_AFTER_S, MAX_RETRY_AFTER_S,
+                                    QueueFullError, SimService)
 from emissary.traces import TraceSpec
 
 TRACE = TraceSpec("loop", 2_000, 1, {"footprint_lines": 100})
@@ -173,6 +174,38 @@ class TestSingleFlight:
         assert exc.retry_after_s >= 1
         assert joined.status == "joined"
         assert service.telemetry.counters["serve.rejected"] == 1
+
+    def test_retry_after_derived_from_queue_depth_and_p50(self, tmp_path):
+        async def scenario():
+            service = SimService(cache_dir=tmp_path, worker_fn=slow_worker,
+                                 queue_watermark=2)
+            try:
+                # Cold start: nothing observed yet -> static default.
+                cold = service.retry_after_s(10)
+                # Median service time 0.5s (the 9.0 outlier must not
+                # drag the hint up the way a mean would).
+                for latency in (0.4, 0.5, 0.6, 9.0):
+                    service.observe_latency(latency)
+                shallow = service.retry_after_s(1)      # ceil(0.5) = 1
+                deep = service.retry_after_s(8)         # ceil(4.0) = 4
+                clamped = service.retry_after_s(10_000)  # hits the ceiling
+
+                # The derived hint rides the raised QueueFullError.
+                first = service.admit(make_request(seed=1).to_dict())
+                second = service.admit(make_request(seed=2).to_dict())
+                with pytest.raises(QueueFullError) as excinfo:
+                    service.admit(make_request(seed=3).to_dict())
+                await asyncio.gather(first.future, second.future)
+            finally:
+                await service.aclose()
+            return cold, shallow, deep, clamped, excinfo.value
+
+        cold, shallow, deep, clamped, exc = run(scenario())
+        assert cold == DEFAULT_RETRY_AFTER_S
+        assert shallow == 1
+        assert deep == 4
+        assert clamped == MAX_RETRY_AFTER_S
+        assert exc.retry_after_s == 1  # depth 2 x 0.5s p50, rounded up
 
     def test_worker_crash_returns_error_row_and_pool_survives(self, tmp_path):
         async def scenario():

@@ -11,7 +11,8 @@ import pytest
 
 from emissary.api import PolicySpec
 from emissary.engine import BatchedEngine, CacheConfig
-from emissary.hierarchy import BatchedHierarchyEngine, HierarchyConfig
+from emissary.hierarchy import (BatchedHierarchyEngine, HierarchyConfig,
+                                MissCountTable)
 from emissary.policies import POLICY_NAMES
 from emissary.telemetry import Telemetry
 from emissary.traces import TraceSpec
@@ -81,7 +82,8 @@ def test_boundary_splits_mru_run(policy):
 
 def test_run_spanning_many_chunks_carries_in_o1():
     """A single MRU run longer than many chunks is carried as one
-    compressed (line, u, cost, length) tuple, not buffered accesses."""
+    compressed (line, u, cost, core, length) tuple, not buffered
+    accesses."""
     addresses = np.full(5_000, np.uint64(0x400000))
     spec = _spec("srrip")
     engine = BatchedEngine(CONFIG)
@@ -89,7 +91,7 @@ def test_run_spanning_many_chunks_carries_in_o1():
     for chunk in _chunks(addresses, 13):
         stream.feed(chunk)
     assert stream._pending is not None
-    assert stream._pending[3] == 5_000  # whole run, one carried tuple
+    assert stream._pending[4] == 5_000  # whole run, one carried tuple
     assert not stream._hit_chunks  # nothing resolved yet
     result = stream.finish()
     oneshot = engine.run(addresses, spec, seed=SEED)
@@ -250,6 +252,46 @@ def test_stream_lifecycle_errors():
     # finish() after an explicit flush is fine (idempotent assembly).
     result = stream.finish()
     assert result.n == 4
+
+
+def test_miss_count_table_matches_dict_walk():
+    """MissCountTable.advance must be outcome-identical to the plain
+    per-key dict walk it replaced, across arbitrary chunk cuts."""
+    rng = np.random.default_rng(7)
+    keys = rng.integers(0, 50, size=3_000).astype(np.uint64)
+    reference: dict[int, int] = {}
+    expect = np.zeros(len(keys), dtype=np.int64)
+    for i, key in enumerate(keys.tolist()):
+        reference[key] = reference.get(key, 0) + 1
+        expect[i] = reference[key]
+    for cut in (1, 7, 997, 10**9):
+        table = MissCountTable()
+        got = np.concatenate(
+            [table.advance(c) for c in _chunks(keys, cut)] or
+            [np.zeros(0, dtype=np.int64)])
+        assert np.array_equal(got, expect)
+        assert len(table) == len(reference)
+        assert np.array_equal(table.keys, np.sort(np.unique(keys)))
+        assert table.counts.sum() == len(keys)
+    assert MissCountTable().advance(np.zeros(0, dtype=np.uint64)).tolist() == []
+
+
+def test_miss_count_table_footprint_bounded_by_unique_keys():
+    """The streamed hierarchy's miss-count state must scale with the
+    *unique* miss-line footprint (16 bytes per key), not with the number
+    of accesses — that was the point of replacing the unbounded dict."""
+    unique = 1_000
+    table = MissCountTable()
+    rng = np.random.default_rng(3)
+    total = 0
+    for _ in range(50):  # 500k accesses over a fixed 1k-line footprint
+        chunk = rng.integers(0, unique, size=10_000).astype(np.uint64)
+        table.advance(chunk)
+        total += len(chunk)
+    assert total == 500_000
+    assert len(table) <= unique
+    assert table.nbytes == len(table) * 16
+    assert table.counts.sum() == total
 
 
 def test_mismatched_cost_length_rejected():

@@ -7,9 +7,10 @@ import pytest
 from emissary.api import PolicySpec, SimRequest
 from emissary.engine import CacheConfig
 from emissary.hierarchy import HierarchyConfig
-from emissary.sweep import (SWEEP_SCHEMA_VERSION, build_envelope, build_grid,
-                            demo_grid, main, make_config, run_config, run_sweep)
-from emissary.traces import TraceSpec
+from emissary.sweep import (SWEEP_SCHEMA_VERSION, add_fairness, build_envelope,
+                            build_grid, demo_grid, main, make_config,
+                            run_config, run_sweep, solo_requests)
+from emissary.traces import InterleaveSpec, TraceSpec
 
 
 def small_grid(n=2_000):
@@ -25,6 +26,67 @@ def hierarchy_grid(n=2_000):
     traces = [TraceSpec("loop", n, 1, {"footprint_lines": 100})]
     return build_grid(traces, ["lru", "emissary"], cache, seed=1,
                       hp_thresholds=[2], prob_invs=[8], min_l1_misses=2)
+
+
+def multicore_grid(n=2_000):
+    cache = HierarchyConfig(l1=CacheConfig(num_sets=8, ways=2),
+                            l2=CacheConfig(num_sets=16, ways=4))
+    mix = InterleaveSpec(cores=(TraceSpec("loop", n, 1,
+                                          {"footprint_lines": 100}),
+                                TraceSpec("call", n // 2, 2)),
+                         weights=(2, 1))
+    return build_grid([mix], ["lru", "emissary"], cache, seed=1,
+                      hp_thresholds=[2], prob_invs=[8], min_l1_misses=2,
+                      hp_budgets=("shared", "partitioned"))
+
+
+def test_build_grid_hp_budget_axis():
+    grid = multicore_grid()
+    assert len(grid) == 3  # lru + emissary x {shared, partitioned}
+    emissary = [g for g in grid if g.policy.name == "emissary"]
+    # Shared is the implicit default — no param, so pre-existing cache
+    # keys stay stable; only the partitioned point is annotated.
+    assert sorted(g.policy.params.get("hp_budget", "shared")
+                  for g in emissary) == ["partitioned", "shared"]
+    assert sum("hp_budget" in g.policy.params for g in emissary) == 1
+
+
+def test_solo_requests_strip_budget_axis():
+    partitioned = next(g for g in multicore_grid()
+                       if "hp_budget" in g.policy.params)
+    solos = solo_requests(partitioned)
+    assert [s.trace.kind for s in solos] == ["loop", "call"]
+    for solo in solos:
+        assert not solo.is_multicore
+        assert "hp_budget" not in solo.policy.params  # shared == partitioned solo
+        assert solo.config == partitioned.config
+        assert solo.seed == partitioned.seed
+    with pytest.raises(ValueError, match="multi-core"):
+        solo_requests(small_grid()[0])
+
+
+def test_multicore_sweep_smoke_with_fairness(tmp_path):
+    rows = run_sweep(multicore_grid(), workers=0, cache_dir=tmp_path)
+    assert all("result" in row for row in rows)
+    for row in rows:
+        assert row["result"]["num_cores"] == 2
+        assert [r["core"] for r in row["result"]["per_core"]] == [0, 1]
+    assert add_fairness(rows, workers=0, cache_dir=tmp_path) == len(rows)
+    for row in rows:
+        per_core = row["fairness"]["per_core"]
+        assert [r["core"] for r in per_core] == [0, 1]
+        for r in per_core:
+            assert r["delta_l2_mpki"] == pytest.approx(
+                r["shared_l2_mpki"] - r["solo_l2_mpki"])
+            assert r["shared_l2_mpki"] == pytest.approx(
+                row["result"]["per_core"][r["core"]]["l2_mpki"])
+    # Solo baselines are ordinary cacheable sweep points: a rerun of the
+    # fairness pass is answered entirely from the results cache.
+    again = run_sweep(multicore_grid(), workers=0, cache_dir=tmp_path)
+    assert all(row["cached"] for row in again)
+    assert add_fairness(again, workers=0, cache_dir=tmp_path) == len(again)
+    assert [row["fairness"] for row in again] == [row["fairness"]
+                                                  for row in rows]
 
 
 def test_build_grid_expands_emissary_params():
@@ -206,13 +268,20 @@ def test_sweep_telemetry_flag_rekeys_and_instruments(tmp_path):
 def test_demo_grid_covers_all_policies_and_both_levels():
     grid = demo_grid(n=100)
     assert {g.policy.name for g in grid} == {"lru", "random", "srrip", "emissary"}
-    assert {g.trace.kind for g in grid} == {"loop", "shift", "call"}
+    single = [g for g in grid if not g.is_multicore]
+    assert {g.trace.kind for g in single} == {"loop", "shift", "call"}
     hierarchy = [g for g in grid if g.is_hierarchy]
     assert hierarchy and any(not g.is_hierarchy for g in grid)
     # The demo's hierarchy EMISSARY points gate HP candidacy on measured
     # L1I miss counts.
     assert all(g.policy.params["min_l1_misses"] == 2
                for g in hierarchy if g.policy.name == "emissary")
+    # The multi-core leg sweeps the HP-budget axis on a shared L2.
+    multicore = [g for g in grid if g.is_multicore]
+    assert multicore and all(g.is_hierarchy for g in multicore)
+    budgets = {g.policy.params.get("hp_budget", "shared")
+               for g in multicore if g.policy.name == "emissary"}
+    assert budgets == {"shared", "partitioned"}
 
 
 def test_make_config_is_cache_key_stable():
@@ -260,6 +329,40 @@ def test_cli_hierarchy_axes(tmp_path, capsys):
     assert cfg["policy"]["params"]["min_l1_misses"] == 2
     assert rows[0]["result"]["l2"]["policy_stats"]["min_l1_misses"] == 2
     assert "MPKI" in capsys.readouterr().out
+
+
+def test_cli_interleave_sweeps_budget_axis(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    rc = main(["--traces", "loop,call", "--n", "1000", "--policies", "emissary",
+               "--hp-thresholds", "2", "--prob-invs", "8",
+               "--num-sets", "32", "--ways", "4",
+               "--l1-sets", "8", "--l1-ways", "2", "--min-l1-misses", "2",
+               "--hp-budgets", "shared,partitioned",
+               "--interleave", "--weights", "2,1",
+               "--workers", "1", "--cache-dir", str(tmp_path / "rc"),
+               "--out", str(out)])
+    assert rc == 0
+    rows = json.loads(out.read_text())["rows"]
+    # The interleaved mix rides alongside the plain per-trace points and
+    # sweeps both HP-budget modes.
+    mix_rows = [r for r in rows if "cores" in r["config"]["trace"]]
+    budgets = sorted(r["config"]["policy"]["params"].get("hp_budget", "shared")
+                     for r in mix_rows)
+    assert budgets == ["partitioned", "shared"]
+    for row in mix_rows:
+        assert row["result"]["num_cores"] == 2
+        assert [pc["core"] for pc in row["fairness"]["per_core"]] == [0, 1]
+    assert "mix/loop+call" in capsys.readouterr().out
+
+
+def test_cli_interleave_requires_hierarchy_and_two_traces(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["--traces", "loop,call", "--interleave", "--n", "100",
+              "--cache-dir", str(tmp_path)])  # no --l1-sets
+    with pytest.raises(SystemExit):
+        main(["--traces", "loop", "--interleave", "--l1-sets", "8",
+              "--n", "100", "--cache-dir", str(tmp_path)])
+    capsys.readouterr()
 
 
 def test_build_envelope_aggregates_rows():

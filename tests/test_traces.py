@@ -8,11 +8,14 @@ from emissary.traces import (
     FILE_KIND,
     GENERATORS,
     LINE_BYTES,
+    MAX_CORES,
     FrozenParams,
+    InterleaveSpec,
     TraceSpec,
     _ADDR_ITEMSIZE,
     call_heavy,
     looping_code,
+    trace_spec_from_dict,
     working_set_shift,
 )
 
@@ -186,3 +189,71 @@ class TestChunkedGeneration:
         lines = np.concatenate(list(chunks)) // LINE_BYTES
         assert lines.min() >= base // LINE_BYTES
         assert lines.max() < base // LINE_BYTES + footprint
+
+
+class TestInterleaveSpec:
+    """Deterministic weighted round-robin interleaving of N core traces."""
+
+    MIX = InterleaveSpec(cores=(TraceSpec("loop", 5_000, 1,
+                                          {"footprint_lines": 64}),
+                                TraceSpec("call", 3_000, 2),
+                                TraceSpec("shift", 4_000, 3,
+                                          {"footprint_lines": 32})),
+                         weights=(3, 1, 2))
+
+    def test_generate_shape_and_conservation(self):
+        addresses, core_ids = self.MIX.generate()
+        assert len(addresses) == len(core_ids) == self.MIX.n == 12_000
+        assert addresses.dtype == np.uint64
+        # Every core contributes exactly its own trace, in order.
+        for i, spec in enumerate(self.MIX.cores):
+            assert np.array_equal(addresses[core_ids == i], spec.generate())
+
+    def test_weighted_round_robin_schedule(self):
+        _, core_ids = self.MIX.generate()
+        # First full round: 3 accesses of core 0, 1 of core 1, 2 of core 2.
+        assert core_ids[:6].tolist() == [0, 0, 0, 1, 2, 2]
+        # Core 1 (n=3000, weight 1) exhausts after 3000 rounds; later
+        # rounds interleave only cores 0 and 2.
+        assert core_ids[core_ids != 0][:2].tolist() == [1, 2]
+
+    def test_generate_chunks_bit_identical(self):
+        addresses, core_ids = self.MIX.generate()
+        for chunk_bytes in (256, 4_096, 1 << 24):
+            pairs = list(self.MIX.generate_chunks(chunk_bytes=chunk_bytes))
+            assert np.array_equal(np.concatenate([a for a, _ in pairs]),
+                                  addresses)
+            assert np.array_equal(np.concatenate([c for _, c in pairs]),
+                                  core_ids)
+
+    def test_wire_roundtrip_and_dispatch(self):
+        d = self.MIX.to_dict()
+        assert InterleaveSpec.from_dict(d) == self.MIX
+        assert trace_spec_from_dict(d) == self.MIX
+        single = TraceSpec("loop", 100, 0, {"footprint_lines": 8})
+        assert trace_spec_from_dict(single.to_dict()) == single
+
+    def test_frozen_and_hashable(self):
+        assert hash(self.MIX) == hash(InterleaveSpec(
+            cores=self.MIX.cores, weights=self.MIX.weights))
+        with pytest.raises(AttributeError):
+            self.MIX.weights = (1, 1, 1)
+
+    def test_default_weights_are_plain_round_robin(self):
+        mix = InterleaveSpec(cores=self.MIX.cores[:2])
+        assert mix.weights == (1, 1)
+        _, core_ids = mix.generate()
+        assert core_ids[:4].tolist() == [0, 1, 0, 1]
+
+    def test_validation(self):
+        cores = self.MIX.cores
+        with pytest.raises(ValueError, match="at least one"):
+            InterleaveSpec(cores=())
+        with pytest.raises(ValueError, match="weights"):
+            InterleaveSpec(cores=cores, weights=(1, 2))
+        with pytest.raises(ValueError, match="positive"):
+            InterleaveSpec(cores=cores, weights=(1, 0, 2))
+        with pytest.raises(TypeError, match="TraceSpec"):
+            InterleaveSpec(cores=({"kind": "loop"},))
+        with pytest.raises(ValueError, match=str(MAX_CORES)):
+            InterleaveSpec(cores=(cores[0],) * (MAX_CORES + 1))
