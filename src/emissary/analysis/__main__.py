@@ -1,10 +1,15 @@
 """CLI for the analysis package.
 
     python -m emissary.analysis lint [paths...] [--select EMI001,EMI005]
+                                     [--sarif out.sarif]
     python -m emissary.analysis rules
+    python -m emissary.analysis schema --check | --update
 
 ``lint`` exits 0 on a clean tree, 1 when violations were found, and 2
 on usage errors or unreadable input.  ``rules`` prints the EMI catalog.
+``schema`` recomputes the wire-schema lock: ``--check`` (the default)
+fails on any drift against ``schemas.lock.json``; ``--update`` rewrites
+it, refusing field drift on a versioned unit without a version bump.
 """
 
 from __future__ import annotations
@@ -25,6 +30,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.sarif:
+        from emissary.analysis.sarif import write_sarif
+
+        write_sarif(report, args.sarif)
+        print(f"wrote {args.sarif}", file=sys.stderr)
     for violation in report.violations:
         print(violation.format())
     noun = "file" if report.files_checked == 1 else "files"
@@ -44,6 +54,16 @@ def _cmd_rules(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schema(args: argparse.Namespace) -> int:
+    from emissary.analysis import schema_lock
+
+    action = schema_lock.update if args.update else schema_lock.check
+    code, messages = action(root=args.root, lock=args.lock)
+    for message in messages:
+        print(message, file=sys.stderr if code else sys.stdout)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m emissary.analysis",
@@ -56,10 +76,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--select", action="append", default=[],
                         metavar="CODES",
                         help="comma-separated rule codes to run (default: all)")
+    lint_p.add_argument("--sarif", metavar="PATH", default=None,
+                        help="also write findings as SARIF 2.1.0 to PATH")
     lint_p.set_defaults(func=_cmd_lint)
 
     rules_p = sub.add_parser("rules", help="list the EMI rule catalog")
     rules_p.set_defaults(func=_cmd_rules)
+
+    schema_p = sub.add_parser(
+        "schema", help="wire-schema drift gate against schemas.lock.json")
+    group = schema_p.add_mutually_exclusive_group()
+    group.add_argument("--check", action="store_true",
+                       help="fail on drift against the lock (default)")
+    group.add_argument("--update", action="store_true",
+                       help="rewrite the lock (refuses un-bumped drift)")
+    schema_p.add_argument("--root", default="src/emissary",
+                          help="package root to extract (default: src/emissary)")
+    schema_p.add_argument("--lock", default="schemas.lock.json",
+                          help="lock file path (default: schemas.lock.json)")
+    schema_p.set_defaults(func=_cmd_schema)
     return parser
 
 

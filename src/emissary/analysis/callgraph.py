@@ -1,0 +1,458 @@
+"""Lightweight project call graph for interprocedural analysis.
+
+The per-file EMI rules (EMI001-EMI006) can prove properties of a single
+module, but the determinism guarantee is a property of *reachability*:
+a policy kernel is pure only if no RNG/clock/filesystem call is
+reachable through any chain of helpers, not merely absent from the
+kernel's own module.  This module builds the call graph those proofs
+run on.
+
+Scope and philosophy:
+
+* **Module-qualified defs.**  Every function and method in the analyzed
+  tree gets a stable qualified name ``package.module:Class.method`` (or
+  ``package.module:func``, with nested functions as ``outer.inner``).
+* **Conservative on dynamic dispatch.**  ``self.m()`` resolves to every
+  method named ``m`` visible on the enclosing class *and* on any project
+  class related to it by inheritance (bases and subclasses, resolved by
+  name).  When the enclosing class does not define ``m`` at all, the
+  call resolves to **every** project method named ``m`` — over-
+  approximation is the safe direction for a purity proof.  A short
+  denylist of ubiquitous container/str method names (``get``, ``pop``,
+  ``append``, ...) is exempted from that widening: linking every
+  ``d.get(...)`` to every project ``get`` method would drown the graph
+  in edges that cannot be real dispatch targets for plain-dict call
+  sites, and those names are never analysis entry points.
+* **Externals are kept, not dropped.**  A call that cannot be resolved
+  to a project function becomes an *external* edge carrying its dotted
+  call text (``time.perf_counter``, ``self._tel.inc`` -> ``inc``).
+  Purity rules match forbidden patterns against those strings.
+* **Nested defs are reachable from their definer.**  A closure handed
+  to a callback registry is typically invoked on the definer's behalf;
+  the definition edge keeps such indirect calls inside the
+  over-approximation.
+
+The graph is deliberately flow-insensitive and context-insensitive:
+cheap enough to rebuild on every lint run, precise enough that the
+repo's real kernels prove pure without suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from emissary.analysis.lint import dotted_name, iter_python_files
+
+#: Method names excluded from the "any project method with this name"
+#: dynamic-dispatch widening: ubiquitous container/str/protocol methods
+#: whose call sites overwhelmingly target builtins, not project classes.
+COMMON_METHOD_NAMES = frozenset({
+    "add", "append", "clear", "copy", "count", "decode", "discard",
+    "encode", "endswith", "extend", "format", "get", "index", "insert",
+    "items", "join", "keys", "lower", "pop", "popitem", "read", "remove",
+    "replace", "setdefault", "sort", "split", "startswith", "strip",
+    "update", "upper", "values", "write",
+})
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One outgoing call from a function.
+
+    ``kind`` is ``"fn"`` for a resolved project function (``target`` is
+    its qualified name) or ``"ext"`` for an unresolved external call
+    (``target`` is the dotted call text as written, e.g. ``time.time``
+    or — for unresolvable receivers — just the method name).
+    """
+
+    kind: str
+    target: str
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    """One project function/method and everything resolution needs."""
+
+    qual: str            # "package.module:Class.method" / "package.module:func"
+    module: str          # "package.module"
+    name: str            # bare function name
+    cls: str | None      # enclosing class name, None for module-level
+    path: Path
+    line: int
+    is_async: bool
+    edges: list[CallEdge] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """A project class: its methods and (name-resolved) base classes."""
+
+    qual: str            # "package.module:Class"
+    module: str
+    name: str
+    bases: tuple[str, ...]          # base names as written (last attr part)
+    methods: dict[str, str] = field(default_factory=dict)  # name -> fn qual
+
+
+class CallGraph:
+    """The resolved project call graph (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: method name -> every project function qual implementing it.
+        self.methods_by_name: dict[str, list[str]] = {}
+
+    def function(self, qual: str) -> FunctionInfo | None:
+        return self.functions.get(qual)
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+
+    def reachable(self, roots: Iterable[str]) -> "ReachableSet":
+        """BFS over call edges from ``roots``.
+
+        Cycles are handled by the visited set; the result records, for
+        every reached function and external, one shortest call path back
+        to a root (for diagnostics).
+        """
+        reached: dict[str, tuple[str, ...]] = {}
+        externals: dict[str, tuple[tuple[str, ...], int]] = {}
+        queue: list[tuple[str, tuple[str, ...]]] = []
+        for root in roots:
+            if root in self.functions and root not in reached:
+                reached[root] = (root,)
+                queue.append((root, (root,)))
+        while queue:
+            qual, path = queue.pop(0)
+            for edge in self.functions[qual].edges:
+                if edge.kind == "fn":
+                    if edge.target in reached:
+                        continue
+                    target_path = path + (edge.target,)
+                    reached[edge.target] = target_path
+                    queue.append((edge.target, target_path))
+                elif edge.target not in externals:
+                    externals[edge.target] = (path, edge.line)
+        return ReachableSet(functions=reached, externals=externals)
+
+
+@dataclass
+class ReachableSet:
+    """Functions and externals reachable from one set of roots.
+
+    ``functions`` maps each reached qual to its call path from a root;
+    ``externals`` maps each external call text to ``(path of the calling
+    function, call line)``.
+    """
+
+    functions: dict[str, tuple[str, ...]]
+    externals: dict[str, tuple[tuple[str, ...], int]]
+
+
+# -- builder ---------------------------------------------------------------
+
+
+class _ModuleIndex:
+    """Per-module import/alias table used during resolution."""
+
+    def __init__(self, module: str, package: str) -> None:
+        self.module = module
+        self.package = package
+        #: local alias -> project module name ("emissary.traces").
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> (project module, symbol) for `from X import Y`.
+        self.symbol_imports: dict[str, tuple[str, str]] = {}
+
+    def record_import(self, node: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == self.package \
+                        or alias.name.startswith(self.package + "."):
+                    self.module_aliases[alias.asname
+                                        or alias.name.split(".")[0]] = alias.name
+            return
+        target = node.module
+        if node.level:  # relative import: resolve against this module
+            base = self.module.split(".")
+            base = base[: len(base) - node.level]
+            target = ".".join(base + ([node.module] if node.module else []))
+        if target is None or not (target == self.package
+                                  or target.startswith(self.package + ".")):
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.symbol_imports[local] = (target, alias.name)
+
+
+class _GraphBuilder(ast.NodeVisitor):
+    """Collect defs and raw call sites for one module (pass 1)."""
+
+    def __init__(self, graph: CallGraph, index: _ModuleIndex, path: Path) -> None:
+        self.graph = graph
+        self.index = index
+        self.path = path
+        self._class_stack: list[str] = []
+        self._func_stack: list[FunctionInfo] = []
+        #: raw call sites: (caller qual, call node) resolved in pass 2.
+        self.calls: list[tuple[FunctionInfo, ast.Call]] = []
+
+    # -- defs ---------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._func_stack:
+            # Classes defined inside functions are out of scope for the
+            # project graph; their bodies still contribute call edges to
+            # the defining function via generic_visit.
+            self.generic_visit(node)
+            return
+        self._class_stack.append(node.name)
+        qual = f"{self.index.module}:{'.'.join(self._class_stack)}"
+        bases = tuple(b for b in (self._base_name(base) for base in node.bases)
+                      if b is not None)
+        self.graph.classes[qual] = ClassInfo(
+            qual=qual, module=self.index.module, name=node.name, bases=bases)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    @staticmethod
+    def _base_name(node: ast.expr) -> str | None:
+        name = dotted_name(node)
+        return name.split(".")[-1] if name else None
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                        is_async: bool) -> None:
+        cls = self._class_stack[-1] if self._class_stack \
+            and not self._func_stack else None
+        if self._func_stack:
+            scope = self._func_stack[-1].qual.split(":", 1)[1]
+            qual = f"{self.index.module}:{scope}.{node.name}"
+        elif cls is not None:
+            qual = f"{self.index.module}:{'.'.join(self._class_stack)}.{node.name}"
+        else:
+            qual = f"{self.index.module}:{node.name}"
+        info = FunctionInfo(qual=qual, module=self.index.module, name=node.name,
+                            cls=cls, path=self.path, line=node.lineno,
+                            is_async=is_async)
+        self.graph.functions[qual] = info
+        self.graph.methods_by_name.setdefault(node.name, []).append(qual)
+        if cls is not None:
+            class_qual = f"{self.index.module}:{'.'.join(self._class_stack)}"
+            self.graph.classes[class_qual].methods[node.name] = qual
+        if self._func_stack:
+            # A nested def is reachable from its definer (closures are
+            # typically invoked or registered on the definer's behalf).
+            self._func_stack[-1].edges.append(
+                CallEdge(kind="fn", target=qual, line=node.lineno))
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, is_async=True)
+
+    # -- call sites ----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._func_stack:
+            self.calls.append((self._func_stack[-1], node))
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.index.record_import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.index.record_import(node)
+
+
+def _module_name(path: Path, root: Path, package: str) -> str:
+    rel = path.relative_to(root)
+    parts = list(rel.parts)
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([package] + parts) if parts else package
+
+
+def _resolve_call(graph: CallGraph, index: _ModuleIndex, caller: FunctionInfo,
+                  call: ast.Call) -> list[CallEdge]:
+    """Resolve one call site into project and/or external edges."""
+    line = call.lineno
+    name = dotted_name(call.func)
+    if name is None:
+        # Computed callee (subscript, call-of-call, lambda): nothing to
+        # resolve; chained `.attr()` on a call result still surfaces the
+        # trailing attribute as an external below.
+        if isinstance(call.func, ast.Attribute):
+            return [CallEdge(kind="ext", target=call.func.attr, line=line)]
+        return []
+    parts = name.split(".")
+
+    def method_edges(method: str, receiver_class: str | None) -> list[CallEdge]:
+        """Conservative dispatch: enclosing hierarchy first, then any
+        project method of that name (unless it is a common container
+        method name — see COMMON_METHOD_NAMES)."""
+        targets: list[str] = []
+        if receiver_class is not None:
+            for class_qual in _hierarchy(graph, index.module, receiver_class):
+                info = graph.classes[class_qual]
+                if method in info.methods:
+                    targets.append(info.methods[method])
+        if not targets and method not in COMMON_METHOD_NAMES:
+            targets = list(graph.methods_by_name.get(method, ()))
+        if targets:
+            return [CallEdge(kind="fn", target=t, line=line)
+                    for t in sorted(set(targets))]
+        return [CallEdge(kind="ext", target=name, line=line)]
+
+    # self.m(...) / cls.m(...): dispatch within the project class graph.
+    if parts[0] in ("self", "cls") and len(parts) == 2 and caller.cls is not None:
+        return method_edges(parts[1], caller.cls)
+    if parts[0] in ("self", "cls") and len(parts) > 2:
+        # self.attr.m(...): receiver type unknown -> widen by name.
+        return method_edges(parts[-1], None)
+
+    # Bare name: local def, imported symbol, or external builtin.
+    if len(parts) == 1:
+        local = f"{index.module}:{name}"
+        if local in graph.functions:
+            return [CallEdge(kind="fn", target=local, line=line)]
+        scoped = f"{caller.qual.split(':', 1)[1]}.{name}"
+        nested = f"{index.module}:{scoped}"
+        if nested in graph.functions:
+            return [CallEdge(kind="fn", target=nested, line=line)]
+        class_qual = f"{index.module}:{name}"
+        if class_qual in graph.classes:
+            return _init_edges(graph, index.module, class_qual, line)
+        if name in index.symbol_imports:
+            mod, symbol = index.symbol_imports[name]
+            target = f"{mod}:{symbol}"
+            if target in graph.functions:
+                return [CallEdge(kind="fn", target=target, line=line)]
+            if target in graph.classes:
+                return _init_edges(graph, mod, target, line)
+        return [CallEdge(kind="ext", target=name, line=line)]
+
+    # module.func(...) via a project-module alias.
+    head = parts[0]
+    if head in index.module_aliases and len(parts) >= 2:
+        target_mod = index.module_aliases[head]
+        tail = parts[1:]
+        # `import emissary.traces` (no asname) binds "emissary", so the
+        # written dots themselves carry the module: take the longest
+        # dotted prefix as the module and the final part as the symbol.
+        if target_mod.split(".")[0] == head and target_mod != head \
+                and len(parts) > 2:
+            target_mod = ".".join(parts[:-1])
+            tail = parts[-1:]
+        fn = f"{target_mod}:{'.'.join(tail)}"
+        if fn in graph.functions:
+            return [CallEdge(kind="fn", target=fn, line=line)]
+        if fn in graph.classes:
+            return _init_edges(graph, target_mod, fn, line)
+        return [CallEdge(kind="ext", target=name, line=line)]
+
+    # imported-symbol attribute: `from emissary import traces` then
+    # traces.generate(...), or ClassName.method(...).
+    if head in index.symbol_imports:
+        mod, symbol = index.symbol_imports[head]
+        as_module = f"{mod}.{symbol}"
+        fn = f"{as_module}:{'.'.join(parts[1:])}"
+        if fn in graph.functions:
+            return [CallEdge(kind="fn", target=fn, line=line)]
+        class_qual = f"{mod}:{symbol}"
+        if class_qual in graph.classes and len(parts) == 2:
+            info = graph.classes[class_qual]
+            if parts[1] in info.methods:
+                return [CallEdge(kind="fn", target=info.methods[parts[1]],
+                                 line=line)]
+        return [CallEdge(kind="ext", target=name, line=line)]
+
+    # ClassName.method(...) in the same module.
+    class_qual = f"{index.module}:{head}"
+    if class_qual in graph.classes and len(parts) == 2:
+        info = graph.classes[class_qual]
+        if parts[1] in info.methods:
+            return [CallEdge(kind="fn", target=info.methods[parts[1]],
+                             line=line)]
+
+    # Unknown dotted receiver: keep the full text for pattern matching,
+    # and widen by method name (dynamic-dispatch conservatism).
+    edges = method_edges(parts[-1], None)
+    if all(e.target != name for e in edges):
+        edges.append(CallEdge(kind="ext", target=name, line=line))
+    return edges
+
+
+def _init_edges(graph: CallGraph, module: str, class_qual: str,
+                line: int) -> list[CallEdge]:
+    """Instantiation: edge to ``__init__``/``__post_init__`` when defined."""
+    info = graph.classes[class_qual]
+    edges = [CallEdge(kind="fn", target=info.methods[m], line=line)
+             for m in ("__init__", "__post_init__") if m in info.methods]
+    return edges or [CallEdge(kind="ext", target=info.name, line=line)]
+
+
+def _hierarchy(graph: CallGraph, module: str, cls: str) -> list[str]:
+    """The enclosing class plus name-resolved bases and subclasses."""
+    start = None
+    for qual, info in graph.classes.items():
+        if info.name == cls and info.module == module:
+            start = qual
+            break
+    if start is None:
+        return []
+    related = {start}
+    changed = True
+    while changed:  # transitive closure over the base/subclass relation
+        changed = False
+        for qual, info in graph.classes.items():
+            if qual in related:
+                continue
+            names = {graph.classes[r].name for r in related}
+            if any(base in names for base in info.bases) \
+                    or any(info.name == graph.classes[r].name
+                           for r in related):
+                related.add(qual)
+                changed = True
+        for qual in list(related):
+            for base in graph.classes[qual].bases:
+                for other, info in graph.classes.items():
+                    if info.name == base and other not in related:
+                        related.add(other)
+                        changed = True
+    return sorted(related)
+
+
+def build_callgraph(root: str | Path, package: str = "emissary") -> CallGraph:
+    """Parse every ``.py`` under ``root`` and build the resolved graph.
+
+    ``root`` is the package directory (e.g. ``src/emissary``); modules
+    are named ``package.relative.path``.  Files that fail to parse are
+    skipped — the lint runner reports them as EMI000 separately.
+    """
+    root = Path(root)
+    graph = CallGraph()
+    builders: list[tuple[_GraphBuilder, _ModuleIndex]] = []
+    for path in iter_python_files([root]):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"),
+                             filename=str(path))
+        except SyntaxError:
+            continue
+        index = _ModuleIndex(_module_name(path, root, package), package)
+        builder = _GraphBuilder(graph, index, path)
+        builder.visit(tree)
+        builders.append((builder, index))
+    # Pass 2: every def is known, resolve the recorded call sites.
+    for builder, index in builders:
+        for caller, call in builder.calls:
+            caller.edges.extend(_resolve_call(graph, index, caller, call))
+    return graph

@@ -23,10 +23,16 @@ when violations are found, and 2 on unreadable/unparseable input.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from emissary.analysis.callgraph import CallGraph
 
 #: Engine/kernel hot-path modules: determinism rules (wall-clock, dtype
 #: stability) apply with full strictness here.
@@ -82,17 +88,34 @@ class FileContext:
 
 
 def _parse_ignores(source: str) -> dict[int, set[str]]:
+    """Map line number -> suppressed codes, from *real* comments only.
+
+    Tokenizing (rather than regex-scanning raw lines) means a pragma
+    spelled inside a string literal — lint's own test fixtures are full
+    of them — is not a suppression on the line that happens to contain
+    the string.  Sources that fail to tokenize fall back to the raw
+    line scan (they will usually be EMI000 syntax errors anyway).
+    """
     ignores: dict[int, set[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
+
+    def record(lineno: int, text: str) -> None:
         match = _IGNORE_RE.search(text)
         if match is None:
-            continue
+            return
         listed = match.group(1)
         if listed is None:
             ignores[lineno] = {"*"}
         else:
             ignores[lineno] = {code.strip().upper()
                                for code in listed.split(",") if code.strip()}
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                record(tok.start[0], tok.string)
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            record(lineno, text)
     return ignores
 
 
@@ -111,6 +134,64 @@ class Rule:
                          line=getattr(node, "lineno", 0),
                          col=getattr(node, "col_offset", 0) + 1,
                          message=message)
+
+
+@dataclass
+class ProjectContext:
+    """Everything a :class:`ProjectRule` sees: the resolved call graph
+    of one package root plus the parsed per-file contexts of the run."""
+
+    graph: "CallGraph"
+    root: Path
+    package: str
+    files: dict[str, FileContext] = field(default_factory=dict)
+
+
+class ProjectRule(Rule):
+    """A whole-project check (interprocedural — needs the call graph).
+
+    Project rules run once per discovered package root after every
+    per-file rule; their violations honor the same per-line pragma
+    suppressions.  ``check`` is a no-op so :func:`lint_source` (which
+    has no project to build a graph over) can still select them.
+    """
+
+    project = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def project_violation(self, path: str | Path, line: int,
+                          message: str) -> Violation:
+        return Violation(code=self.code, path=str(path), line=line, col=1,
+                         message=message)
+
+
+def package_roots(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
+    """Discover package roots (dirs with ``__init__.py``) under ``paths``.
+
+    A path that is itself a package is its own root; otherwise its
+    immediate package children are roots (``src`` -> ``src/emissary``).
+    Non-package trees (e.g. ``tests``) contribute none — project rules
+    need resolvable module names to build a graph.
+    """
+    roots: list[tuple[Path, str]] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_dir():
+            continue
+        candidates = [path] if (path / "__init__.py").exists() else \
+            sorted(child for child in path.iterdir()
+                   if child.is_dir() and (child / "__init__.py").exists())
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                roots.append((candidate, candidate.name))
+    return roots
 
 
 def dotted_name(node: ast.AST) -> str | None:
@@ -171,9 +252,60 @@ def _select_rules(select: Iterable[str] | None) -> list[Rule]:
     return [rule for rule in rules if rule.code in wanted]
 
 
+#: The unused-suppression pseudo-check (its rule class lives in
+#: :mod:`emissary.analysis.rules.pragma_rules`); evaluated by the runner
+#: after every other rule, because "unused" is only knowable then.
+UNUSED_SUPPRESSION_CODE = "EMI007"
+
+
+def _unused_pragma_violations(ctx: FileContext, used: set[tuple[int, str]],
+                              executed: set[str],
+                              full_run: bool) -> Iterator[Violation]:
+    """EMI007: pragmas that suppressed nothing in this run.
+
+    A named code is judged only if its rule actually executed (a
+    ``--select EMI001`` run cannot know whether an ``EMI005`` pragma is
+    stale); a bare ``# emi: ignore`` is judged only on a full-catalog
+    run for the same reason.  ``EMI007`` itself is never judged — a
+    pragma naming it exists to silence this very check.
+    """
+    for line, pragma_codes in sorted(ctx.ignores.items()):
+        if "*" in pragma_codes:
+            if full_run and not any(u_line == line for u_line, _ in used):
+                yield Violation(
+                    code=UNUSED_SUPPRESSION_CODE, path=str(ctx.path),
+                    line=line, col=1,
+                    message="blanket `# emi: ignore` suppresses nothing on "
+                            "this line; delete it")
+            continue
+        for code in sorted(pragma_codes):
+            if code == UNUSED_SUPPRESSION_CODE or code not in executed:
+                continue
+            if (line, code) not in used:
+                yield Violation(
+                    code=UNUSED_SUPPRESSION_CODE, path=str(ctx.path),
+                    line=line, col=1,
+                    message=f"`# emi: ignore[{code}]` suppresses nothing on "
+                            f"this line; delete the stale pragma")
+
+
+def _split_rules(rules: list[Rule]) -> tuple[list[Rule], list[ProjectRule], bool]:
+    file_rules = [r for r in rules
+                  if not isinstance(r, ProjectRule)
+                  and r.code != UNUSED_SUPPRESSION_CODE]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    wants_unused = any(r.code == UNUSED_SUPPRESSION_CODE for r in rules)
+    return file_rules, project_rules, wants_unused
+
+
 def lint_source(source: str, path: str | Path = "<string>",
                 select: Iterable[str] | None = None) -> list[Violation]:
-    """Lint one in-memory source blob (the fixture-test entry point)."""
+    """Lint one in-memory source blob (the fixture-test entry point).
+
+    Project rules (which need a package tree to build a call graph
+    over) contribute nothing here; use :func:`lint_paths` or the rule's
+    own ``check_project`` for those.
+    """
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
@@ -181,9 +313,20 @@ def lint_source(source: str, path: str | Path = "<string>",
                           line=exc.lineno or 0, col=(exc.offset or 0),
                           message=f"syntax error: {exc.msg}")]
     ctx = FileContext(path, source, tree)
+    rules = _select_rules(select)
+    file_rules, _project_rules, wants_unused = _split_rules(rules)
     found: list[Violation] = []
-    for rule in _select_rules(select):
+    used: set[tuple[int, str]] = set()
+    for rule in file_rules:
         for violation in rule.check(ctx):
+            if ctx.suppressed(violation.code, violation.line):
+                used.add((violation.line, violation.code))
+            else:
+                found.append(violation)
+    if wants_unused:
+        executed = {rule.code for rule in file_rules}
+        for violation in _unused_pragma_violations(ctx, used, executed,
+                                                   full_run=select is None):
             if not ctx.suppressed(violation.code, violation.line):
                 found.append(violation)
     found.sort(key=lambda v: (v.path, v.line, v.col, v.code))
@@ -193,12 +336,62 @@ def lint_source(source: str, path: str | Path = "<string>",
 def lint_paths(paths: Sequence[str | Path],
                select: Iterable[str] | None = None) -> LintReport:
     """Lint every Python file under ``paths``; violations come back
-    sorted by location for stable, diffable output."""
+    sorted by location for stable, diffable output.
+
+    Per-file rules run first; then, for every package root discovered
+    under ``paths`` (see :func:`package_roots`), the project rules run
+    over its call graph; finally EMI007 judges which pragmas suppressed
+    nothing.  All three stages honor the same per-line pragmas.
+    """
+    rules = _select_rules(select)
+    file_rules, project_rules, wants_unused = _split_rules(rules)
     violations: list[Violation] = []
+    contexts: dict[str, FileContext] = {}
+    used: dict[str, set[tuple[int, str]]] = {}
     files = 0
     for path in iter_python_files(paths):
         files += 1
         source = path.read_text(encoding="utf-8")
-        violations.extend(lint_source(source, path=path, select=select))
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            violations.append(Violation(
+                code=SYNTAX_ERROR_CODE, path=str(path), line=exc.lineno or 0,
+                col=(exc.offset or 0), message=f"syntax error: {exc.msg}"))
+            continue
+        ctx = FileContext(path, source, tree)
+        contexts[str(path)] = ctx
+        hits = used.setdefault(str(path), set())
+        for rule in file_rules:
+            for violation in rule.check(ctx):
+                if ctx.suppressed(violation.code, violation.line):
+                    hits.add((violation.line, violation.code))
+                else:
+                    violations.append(violation)
+    if project_rules:
+        from emissary.analysis.callgraph import build_callgraph
+
+        for root, package in package_roots(paths):
+            project = ProjectContext(graph=build_callgraph(root, package),
+                                     root=root, package=package,
+                                     files=contexts)
+            for rule in project_rules:
+                for violation in rule.check_project(project):
+                    ctx_maybe = contexts.get(violation.path)
+                    if ctx_maybe is not None and ctx_maybe.suppressed(
+                            violation.code, violation.line):
+                        used.setdefault(violation.path, set()).add(
+                            (violation.line, violation.code))
+                    else:
+                        violations.append(violation)
+    if wants_unused:
+        executed = {rule.code for rule in file_rules} \
+            | {rule.code for rule in project_rules}
+        for path_str, ctx in contexts.items():
+            for violation in _unused_pragma_violations(
+                    ctx, used.get(path_str, set()), executed,
+                    full_run=select is None):
+                if not ctx.suppressed(violation.code, violation.line):
+                    violations.append(violation)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return LintReport(violations=tuple(violations), files_checked=files)

@@ -1,0 +1,51 @@
+"""Lint-posture digest: what analysis regime produced this artifact.
+
+A sweep report is a claim about simulated outcomes; the EMI catalog is
+what makes that claim trustworthy.  :func:`posture` summarizes the
+analysis regime in three numbers — rules in the catalog, source files
+in the installed package, active pragma suppressions — cheap enough to
+stamp into every sweep envelope (comment tokenization only, no rule
+execution) and specific enough that a report produced by a tree full
+of fresh suppressions is visibly different from a clean one.
+
+The scan covers the *installed* package tree (the code that actually
+ran), and the result is cached per process: sweeps in the test suite
+call this hundreds of times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from emissary.analysis.lint import _parse_ignores, iter_python_files
+
+
+@lru_cache(maxsize=1)
+def _scan_package() -> tuple[int, int]:
+    """(files, suppressions) over the installed emissary package."""
+    import emissary
+
+    root = Path(emissary.__file__).parent
+    files = 0
+    suppressions = 0
+    for path in iter_python_files([root]):
+        files += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        suppressions += sum(len(codes)
+                            for codes in _parse_ignores(source).values())
+    return files, suppressions
+
+
+def posture() -> dict[str, Any]:
+    """The analysis-posture digest stamped into sweep envelopes."""
+    from emissary.analysis.rules import ALL_RULES
+
+    files, suppressions = _scan_package()
+    return {"rules": len(ALL_RULES),
+            "files_scanned": files,
+            "suppressions": suppressions}

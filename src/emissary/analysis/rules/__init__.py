@@ -8,27 +8,47 @@ and the CLI ``rules`` listing.
 from __future__ import annotations
 
 from emissary.analysis.lint import Rule
+from emissary.analysis.rules.async_rules import (
+    BlockingCallInAsync,
+    DiscardedCoroutine,
+    ForkAfterAsync,
+    SharedStateWriteInAsync,
+)
 from emissary.analysis.rules.dataclass_rules import FrozenMutableField, MissingFromDict
 from emissary.analysis.rules.determinism import UnseededRandom, WallClockInKernel
 from emissary.analysis.rules.exception_rules import SilentExcept
 from emissary.analysis.rules.numpy_rules import ImplicitDtype
+from emissary.analysis.rules.pragma_rules import UnusedSuppression
+from emissary.analysis.rules.purity import ImpureKernelReach
 
 #: Every rule, in catalog order.
 ALL_RULES: tuple[type[Rule], ...] = (
-    UnseededRandom,       # EMI001
-    WallClockInKernel,    # EMI002
-    FrozenMutableField,   # EMI003
-    MissingFromDict,      # EMI004
-    SilentExcept,         # EMI005
-    ImplicitDtype,        # EMI006
+    UnseededRandom,           # EMI001
+    WallClockInKernel,        # EMI002
+    FrozenMutableField,       # EMI003
+    MissingFromDict,          # EMI004
+    SilentExcept,             # EMI005
+    ImplicitDtype,            # EMI006
+    UnusedSuppression,        # EMI007
+    ImpureKernelReach,        # EMI101 (project-level)
+    BlockingCallInAsync,      # EMI102
+    DiscardedCoroutine,       # EMI103
+    ForkAfterAsync,           # EMI104 (project-level)
+    SharedStateWriteInAsync,  # EMI105
 )
 
 __all__ = [
     "ALL_RULES",
+    "BlockingCallInAsync",
+    "DiscardedCoroutine",
+    "ForkAfterAsync",
     "FrozenMutableField",
     "ImplicitDtype",
+    "ImpureKernelReach",
     "MissingFromDict",
+    "SharedStateWriteInAsync",
     "SilentExcept",
     "UnseededRandom",
+    "UnusedSuppression",
     "WallClockInKernel",
 ]

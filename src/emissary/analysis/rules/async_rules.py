@@ -1,0 +1,293 @@
+"""Concurrency/async rules: EMI102-EMI105.
+
+The serve stack (PR 7) and observability layer (PR 8) put an asyncio
+event loop in front of a process pool; each rule here encodes one
+hazard class those layers documented by hand:
+
+- EMI102 — blocking calls inside ``async def`` stall every connection
+  on the loop, not just the caller.
+- EMI103 — a coroutine or task whose result is discarded never runs
+  (or is garbage-collected mid-flight with a swallowed exception).
+- EMI104 — forking workers after the loop owns sockets/threads makes
+  children inherit them (the PR 7 eager-pre-fork invariant).
+- EMI105 — shared mutable state written from coroutine bodies without
+  lock or single-task discipline interleaves at every ``await``.
+
+EMI102/103/105 are lexical per-file checks over ``async def`` bodies;
+EMI104 is interprocedural (the fork may hide any number of sync
+helpers below the coroutine that reaches it).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from emissary.analysis.lint import (
+    FileContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    Violation,
+    dotted_name,
+)
+
+#: Call texts that block the calling thread (and therefore the loop).
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection", "socket.getaddrinfo",
+    "urllib.request.urlopen",
+})
+
+#: Blocking socket-object methods (matched on the attribute tail when
+#: the receiver text mentions a socket).
+_SOCKET_BLOCKING_TAILS = frozenset({
+    "accept", "connect", "recv", "recv_into", "recvfrom", "sendall",
+})
+
+#: Path-object I/O tails: synchronous filesystem traffic on the loop.
+_FILE_IO_TAILS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+
+def _iter_async_defs(tree: ast.Module) -> Iterator[ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def _body_nodes(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Nodes lexically inside ``fn``'s own body, not inside nested
+    function definitions (a nested sync def is a callback that runs
+    wherever it is invoked, not necessarily on the loop)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class BlockingCallInAsync(Rule):
+    """EMI102: blocking call on the event loop."""
+
+    code = "EMI102"
+    summary = ("blocking call (`time.sleep`, sync file/socket/subprocess I/O, "
+               "executor `.result()`) inside `async def`")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in _iter_async_defs(ctx.tree):
+            for node in _body_nodes(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                violation = self._check_call(ctx, fn, node)
+                if violation is not None:
+                    yield violation
+
+    def _check_call(self, ctx: FileContext, fn: ast.AsyncFunctionDef,
+                    call: ast.Call) -> Violation | None:
+        name = dotted_name(call.func)
+        advice = f"in `async def {fn.name}`; use the async equivalent or " \
+                 "run_in_executor"
+        if name is not None:
+            parts = name.split(".")
+            tail2 = ".".join(parts[-2:])
+            if name in BLOCKING_CALLS or tail2 in BLOCKING_CALLS:
+                return self.violation(
+                    ctx, call, f"blocking call `{name}` {advice}")
+            if name == "open":
+                return self.violation(
+                    ctx, call, f"synchronous `open()` {advice}")
+            if len(parts) >= 2 and parts[-1] in _SOCKET_BLOCKING_TAILS \
+                    and any("sock" in p.lower() for p in parts[:-1]):
+                return self.violation(
+                    ctx, call, f"blocking socket op `{name}` {advice}")
+            if len(parts) >= 2 and parts[-1] in _FILE_IO_TAILS:
+                return self.violation(
+                    ctx, call, f"synchronous file I/O `{name}` {advice}")
+            if parts[-1] == "result" and len(parts) >= 2 \
+                    and any(h in p.lower() for p in parts[:-1]
+                            for h in ("executor", "pool")):
+                return self.violation(
+                    ctx, call,
+                    f"`{name}()` blocks the loop on an executor future "
+                    f"in `async def {fn.name}`; await "
+                    "loop.run_in_executor / wrap_future instead")
+        # submit(...).result(): the chained form never carries a dotted
+        # name (the receiver is a call result), so match it structurally.
+        if isinstance(call.func, ast.Attribute) and call.func.attr == "result" \
+                and isinstance(call.func.value, ast.Call):
+            inner = dotted_name(call.func.value.func)
+            if inner is not None and inner.split(".")[-1] == "submit":
+                return self.violation(
+                    ctx, call,
+                    f"`{inner}(...).result()` blocks the loop on an executor "
+                    f"future in `async def {fn.name}`; await wrap_future "
+                    "instead")
+        return None
+
+
+class DiscardedCoroutine(Rule):
+    """EMI103: coroutine/task results that are silently dropped."""
+
+    code = "EMI103"
+    summary = ("coroutine or `create_task`/`ensure_future` result discarded "
+               "(never awaited / task may be garbage-collected mid-flight)")
+
+    _SPAWN_TAILS = frozenset({"create_task", "ensure_future"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        local_async = {node.name for node in _iter_async_defs(ctx.tree)}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Expr) \
+                    or not isinstance(node.value, ast.Call):
+                continue
+            name = dotted_name(node.value.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            tail = parts[-1]
+            if tail in self._SPAWN_TAILS:
+                yield self.violation(
+                    ctx, node.value,
+                    f"`{name}(...)` result discarded; the loop holds only a "
+                    "weak reference to tasks — keep a strong reference and "
+                    "await or cancel it")
+            elif name in local_async or (len(parts) == 2
+                                         and parts[0] in ("self", "cls")
+                                         and tail in local_async):
+                yield self.violation(
+                    ctx, node.value,
+                    f"coroutine `{name}(...)` is never awaited; the body "
+                    "will not run")
+
+
+class ForkAfterAsync(ProjectRule):
+    """EMI104: worker-process creation reachable from a coroutine.
+
+    The serve stack's invariant (PR 7) is *eager pre-fork*: the
+    ProcessPoolExecutor spawns its workers before the listening socket
+    exists, so children never inherit accepted connections, loop fds,
+    or locks held by server threads.  Any fork point reachable from an
+    ``async def`` — however many sync helpers deep — breaks that unless
+    explicitly justified at the construction site.
+    """
+
+    code = "EMI104"
+    summary = ("ProcessPoolExecutor/fork construction reachable from "
+               "`async def` (violates the eager-pre-fork invariant)")
+
+    _FORK_TAILS = frozenset({"ProcessPoolExecutor", "fork", "forkpty"})
+    _POOL_TEXTS = frozenset({"multiprocessing.Pool", "mp.Pool", "Pool"})
+
+    def _is_fork(self, external: str) -> bool:
+        parts = external.split(".")
+        tail = parts[-1]
+        if tail == "ProcessPoolExecutor":
+            return True
+        if tail in ("fork", "forkpty"):
+            # Bare `fork` only counts under os/pty; a project method
+            # named `fork` would have resolved to a fn edge instead.
+            return parts[0] in ("os", "pty")
+        # multiprocessing.Pool / mp.Pool / get_context(...).Pool
+        return tail == "Pool" and len(parts) > 1
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        graph = project.graph
+        roots = sorted(fn.qual for fn in graph.iter_functions() if fn.is_async)
+        reach = graph.reachable(roots)
+        for external in sorted(reach.externals):
+            if not self._is_fork(external):
+                continue
+            chain, line = reach.externals[external]
+            caller = graph.function(chain[-1])
+            if caller is None:
+                continue
+            hops = " -> ".join(q.split(":", 1)[1] for q in chain)
+            yield self.project_violation(
+                caller.path, line,
+                f"`{external}` is reachable from coroutine "
+                f"`{chain[0]}` (via {hops}); workers forked after the loop "
+                "owns sockets/threads inherit them — pre-fork eagerly or "
+                "justify with a pragma here")
+
+
+class SharedStateWriteInAsync(Rule):
+    """EMI105: unsynchronized shared-state writes from coroutine bodies.
+
+    Every ``await`` is a yield point; a read-modify-write on ``self``
+    or module state that spans one interleaves with every other task.
+    Writes inside an ``async with`` on a lock-like object are exempt,
+    as are writes in coroutines documented single-task by pragma.
+    """
+
+    code = "EMI105"
+    summary = ("write to instance/module state from a coroutine body without "
+               "`async with <lock>` or single-task discipline")
+
+    _LOCK_HINTS = ("lock", "mutex", "sem", "guard")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in _iter_async_defs(ctx.tree):
+            # Collect `global` declarations up front: the walk below is
+            # unordered, and the declaration may lexically follow a use.
+            globals_declared: set[str] = {
+                name for node in ast.walk(fn)
+                if isinstance(node, ast.Global) for name in node.names}
+            for node in self._walk_unlocked(fn.body):
+                targets = self._write_targets(node)
+                for target in targets:
+                    text = dotted_name(target)
+                    if isinstance(target, ast.Attribute) and text is not None \
+                            and text.split(".")[0] in ("self", "cls"):
+                        yield self.violation(
+                            ctx, node,
+                            f"write to `{text}` in `async def {fn.name}` "
+                            "without a lock; every await interleaves tasks "
+                            "— guard with `async with` on a lock or justify "
+                            "with a pragma")
+                    elif isinstance(target, ast.Name) \
+                            and target.id in globals_declared:
+                        yield self.violation(
+                            ctx, node,
+                            f"write to module global `{target.id}` in "
+                            f"`async def {fn.name}` without a lock")
+
+    def _locked(self, node: ast.AsyncWith) -> bool:
+        for item in node.items:
+            text = dotted_name(item.context_expr) \
+                or (dotted_name(item.context_expr.func)
+                    if isinstance(item.context_expr, ast.Call) else None)
+            if text is not None \
+                    and any(h in text.lower() for h in self._LOCK_HINTS):
+                return True
+        return False
+
+    def _walk_unlocked(self, body: list[ast.stmt]) -> Iterator[ast.AST]:
+        """Yield statements not protected by a lock-like ``async with``,
+        without descending into nested function definitions."""
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.AsyncWith) and self._locked(node):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _write_targets(node: ast.AST) -> list[ast.expr]:
+        if isinstance(node, ast.Assign):
+            return list(node.targets)
+        if isinstance(node, ast.AugAssign):
+            return [node.target]
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            return [node.target]
+        return []

@@ -1,0 +1,39 @@
+"""EMI007: stale ``# emi: ignore[...]`` pragmas.
+
+A suppression that no longer suppresses anything is worse than noise:
+it documents a hazard that is not there, and it will silently swallow
+a *future* violation on that line.  The check itself lives in the
+runner (:func:`emissary.analysis.lint.lint_paths`) because "unused" is
+only decidable after every other selected rule has run; this class
+exists so the rule appears in the catalog, is selectable, and carries
+its documentation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from emissary.analysis.lint import (
+    UNUSED_SUPPRESSION_CODE,
+    FileContext,
+    Rule,
+    Violation,
+)
+
+
+class UnusedSuppression(Rule):
+    """EMI007: a pragma that suppressed nothing this run.
+
+    Named codes are judged only when their rule actually executed;
+    bare ``# emi: ignore`` pragmas only on full-catalog runs; EMI007
+    itself is never judged (naming it in a pragma is how this check is
+    silenced).
+    """
+
+    code = UNUSED_SUPPRESSION_CODE
+    summary = ("`# emi: ignore[...]` pragma that suppresses nothing "
+               "(stale suppression; delete it)")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # Evaluated by the runner after all other rules; see module doc.
+        return iter(())

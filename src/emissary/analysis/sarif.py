@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 serialization of lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: emitting it from ``python -m emissary.analysis lint
+--sarif out.sarif`` turns every EMI finding into an annotated line in
+the PR diff instead of a buried CI log line.  Only the small stable
+subset code scanning actually reads is emitted — tool metadata with
+the rule catalog, and one ``result`` per violation with a physical
+location — so the output stays diffable and golden-testable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from emissary.analysis.lint import LintReport, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Tool identity reported in every run object.
+TOOL_NAME = "emissary-analysis"
+TOOL_URI = "https://example.invalid/emissary/analysis"
+
+
+def _rule_catalog() -> list[dict[str, Any]]:
+    from emissary.analysis.rules import ALL_RULES
+
+    return [{
+        "id": cls.code,
+        "name": cls.__name__,
+        "shortDescription": {"text": cls.summary},
+    } for cls in ALL_RULES]
+
+
+def _result(violation: Violation) -> dict[str, Any]:
+    return {
+        "ruleId": violation.code,
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": Path(violation.path).as_posix(),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": max(violation.line, 1),
+                    "startColumn": max(violation.col, 1),
+                },
+            },
+        }],
+    }
+
+
+def sarif_log(report: LintReport) -> dict[str, Any]:
+    """Render one lint report as a SARIF 2.1.0 log object."""
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": _rule_catalog(),
+                },
+            },
+            "results": [_result(v) for v in report.violations],
+        }],
+    }
+
+
+def write_sarif(report: LintReport, path: str | Path) -> None:
+    payload = sarif_log(report)
+    Path(path).write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8")

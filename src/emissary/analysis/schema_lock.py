@@ -1,0 +1,580 @@
+"""Wire-schema drift gate: lock the *shape* of every wire payload.
+
+The PR 7 golden-cache-key tests pin a handful of encodings by example;
+this module turns that into a structural guarantee.  It statically
+extracts, from the AST of every module under ``src/emissary``:
+
+- the field set of every class ``to_dict`` (dict-literal keys plus
+  ``d["key"] = ...`` assignments, following ``super().to_dict()``
+  inheritance), and the ``schema_version`` it stamps, when any;
+- the allowed-key set of the paired ``from_dict`` (the second argument
+  of its ``check_known_keys`` call, resolving ``_WIRE_KEYS``-style
+  class attributes including ``Parent._WIRE_KEYS | {...}`` unions);
+- every other ``schema_version``-stamped dict-literal envelope (sweep
+  envelopes, bench reports, cache entries, progress spools).
+
+The result is committed as ``schemas.lock.json``.  ``python -m
+emissary.analysis schema --check`` recomputes it and fails (exit 1) on
+*any* divergence — a field add/remove/rename shows up as drift whether
+or not the author remembered it is also a results-cache key.  The
+version-bump discipline is enforced by ``--update``: it refuses to
+re-lock a versioned unit whose fields changed while its
+``schema_version`` constant did not.
+
+String/int constants are resolved across modules (``WIRE_SCHEMA_KEY``
+is declared in ``wire.py`` and spent everywhere), so the extraction
+sees the keys the runtime actually emits.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from emissary.analysis.lint import dotted_name, iter_python_files
+
+#: Format version of the lock file itself.
+LOCK_FORMAT_VERSION = 1
+
+#: Default locations (relative to the repo root / CWD of the CLI).
+DEFAULT_ROOT = Path("src/emissary")
+DEFAULT_LOCK = Path("schemas.lock.json")
+
+#: The key whose presence marks a dict literal as a wire envelope.
+VERSION_KEY = "schema_version"
+
+
+@dataclass
+class SchemaUnit:
+    """One locked wire shape."""
+
+    name: str                      # "emissary.api:SimRequest" / ":run_sweep"
+    version: int | None            # resolved schema_version stamp, if any
+    to_dict: tuple[str, ...]       # sorted emitted field names
+    from_dict: tuple[str, ...] | None  # sorted allowed decode keys, if any
+
+    def as_json(self) -> dict[str, Any]:
+        return {"version": self.version,
+                "to_dict": list(self.to_dict),
+                "from_dict": (list(self.from_dict)
+                              if self.from_dict is not None else None)}
+
+
+class _Extractor:
+    """Two-pass static extractor over one package tree."""
+
+    def __init__(self, root: Path, package: str) -> None:
+        self.root = root
+        self.package = package
+        #: (module, name) -> constant expr for module-level assignments.
+        self.const_exprs: dict[tuple[str, str], ast.expr] = {}
+        #: (module, class, attr) -> expr for class-body assignments.
+        self.attr_exprs: dict[tuple[str, str, str], ast.expr] = {}
+        #: (module, local) -> (source module, source name) imports.
+        self.imports: dict[tuple[str, str], tuple[str, str]] = {}
+        #: class name -> [(module, class)] for cross-module attr lookup.
+        self.class_sites: dict[str, list[tuple[str, str]]] = {}
+        #: (module, class) -> list of base-class names as written.
+        self.bases: dict[tuple[str, str], list[str]] = {}
+        self.trees: list[tuple[str, ast.Module]] = []
+
+    # -- pass 1: constants, imports, class layout ---------------------
+
+    def scan(self) -> None:
+        for path in iter_python_files([self.root]):
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"),
+                                 filename=str(path))
+            except SyntaxError:
+                continue
+            module = self._module_name(path)
+            self.trees.append((module, tree))
+            self._index_module(module, tree)
+
+    def _module_name(self, path: Path) -> str:
+        rel = path.relative_to(self.root)
+        parts = list(rel.parts)
+        parts[-1] = parts[-1][: -len(".py")]
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join([self.package] + parts) if parts else self.package
+
+    def _index_module(self, module: str, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                self.const_exprs[(module, node.targets[0].id)] = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and isinstance(node.target, ast.Name):
+                self.const_exprs[(module, node.target.id)] = node.value
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                target = node.module
+                if node.level:
+                    base = module.split(".")
+                    base = base[: len(base) - node.level]
+                    target = ".".join(base + ([node.module]
+                                              if node.module else []))
+                for alias in node.names:
+                    self.imports[(module, alias.asname or alias.name)] = \
+                        (target, alias.name)
+            elif isinstance(node, ast.ClassDef):
+                self.class_sites.setdefault(node.name, []).append(
+                    (module, node.name))
+                self.bases[(module, node.name)] = [
+                    b.split(".")[-1]
+                    for b in (dotted_name(base) for base in node.bases)
+                    if b is not None]
+                for item in node.body:
+                    if isinstance(item, ast.Assign) \
+                            and len(item.targets) == 1 \
+                            and isinstance(item.targets[0], ast.Name):
+                        self.attr_exprs[(module, node.name,
+                                         item.targets[0].id)] = item.value
+                    elif isinstance(item, ast.AnnAssign) \
+                            and item.value is not None \
+                            and isinstance(item.target, ast.Name):
+                        self.attr_exprs[(module, node.name,
+                                         item.target.id)] = item.value
+
+    # -- constant / key-set resolution --------------------------------
+
+    def resolve_const(self, module: str, expr: ast.expr,
+                      cls: str | None = None,
+                      depth: int = 0) -> str | int | None:
+        if depth > 8:
+            return None
+        if isinstance(expr, ast.Constant) \
+                and isinstance(expr.value, (str, int)) \
+                and not isinstance(expr.value, bool):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            return self._resolve_name(module, expr.id, cls, depth)
+        if isinstance(expr, ast.Attribute):
+            head = dotted_name(expr)
+            if head is None:
+                return None
+            parts = head.split(".")
+            if parts[0] in ("self", "cls") and cls is not None \
+                    and len(parts) == 2:
+                return self._resolve_attr(module, cls, parts[1], depth)
+            if len(parts) == 2:
+                for site_mod, site_cls in self.class_sites.get(parts[0], ()):
+                    value = self._resolve_attr(site_mod, site_cls,
+                                               parts[1], depth)
+                    if value is not None:
+                        return value
+                resolved = self.imports.get((module, parts[0]))
+                if resolved is not None:
+                    return self._resolve_name(resolved[0], parts[1],
+                                              None, depth + 1)
+        return None
+
+    def _resolve_name(self, module: str, name: str, cls: str | None,
+                      depth: int) -> str | int | None:
+        if cls is not None and (module, cls, name) in self.attr_exprs:
+            return self.resolve_const(
+                module, self.attr_exprs[(module, cls, name)], cls, depth + 1)
+        if (module, name) in self.const_exprs:
+            return self.resolve_const(
+                module, self.const_exprs[(module, name)], None, depth + 1)
+        if (module, name) in self.imports:
+            src_mod, src_name = self.imports[(module, name)]
+            return self._resolve_name(src_mod, src_name, None, depth + 1)
+        return None
+
+    def _resolve_attr(self, module: str, cls: str, attr: str,
+                      depth: int) -> str | int | None:
+        if (module, cls, attr) in self.attr_exprs:
+            return self.resolve_const(
+                module, self.attr_exprs[(module, cls, attr)], cls, depth + 1)
+        for base in self.bases.get((module, cls), ()):
+            for site_mod, site_cls in self.class_sites.get(base, ()):
+                value = self._resolve_attr(site_mod, site_cls, attr, depth + 1)
+                if value is not None:
+                    return value
+        return None
+
+    def resolve_keys(self, module: str, expr: ast.expr,
+                     cls: str | None = None,
+                     depth: int = 0) -> set[str] | None:
+        """Resolve an expression to a set of string keys, or None."""
+        if depth > 8:
+            return None
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+                and expr.func.id in ("frozenset", "set", "tuple", "list") \
+                and len(expr.args) == 1:
+            return self.resolve_keys(module, expr.args[0], cls, depth + 1)
+        if isinstance(expr, (ast.Set, ast.Tuple, ast.List)):
+            keys: set[str] = set()
+            for elt in expr.elts:
+                value = self.resolve_const(module, elt, cls)
+                if not isinstance(value, str):
+                    return None
+                keys.add(value)
+            return keys
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+            left = self.resolve_keys(module, expr.left, cls, depth + 1)
+            right = self.resolve_keys(module, expr.right, cls, depth + 1)
+            if left is None or right is None:
+                return None
+            return left | right
+        if isinstance(expr, ast.Name):
+            if cls is not None and (module, cls, expr.id) in self.attr_exprs:
+                return self.resolve_keys(
+                    module, self.attr_exprs[(module, cls, expr.id)],
+                    cls, depth + 1)
+            if (module, expr.id) in self.const_exprs:
+                return self.resolve_keys(
+                    module, self.const_exprs[(module, expr.id)],
+                    None, depth + 1)
+            if (module, expr.id) in self.imports:
+                src_mod, src_name = self.imports[(module, expr.id)]
+                return self.resolve_keys(
+                    src_mod, ast.Name(id=src_name), None, depth + 1)
+            return None
+        if isinstance(expr, ast.Attribute):
+            head = dotted_name(expr)
+            if head is None:
+                return None
+            parts = head.split(".")
+            if parts[0] in ("self", "cls") and cls is not None \
+                    and len(parts) == 2:
+                return self._resolve_attr_keys(module, cls, parts[1], depth)
+            if len(parts) == 2:
+                for site_mod, site_cls in self.class_sites.get(parts[0], ()):
+                    keys = self._resolve_attr_keys(site_mod, site_cls,
+                                                   parts[1], depth)
+                    if keys is not None:
+                        return keys
+        return None
+
+    def _resolve_attr_keys(self, module: str, cls: str, attr: str,
+                           depth: int) -> set[str] | None:
+        if (module, cls, attr) in self.attr_exprs:
+            return self.resolve_keys(
+                module, self.attr_exprs[(module, cls, attr)], cls, depth + 1)
+        for base in self.bases.get((module, cls), ()):
+            for site_mod, site_cls in self.class_sites.get(base, ()):
+                keys = self._resolve_attr_keys(site_mod, site_cls,
+                                               attr, depth + 1)
+                if keys is not None:
+                    return keys
+        return None
+
+    # -- pass 2: unit extraction --------------------------------------
+
+    def extract(self) -> dict[str, SchemaUnit]:
+        raw: dict[str, dict[str, Any]] = {}
+        for module, tree in self.trees:
+            self._extract_module(module, tree, raw)
+        # Resolve super().to_dict() inheritance now that every class's
+        # own fields are known.
+        units: dict[str, SchemaUnit] = {}
+        for name in sorted(raw):
+            info = raw[name]
+            fields = set(info["fields"])
+            version = info.get("version")
+            seen = {name}
+            queue = list(info.get("inherits", ()))
+            while queue:
+                base = queue.pop()
+                for site_mod, site_cls in self.class_sites.get(base, ()):
+                    base_name = f"{site_mod}:{site_cls}"
+                    if base_name in seen or base_name not in raw:
+                        continue
+                    seen.add(base_name)
+                    fields |= set(raw[base_name]["fields"])
+                    if version is None:
+                        # super().to_dict() stamps the parent's version.
+                        version = raw[base_name].get("version")
+                    queue.extend(raw[base_name].get("inherits", ()))
+            from_keys = info.get("from_dict")
+            units[name] = SchemaUnit(
+                name=name, version=version,
+                to_dict=tuple(sorted(fields)),
+                from_dict=(tuple(sorted(from_keys))
+                           if from_keys is not None else None))
+        return units
+
+    def _extract_module(self, module: str, tree: ast.Module,
+                        raw: dict[str, dict[str, Any]]) -> None:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._extract_class(module, node, raw)
+        self._extract_envelopes(module, tree, raw)
+
+    def _extract_class(self, module: str, node: ast.ClassDef,
+                       raw: dict[str, dict[str, Any]]) -> None:
+        to_dict = None
+        from_dict = None
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef):
+                if item.name == "to_dict":
+                    to_dict = item
+                elif item.name == "from_dict":
+                    from_dict = item
+        if to_dict is None and from_dict is None:
+            return
+        name = f"{module}:{node.name}"
+        info: dict[str, Any] = {"fields": set(), "inherits": [],
+                                "version": None, "from_dict": None}
+        if to_dict is not None:
+            fields, version, inherits = self._to_dict_shape(
+                module, node, to_dict)
+            info["fields"] = fields
+            info["version"] = version
+            if inherits:
+                info["inherits"] = self.bases.get((module, node.name), [])
+        if from_dict is not None:
+            info["from_dict"] = self._from_dict_keys(module, node, from_dict)
+        raw[name] = info
+
+    def _to_dict_shape(self, module: str, cls: ast.ClassDef,
+                       fn: ast.FunctionDef) \
+            -> tuple[set[str], int | None, bool]:
+        fields: set[str] = set()
+        version: int | None = None
+        inherits = False
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Dict):
+                for key_expr, value_expr in zip(node.keys, node.values):
+                    if key_expr is None:  # **spread: opaque, skip
+                        continue
+                    key = self.resolve_const(module, key_expr, cls.name)
+                    if isinstance(key, str):
+                        fields.add(key)
+                        if key == VERSION_KEY:
+                            resolved = self.resolve_const(
+                                module, value_expr, cls.name)
+                            if isinstance(resolved, int):
+                                version = resolved
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        key = self.resolve_const(module, target.slice,
+                                                 cls.name)
+                        if isinstance(key, str):
+                            fields.add(key)
+                            if key == VERSION_KEY:
+                                resolved = self.resolve_const(
+                                    module, node.value, cls.name)
+                                if isinstance(resolved, int):
+                                    version = resolved
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None and isinstance(node.func, ast.Attribute) \
+                        and node.func.attr == "to_dict" \
+                        and isinstance(node.func.value, ast.Call):
+                    inner = node.func.value
+                    if isinstance(inner.func, ast.Name) \
+                            and inner.func.id == "super":
+                        inherits = True
+        return fields, version, inherits
+
+    def _from_dict_keys(self, module: str, cls: ast.ClassDef,
+                        fn: ast.FunctionDef) -> set[str] | None:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None \
+                        and name.split(".")[-1] == "check_known_keys" \
+                        and len(node.args) >= 2:
+                    return self.resolve_keys(module, node.args[1], cls.name)
+        return None
+
+    def _extract_envelopes(self, module: str, tree: ast.Module,
+                           raw: dict[str, dict[str, Any]]) -> None:
+        """Dict literals stamped with ``schema_version`` outside any
+        ``to_dict`` method (sweep envelopes, bench reports, ...)."""
+        counters: dict[str, int] = {}
+
+        def walk(node: ast.AST, scope: str, in_to_dict: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_scope = scope
+                child_in_to_dict = in_to_dict
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    child_scope = f"{scope}.{child.name}" if scope \
+                        else child.name
+                    child_in_to_dict = in_to_dict or child.name == "to_dict"
+                elif isinstance(child, ast.ClassDef):
+                    child_scope = f"{scope}.{child.name}" if scope \
+                        else child.name
+                if isinstance(child, ast.Dict) and not child_in_to_dict:
+                    keys: set[str] = set()
+                    version: int | None = None
+                    for key_expr, value_expr in zip(child.keys, child.values):
+                        if key_expr is None:
+                            continue
+                        key = self.resolve_const(module, key_expr)
+                        if isinstance(key, str):
+                            keys.add(key)
+                            if key == VERSION_KEY:
+                                resolved = self.resolve_const(module,
+                                                              value_expr)
+                                if isinstance(resolved, int):
+                                    version = resolved
+                    if VERSION_KEY in keys:
+                        base = f"{module}:{scope or '<module>'}"
+                        count = counters.get(base, 0)
+                        counters[base] = count + 1
+                        name = base if count == 0 else f"{base}#{count}"
+                        raw[name] = {"fields": keys, "inherits": [],
+                                     "version": version, "from_dict": None}
+                walk(child, child_scope, child_in_to_dict)
+
+        walk(tree, "", False)
+
+
+def extract_schemas(root: str | Path = DEFAULT_ROOT,
+                    package: str = "emissary") -> dict[str, SchemaUnit]:
+    """Statically extract every wire-schema unit under ``root``."""
+    extractor = _Extractor(Path(root), package)
+    extractor.scan()
+    return extractor.extract()
+
+
+def lock_payload(units: dict[str, SchemaUnit]) -> dict[str, Any]:
+    return {"lock_version": LOCK_FORMAT_VERSION,
+            "units": {name: unit.as_json()
+                      for name, unit in sorted(units.items())}}
+
+
+def load_lock(path: str | Path) -> dict[str, Any] | None:
+    lock_path = Path(path)
+    if not lock_path.exists():
+        return None
+    payload = json.loads(lock_path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) \
+            or payload.get("lock_version") != LOCK_FORMAT_VERSION:
+        raise ValueError(f"{path}: not a schemas lock file "
+                         f"(lock_version != {LOCK_FORMAT_VERSION})")
+    return payload
+
+
+@dataclass
+class Drift:
+    """One unit's divergence between the lock and the extraction."""
+
+    unit: str
+    kind: str          # "added-unit" | "removed-unit" | "drift"
+    message: str
+    version_bumped: bool = False
+
+
+def diff_lock(locked: dict[str, Any],
+              units: dict[str, SchemaUnit]) -> list[Drift]:
+    """Compare a loaded lock against a fresh extraction."""
+    drifts: list[Drift] = []
+    locked_units: dict[str, Any] = locked.get("units", {})
+    for name in sorted(set(locked_units) | set(units)):
+        if name not in locked_units:
+            unit = units[name]
+            drifts.append(Drift(
+                unit=name, kind="added-unit",
+                message=f"{name}: new wire unit "
+                        f"(fields: {', '.join(unit.to_dict)}); "
+                        "run `schema --update` to lock it"))
+            continue
+        if name not in units:
+            drifts.append(Drift(
+                unit=name, kind="removed-unit",
+                message=f"{name}: locked unit no longer found (renamed or "
+                        "deleted); run `schema --update` if intentional"))
+            continue
+        entry = locked_units[name]
+        unit = units[name]
+        old_fields = set(entry.get("to_dict") or ())
+        new_fields = set(unit.to_dict)
+        old_from = entry.get("from_dict")
+        new_from = (list(unit.from_dict)
+                    if unit.from_dict is not None else None)
+        old_version = entry.get("version")
+        bumped = unit.version != old_version
+        problems: list[str] = []
+        if new_fields != old_fields:
+            added = sorted(new_fields - old_fields)
+            removed = sorted(old_fields - new_fields)
+            detail = "; ".join(
+                part for part in
+                (f"added {added}" if added else "",
+                 f"removed {removed}" if removed else "") if part)
+            problems.append(f"to_dict fields drifted ({detail})")
+        if (old_from or None) != (new_from or None) \
+                and sorted(old_from or ()) != sorted(new_from or ()):
+            problems.append(
+                f"from_dict keys drifted ({sorted(old_from or ())} -> "
+                f"{sorted(new_from or ())})")
+        if not problems:
+            if bumped:
+                drifts.append(Drift(
+                    unit=name, kind="drift", version_bumped=True,
+                    message=f"{name}: schema_version bumped "
+                            f"{old_version} -> {unit.version} with no field "
+                            "change; run `schema --update` to re-lock"))
+            continue
+        if bumped:
+            remedy = (f"schema_version bumped {old_version} -> "
+                      f"{unit.version}; run `schema --update` to commit "
+                      "the new shape")
+        elif old_version is None:
+            remedy = ("unversioned nested shape — this is results-cache key "
+                      "material; run `schema --update` only if the change "
+                      "is intentional")
+        else:
+            remedy = (f"schema_version still {old_version}; bump it before "
+                      "re-locking")
+        drifts.append(Drift(
+            unit=name, kind="drift", version_bumped=bumped,
+            message=f"{name}: {'; '.join(problems)} — {remedy}"))
+    return drifts
+
+
+def check(root: str | Path = DEFAULT_ROOT,
+          lock: str | Path = DEFAULT_LOCK,
+          package: str = "emissary") -> tuple[int, list[str]]:
+    """``schema --check``: 0 clean, 1 drift/missing lock, 2 bad input."""
+    units = extract_schemas(root, package)
+    try:
+        locked = load_lock(lock)
+    except ValueError as exc:
+        return 2, [str(exc)]
+    if locked is None:
+        return 1, [f"{lock}: missing; run `python -m emissary.analysis "
+                   "schema --update` and commit it"]
+    drifts = diff_lock(locked, units)
+    if not drifts:
+        return 0, [f"OK: {len(units)} wire unit(s) match {lock}"]
+    return 1, [d.message for d in drifts]
+
+
+def update(root: str | Path = DEFAULT_ROOT,
+           lock: str | Path = DEFAULT_LOCK,
+           package: str = "emissary") -> tuple[int, list[str]]:
+    """``schema --update``: rewrite the lock, refusing un-bumped drift.
+
+    A versioned unit whose fields changed while its ``schema_version``
+    stayed put is exactly the silent drift the gate exists to stop, so
+    the update refuses it rather than laundering it into the lock.
+    """
+    units = extract_schemas(root, package)
+    try:
+        locked = load_lock(lock)
+    except ValueError as exc:
+        return 2, [str(exc)]
+    if locked is not None:
+        blocked = [
+            d for d in diff_lock(locked, units)
+            if d.kind == "drift" and not d.version_bumped
+            and locked["units"].get(d.unit, {}).get("version") is not None]
+        if blocked:
+            return 1, [d.message for d in blocked] + [
+                "refusing --update: bump the schema_version constant(s) "
+                "above first"]
+    payload = lock_payload(units)
+    Path(lock).write_text(json.dumps(payload, indent=1, sort_keys=True)
+                          + "\n", encoding="utf-8")
+    return 0, [f"wrote {lock} ({len(units)} wire unit(s))"]

@@ -211,6 +211,14 @@ def render_report(envelope: dict[str, Any]) -> str:
                            f"misses={cache_stats.get('misses', 0)}")
     if header_bits:
         out.append("  " + "  ".join(header_bits))
+    analysis = envelope.get("analysis") or {}
+    if analysis:
+        # The lint posture of the tree that produced this sweep (v3+
+        # envelopes): how checked the code was, and how many findings
+        # were waved through.
+        out.append(f"  analysis: {analysis.get('rules', '?')} rules, "
+                   f"{analysis.get('files_scanned', '?')} files scanned, "
+                   f"{analysis.get('suppressions', '?')} suppression(s)")
     out += ["", _format_table(rows)]
 
     out += fairness_lines(rows)

@@ -94,7 +94,9 @@ async def _run_loadgen(args: argparse.Namespace) -> int:
                                 distinct=args.distinct, seed=args.seed)
     text = json.dumps(payload, indent=1, sort_keys=True)
     if args.out:
-        with open(args.out, "w") as fh:
+        # One-shot CLI coroutine: the loadgen has already finished, so
+        # nothing else shares this loop while the result file is written.
+        with open(args.out, "w") as fh:  # emi: ignore[EMI102]
             fh.write(text + "\n")
         print(f"wrote {args.out}")
     print(text)
@@ -123,7 +125,8 @@ async def _run_bench(args: argparse.Namespace) -> int:
         cmd += ["--cache-budget-bytes", str(args.cache_budget_bytes)]
     if args.no_obs:
         cmd += ["--no-obs"]
-    proc = subprocess.Popen(cmd)
+    # Popen only spawns (no wait); the bench loop is otherwise idle here.
+    proc = subprocess.Popen(cmd)  # emi: ignore[EMI102]
     try:
         deadline = time.monotonic() + 30.0
         while True:
@@ -143,7 +146,8 @@ async def _run_bench(args: argparse.Namespace) -> int:
         proc.terminate()
         proc.wait(timeout=10)
     text = json.dumps(payload, indent=1, sort_keys=True)
-    with open(args.out, "w") as fh:
+    # One-shot CLI coroutine: server subprocess is down, loop is idle.
+    with open(args.out, "w") as fh:  # emi: ignore[EMI102]
         fh.write(text + "\n")
     print(f"wrote {args.out}")
     print(text)
@@ -267,7 +271,8 @@ async def _smoke_obs(port: int, traced_body: dict[str, Any],
           f"{len(families)} metric families, "
           f"{len(correlated)} correlated log records")
     if trace_out:
-        with open(trace_out, "w") as fh:
+        # One-shot smoke coroutine: all requests already completed.
+        with open(trace_out, "w") as fh:  # emi: ignore[EMI102]
             json.dump(entry.get("trace", {}), fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"wrote {trace_out}")

@@ -165,7 +165,9 @@ class ChunkedNdjsonWriter:
                 "Transfer-Encoding: chunked\r\n\r\n")
         self._writer.write(head.encode("latin-1"))
         await self._writer.drain()
-        self._started = True
+        # Single-task discipline: one ChunkedWriter is owned by exactly
+        # one handler task; _started never sees a concurrent writer.
+        self._started = True  # emi: ignore[EMI105]
 
     async def event(self, payload: Any) -> None:
         line = json.dumps(payload, sort_keys=True).encode() + b"\n"

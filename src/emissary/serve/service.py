@@ -265,7 +265,14 @@ class SimService:
         A warm-up submit here forks the full complement while the only
         open fds are the service's own.
         """
-        executor = ProcessPoolExecutor(max_workers=self._max_workers)
+        # EMI104 exception, by design: reachable from async _run only on
+        # the BrokenProcessPool *rebuild* path, where the broken pool's
+        # workers are already dead and the replacement must fork while
+        # the server holds its listen socket.  Documented trade-off in
+        # _rebuild_executor; normal construction happens in __init__
+        # before any socket exists.
+        executor = ProcessPoolExecutor(  # emi: ignore[EMI104]
+            max_workers=self._max_workers)
         executor.submit(_warmup_worker).result()
         return executor
 
@@ -535,6 +542,8 @@ class SimService:
             self._obs_logger.removeHandler(self.log_ring)
             if self._obs_prev_level is not None:
                 self._obs_logger.setLevel(self._obs_prev_level)
-            self._obs_logger = None
-            self._obs_prev_level = None
+            # Single-task discipline: aclose is the shutdown path, called
+            # once after the server stops accepting; no task races it.
+            self._obs_logger = None  # emi: ignore[EMI105]
+            self._obs_prev_level = None  # emi: ignore[EMI105]
         self._executor.shutdown(wait=False, cancel_futures=True)

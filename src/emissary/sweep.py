@@ -46,8 +46,9 @@ logger = logging.getLogger(__name__)
 AnyCacheConfig = CacheConfig | HierarchyConfig
 
 #: Version of the ``--out`` / run-report JSON envelope.  Version 1 was a
-#: bare row list (still readable by ``python -m emissary.report``).
-SWEEP_SCHEMA_VERSION = 2
+#: bare row list (still readable by ``python -m emissary.report``);
+#: version 3 added the ``analysis`` lint-posture digest.
+SWEEP_SCHEMA_VERSION = 3
 
 
 def make_config(request: SimRequest) -> dict[str, Any]:
@@ -330,9 +331,12 @@ def build_envelope(rows: list[dict[str, Any]], seed: int, elapsed_s: float,
         per = workers.setdefault(str(meta["pid"]), {"configs": 0, "elapsed_s": 0.0})
         per["configs"] += 1
         per["elapsed_s"] += meta["elapsed_s"]
+    from emissary.analysis.posture import posture
+
     return {
         "schema_version": SWEEP_SCHEMA_VERSION,
         "generated_by": "emissary.sweep",
+        "analysis": posture(),
         "seed": seed,
         "elapsed_s": elapsed_s,
         "grid_size": len(rows),

@@ -6,6 +6,7 @@ numpy-only rules), syntax-error handling (EMI000), rule selection, and
 the three CLI exit codes (0 clean / 1 violations / 2 usage error).
 """
 
+import json
 import textwrap
 
 import pytest
@@ -167,8 +168,10 @@ def test_emi006_flags_ambiguous_astype():
 def test_ignore_pragma_suppresses_named_and_all_codes():
     assert codes("import random  # emi: ignore[EMI001]\n") == []
     assert codes("import random  # emi: ignore\n") == []
-    # Naming a different code does not suppress.
-    assert codes("import random  # emi: ignore[EMI005]\n") == ["EMI001"]
+    # Naming a different code does not suppress — and since EMI007 the
+    # stale EMI005 pragma is itself a finding.
+    assert codes("import random  # emi: ignore[EMI005]\n") == [
+        "EMI001", "EMI007"]
 
 
 def test_syntax_error_becomes_emi000():
@@ -241,3 +244,24 @@ def test_cli_rules_prints_catalog(capsys):
     out = capsys.readouterr().out
     for cls in ALL_RULES:
         assert cls.code in out
+
+
+def test_cli_lint_sarif_writes_file(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\n")
+    out = tmp_path / "out.sarif"
+    assert analysis_main(["lint", str(dirty), "--sarif", str(out)]) == 1
+    assert f"wrote {out}" in capsys.readouterr().err
+    payload = json.loads(out.read_text())
+    assert payload["version"] == "2.1.0"
+    assert payload["runs"][0]["results"][0]["ruleId"] == "EMI001"
+
+
+def test_cli_schema_exit_codes(tmp_path, capsys):
+    # The committed lock matches the tree — the CI drift gate.
+    assert analysis_main(["schema", "--check"]) == 0
+    capsys.readouterr()
+    # A missing lock is drift, not a crash.
+    assert analysis_main(
+        ["schema", "--check", "--lock", str(tmp_path / "nope.json")]) == 1
+    assert "missing" in capsys.readouterr().err

@@ -1,0 +1,268 @@
+"""Unit tests for the project call graph (emissary.analysis.callgraph).
+
+The graph's one promise is conservative over-approximation: every call
+chain the runtime can take is present (dynamic dispatch widens to all
+candidates), cycles terminate, and unresolvable calls are preserved as
+external edges rather than dropped.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from emissary.analysis.callgraph import (
+    COMMON_METHOD_NAMES,
+    build_callgraph,
+    CallGraph,
+)
+
+
+def make_pkg(tmp_path, files: dict[str, str]) -> str:
+    """Lay out a package named ``pkg`` and return its root path."""
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if not (path.parent / "__init__.py").exists():
+            (path.parent / "__init__.py").write_text("")
+        path.write_text(textwrap.dedent(source))
+    return str(root)
+
+
+def build(tmp_path, files: dict[str, str]) -> CallGraph:
+    return build_callgraph(make_pkg(tmp_path, files), package="pkg")
+
+
+def fn_targets(graph: CallGraph, qual: str) -> set[str]:
+    info = graph.function(qual)
+    assert info is not None, f"{qual} not in graph"
+    return {e.target for e in info.edges if e.kind == "fn"}
+
+
+def ext_targets(graph: CallGraph, qual: str) -> set[str]:
+    info = graph.function(qual)
+    assert info is not None, f"{qual} not in graph"
+    return {e.target for e in info.edges if e.kind == "ext"}
+
+
+def test_direct_and_imported_calls_resolve(tmp_path):
+    graph = build(tmp_path, {
+        "a.py": """
+            from pkg.b import helper
+
+            def top():
+                helper()
+                local()
+
+            def local():
+                pass
+        """,
+        "b.py": """
+            def helper():
+                pass
+        """,
+    })
+    assert fn_targets(graph, "pkg.a:top") == {"pkg.b:helper", "pkg.a:local"}
+
+
+def test_module_alias_import_resolves(tmp_path):
+    graph = build(tmp_path, {
+        "a.py": """
+            import pkg.b
+            from pkg import c
+
+            def top():
+                pkg.b.helper()
+                c.other()
+        """,
+        "b.py": "def helper():\n    pass\n",
+        "c.py": "def other():\n    pass\n",
+    })
+    assert fn_targets(graph, "pkg.a:top") == {"pkg.b:helper", "pkg.c:other"}
+
+
+def test_self_dispatch_resolves_within_hierarchy(tmp_path):
+    graph = build(tmp_path, {
+        "a.py": """
+            class Base:
+                def hook(self):
+                    pass
+
+                def run(self):
+                    self.hook()
+
+            class Child(Base):
+                def hook(self):
+                    pass
+        """,
+    })
+    # Conservative: self.hook() from Base.run may land on any override
+    # in the hierarchy.
+    assert fn_targets(graph, "pkg.a:Base.run") == {
+        "pkg.a:Base.hook", "pkg.a:Child.hook"}
+
+
+def test_unknown_receiver_widens_to_all_same_named_methods(tmp_path):
+    graph = build(tmp_path, {
+        "a.py": """
+            class One:
+                def dispatch(self):
+                    pass
+
+            class Two:
+                def dispatch(self):
+                    pass
+
+            def caller(obj):
+                obj.dispatch()
+        """,
+    })
+    # Dynamic-dispatch conservatism: receiver type unknown -> every
+    # project method of that name is a candidate.
+    assert fn_targets(graph, "pkg.a:caller") == {
+        "pkg.a:One.dispatch", "pkg.a:Two.dispatch"}
+
+
+def test_common_container_names_are_not_widened(tmp_path):
+    graph = build(tmp_path, {
+        "a.py": """
+            class Registry:
+                def get(self, key):
+                    pass
+
+            def caller(d):
+                d.get("x")
+        """,
+    })
+    assert "get" in COMMON_METHOD_NAMES
+    # d.get() must NOT link to Registry.get; it stays an external edge.
+    assert fn_targets(graph, "pkg.a:caller") == set()
+    assert "d.get" in ext_targets(graph, "pkg.a:caller")
+
+
+def test_cycles_terminate_and_stay_reachable(tmp_path):
+    graph = build(tmp_path, {
+        "a.py": """
+            def ping():
+                pong()
+
+            def pong():
+                ping()
+                tail()
+
+            def tail():
+                pass
+        """,
+    })
+    reach = graph.reachable(["pkg.a:ping"])
+    assert set(reach.functions) == {"pkg.a:ping", "pkg.a:pong", "pkg.a:tail"}
+    # Shortest path back to the root is recorded for diagnostics.
+    assert reach.functions["pkg.a:tail"] == (
+        "pkg.a:ping", "pkg.a:pong", "pkg.a:tail")
+
+
+def test_externals_carry_call_text_and_site(tmp_path):
+    graph = build(tmp_path, {
+        "a.py": """
+            import time
+
+            def top():
+                mid()
+
+            def mid():
+                time.monotonic()
+        """,
+    })
+    reach = graph.reachable(["pkg.a:top"])
+    chain, line = reach.externals["time.monotonic"]
+    assert chain == ("pkg.a:top", "pkg.a:mid")
+    assert line == 8
+
+
+def test_nested_defs_are_reachable_from_definer(tmp_path):
+    graph = build(tmp_path, {
+        "a.py": """
+            def outer():
+                def inner():
+                    leaf()
+                return inner
+
+            def leaf():
+                pass
+        """,
+    })
+    reach = graph.reachable(["pkg.a:outer"])
+    assert "pkg.a:outer.inner" in reach.functions
+    assert "pkg.a:leaf" in reach.functions
+
+
+def test_instantiation_reaches_init(tmp_path):
+    graph = build(tmp_path, {
+        "a.py": """
+            from pkg.b import Thing
+
+            def top():
+                Thing()
+        """,
+        "b.py": """
+            class Thing:
+                def __init__(self):
+                    self.setup()
+
+                def setup(self):
+                    pass
+        """,
+    })
+    reach = graph.reachable(["pkg.a:top"])
+    assert "pkg.b:Thing.__init__" in reach.functions
+    assert "pkg.b:Thing.setup" in reach.functions
+
+
+def test_async_functions_are_tagged(tmp_path):
+    graph = build(tmp_path, {
+        "a.py": """
+            async def handler():
+                pass
+
+            def plain():
+                pass
+        """,
+    })
+    assert graph.function("pkg.a:handler").is_async
+    assert not graph.function("pkg.a:plain").is_async
+
+
+def test_syntax_error_files_are_skipped(tmp_path):
+    graph = build(tmp_path, {
+        "ok.py": "def fine():\n    pass\n",
+        "broken.py": "def broken(:\n",
+    })
+    assert "pkg.ok:fine" in graph.functions
+    assert all(not q.startswith("pkg.broken") for q in graph.functions)
+
+
+def test_reachable_ignores_unknown_roots(tmp_path):
+    graph = build(tmp_path, {"a.py": "def f():\n    pass\n"})
+    reach = graph.reachable(["pkg.a:f", "pkg.a:missing"])
+    assert set(reach.functions) == {"pkg.a:f"}
+
+
+@pytest.mark.parametrize("method", sorted(COMMON_METHOD_NAMES)[:3])
+def test_common_names_still_resolve_on_known_receiver(tmp_path, method):
+    graph = build(tmp_path, {
+        "a.py": f"""
+            class Box:
+                def {method}(self):
+                    pass
+
+                def run(self):
+                    self.{method}()
+        """,
+    })
+    # Known receiver hierarchy beats the denylist: self-dispatch still
+    # resolves even for common names.
+    assert fn_targets(graph, "pkg.a:Box.run") == {f"pkg.a:Box.{method}"}

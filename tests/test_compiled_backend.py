@@ -44,17 +44,28 @@ try:
 except CompiledUnavailableError:
     COMPILED_AVAILABLE = False
 
-needs_compiled = pytest.mark.skipif(
+_needs_compiled_skip = pytest.mark.skipif(
     not COMPILED_AVAILABLE,
     reason="no compiled kernel provider (numba or a C compiler) available")
+
+
+def needs_compiled(func):  # noqa: ANN001, ANN201 - pytest decorator
+    return pytest.mark.needs_compiled(_needs_compiled_skip(func))
 
 # Wheel-availability guard: numba ships binary wheels on a lag behind new
 # CPython releases, so "pip install numba" can legitimately fail or be
 # skipped on a matrix leg.  Tests that *require* the numba provider take
 # this marker; the rest of the file must stay green without the wheel.
-needs_numba = pytest.mark.skipif(
+# The selectable `needs_numba` mark (registered in pyproject.toml) rides
+# along so the CI numba leg can run `-m needs_numba` and fail — exit 5 —
+# if the marked tests ever stop being collected.
+_needs_numba_skip = pytest.mark.skipif(
     not HAVE_NUMBA,
     reason="numba wheel not installed in this environment")
+
+
+def needs_numba(func):  # noqa: ANN001, ANN201 - pytest decorator
+    return pytest.mark.needs_numba(_needs_numba_skip(func))
 
 POLICIES = [
     PolicySpec("lru"),

@@ -55,9 +55,13 @@ try:
 except CompiledUnavailableError:
     COMPILED_AVAILABLE = False
 
-needs_compiled = pytest.mark.skipif(
+_needs_compiled_skip = pytest.mark.skipif(
     not COMPILED_AVAILABLE,
     reason="no compiled kernel provider (numba or a C compiler) available")
+
+
+def needs_compiled(func):  # noqa: ANN001, ANN201 - pytest decorator
+    return pytest.mark.needs_compiled(_needs_compiled_skip(func))
 
 policies = st.sampled_from([
     PolicySpec("lru"),

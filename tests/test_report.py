@@ -72,6 +72,18 @@ def test_render_report_golden_sections():
     assert "[2] loop/srrip single: ValueError: boom" in report
 
 
+def test_render_report_analysis_digest():
+    # v2 envelopes have no analysis digest; the line must be absent.
+    assert "analysis:" not in render_report(_envelope())
+    # v3 envelopes carry the lint posture stamped by the sweep.
+    envelope = _envelope()
+    envelope["schema_version"] = 3
+    envelope["analysis"] = {"rules": 12, "files_scanned": 48,
+                            "suppressions": 9}
+    report = render_report(envelope)
+    assert "analysis: 12 rules, 48 files scanned, 9 suppression(s)" in report
+
+
 def test_render_report_stream_digest():
     """Streamed rows (stream_ingest/stream_chunk spans, possibly under
     l1./l2. prefixes) get a one-line ingest-vs-simulate summary."""

@@ -1,0 +1,97 @@
+"""SARIF output tests: golden structure plus validation against a
+vendored subset of the official SARIF 2.1.0 JSON schema (the subset
+keeps the spec's required fields and types for every property we emit;
+jsonschema is a dev dependency, so the validation is skipped only if
+the environment lacks it)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from emissary.analysis.lint import LintReport, Violation, lint_paths
+from emissary.analysis.sarif import sarif_log, write_sarif
+
+SCHEMA_PATH = Path(__file__).parent / "data" / "sarif-2.1.0-subset.schema.json"
+
+jsonschema = pytest.importorskip("jsonschema")
+
+
+def validate(log: dict) -> None:
+    schema = json.loads(SCHEMA_PATH.read_text())
+    jsonschema.validate(log, schema,
+                        format_checker=jsonschema.FormatChecker())
+
+
+def sample_report() -> LintReport:
+    return LintReport(violations=(
+        Violation(code="EMI001", path="src/emissary/x.py", line=3, col=1,
+                  message="stdlib `random` uses process-global state"),
+        Violation(code="EMI102", path="src/emissary/serve/y.py", line=10,
+                  col=5, message="blocking call `time.sleep`"),
+    ), files_checked=2)
+
+
+def test_sarif_log_golden_structure():
+    log = sarif_log(sample_report())
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "emissary-analysis"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    # The full catalog rides along so code scanning can render help
+    # text even for rules with no findings this run.
+    assert "EMI001" in rule_ids and "EMI101" in rule_ids \
+        and "EMI007" in rule_ids
+    assert rule_ids == sorted(rule_ids, key=rule_ids.index)  # stable order
+
+    first, second = run["results"]
+    assert first == {
+        "ruleId": "EMI001",
+        "level": "error",
+        "message": {"text": "stdlib `random` uses process-global state"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": "src/emissary/x.py",
+                                     "uriBaseId": "%SRCROOT%"},
+                "region": {"startLine": 3, "startColumn": 1},
+            },
+        }],
+    }
+    assert second["ruleId"] == "EMI102"
+
+
+def test_sarif_validates_against_2_1_0_schema():
+    validate(sarif_log(sample_report()))
+    # An empty report is also a valid log (runs with zero results).
+    validate(sarif_log(LintReport(violations=(), files_checked=0)))
+
+
+def test_write_sarif_round_trips(tmp_path):
+    out = tmp_path / "report.sarif"
+    write_sarif(sample_report(), out)
+    payload = json.loads(out.read_text())
+    assert payload == sarif_log(sample_report())
+    validate(payload)
+
+
+def test_real_tree_sarif_is_schema_valid(tmp_path):
+    report = lint_paths(["src/emissary/analysis"])
+    log = sarif_log(report)
+    validate(log)
+    assert log["runs"][0]["results"] == []  # the tree is clean
+
+
+def test_zero_line_violations_clamp_to_one():
+    # EMI000 syntax errors can carry line/col 0; SARIF requires >= 1.
+    report = LintReport(violations=(
+        Violation(code="EMI000", path="bad.py", line=0, col=0,
+                  message="syntax error"),), files_checked=1)
+    log = sarif_log(report)
+    region = log["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"]["region"]
+    assert region == {"startLine": 1, "startColumn": 1}
+    validate(log)

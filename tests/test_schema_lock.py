@@ -1,0 +1,177 @@
+"""Wire-schema drift gate tests (emissary.analysis.schema_lock).
+
+Round-trip on the real tree, extraction fidelity on synthetic packages,
+and the two failure modes the gate exists for: field drift without a
+version bump (check fails, update refuses) and honest bumps (update
+re-locks, check passes again).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from emissary.analysis import schema_lock
+from emissary.analysis.schema_lock import (
+    check,
+    diff_lock,
+    extract_schemas,
+    lock_payload,
+    update,
+)
+
+
+def make_pkg(tmp_path, files: dict[str, str], name: str = "pkg") -> str:
+    root = tmp_path / name
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return str(root)
+
+
+WIRE_PKG = {
+    "wire.py": """
+        VERSION = 3
+        KEY = "schema_version"
+    """,
+    "api.py": """
+        from pkg.wire import KEY, VERSION
+
+        class Req:
+            _WIRE_KEYS = frozenset({KEY, "trace", "seed"})
+
+            def to_dict(self):
+                d = {KEY: VERSION, "trace": self.trace}
+                if self.seed is not None:
+                    d["seed"] = self.seed
+                return d
+
+            @classmethod
+            def from_dict(cls, d):
+                check_known_keys(d, cls._WIRE_KEYS, "Req")
+                return cls(d["trace"], d.get("seed"))
+
+        class WideReq(Req):
+            _WIRE_KEYS = Req._WIRE_KEYS | {"extra"}
+
+            def to_dict(self):
+                d = super().to_dict()
+                d["extra"] = self.extra
+                return d
+
+            @classmethod
+            def from_dict(cls, d):
+                check_known_keys(d, cls._WIRE_KEYS, "WideReq")
+                return cls(d["trace"], d.get("seed"), d["extra"])
+    """,
+    "sweep.py": """
+        ENVELOPE_VERSION = 2
+
+        def build(rows):
+            return {
+                "schema_version": ENVELOPE_VERSION,
+                "rows": rows,
+            }
+    """,
+}
+
+
+def test_extraction_resolves_constants_inheritance_and_envelopes(tmp_path):
+    units = extract_schemas(make_pkg(tmp_path, WIRE_PKG), package="pkg")
+    req = units["pkg.api:Req"]
+    assert req.version == 3
+    # Dict-literal keys, conditional d["seed"] assignment, and the
+    # KEY constant resolved across modules.
+    assert req.to_dict == ("schema_version", "seed", "trace")
+    assert req.from_dict == ("schema_version", "seed", "trace")
+
+    wide = units["pkg.api:WideReq"]
+    # super().to_dict() inheritance unions the parent fields and adopts
+    # the parent's version stamp.
+    assert wide.to_dict == ("extra", "schema_version", "seed", "trace")
+    assert wide.from_dict == ("extra", "schema_version", "seed", "trace")
+    assert wide.version == 3
+
+    envelope = units["pkg.sweep:build"]
+    assert envelope.version == 2
+    assert envelope.to_dict == ("rows", "schema_version")
+    assert envelope.from_dict is None
+
+
+def test_check_round_trips_after_update(tmp_path):
+    root = make_pkg(tmp_path, WIRE_PKG)
+    lock = tmp_path / "schemas.lock.json"
+    code, _ = update(root=root, lock=lock, package="pkg")
+    assert code == 0
+    code, messages = check(root=root, lock=lock, package="pkg")
+    assert code == 0, messages
+    # The lock file itself is stable JSON.
+    payload = json.loads(lock.read_text())
+    assert payload["lock_version"] == schema_lock.LOCK_FORMAT_VERSION
+    assert payload == lock_payload(extract_schemas(root, "pkg"))
+
+
+def test_missing_lock_fails_check(tmp_path):
+    root = make_pkg(tmp_path, WIRE_PKG)
+    code, messages = check(root=root, lock=tmp_path / "nope.json",
+                           package="pkg")
+    assert code == 1
+    assert "missing" in messages[0]
+
+
+def test_field_rename_without_bump_fails_check_and_update(tmp_path):
+    root = make_pkg(tmp_path, WIRE_PKG)
+    lock = tmp_path / "schemas.lock.json"
+    assert update(root=root, lock=lock, package="pkg")[0] == 0
+
+    api = tmp_path / "pkg" / "api.py"
+    api.write_text(api.read_text().replace('"trace"', '"trace_spec"'))
+
+    code, messages = check(root=root, lock=lock, package="pkg")
+    assert code == 1
+    drifted = "\n".join(messages)
+    assert "trace_spec" in drifted and "bump" in drifted
+
+    # --update refuses to launder the un-bumped drift into the lock.
+    code, messages = update(root=root, lock=lock, package="pkg")
+    assert code == 1
+    assert any("refusing" in m for m in messages)
+
+
+def test_bump_then_update_re_locks(tmp_path):
+    root = make_pkg(tmp_path, WIRE_PKG)
+    lock = tmp_path / "schemas.lock.json"
+    assert update(root=root, lock=lock, package="pkg")[0] == 0
+
+    api = tmp_path / "pkg" / "api.py"
+    api.write_text(api.read_text().replace('"trace"', '"trace_spec"'))
+    wire = tmp_path / "pkg" / "wire.py"
+    wire.write_text(wire.read_text().replace("VERSION = 3", "VERSION = 4"))
+
+    code, _ = update(root=root, lock=lock, package="pkg")
+    assert code == 0
+    code, messages = check(root=root, lock=lock, package="pkg")
+    assert code == 0, messages
+
+
+def test_new_and_vanished_units_are_drift(tmp_path):
+    root = make_pkg(tmp_path, WIRE_PKG)
+    units = extract_schemas(root, "pkg")
+    locked = lock_payload(units)
+
+    trimmed = dict(units)
+    trimmed.pop("pkg.sweep:build")
+    drifts = diff_lock(locked, trimmed)
+    assert [d.kind for d in drifts] == ["removed-unit"]
+
+    drifts = diff_lock({"lock_version": 1, "units": {}}, units)
+    assert {d.kind for d in drifts} == {"added-unit"}
+
+
+def test_repo_lock_is_current():
+    """The committed schemas.lock.json matches the tree — the CI gate."""
+    code, messages = check()
+    assert code == 0, messages

@@ -638,13 +638,13 @@ class TestObservability:
                 assert key in service._spool_timers  # tracked, not fired
                 # Stand-in for the worker's final tick: written before the
                 # grace timer fires, visible to late-polling relays.
-                spool.write_text('{"done": 1}')
+                spool.write_text('{"done": 1}')  # emi: ignore[EMI102]
                 await asyncio.sleep(0.2)
                 fired = not spool.exists() and key not in service._spool_timers
 
                 # Second pass: aclose before the timer fires must still
                 # remove the spool (the loop dies with the timer pending).
-                spool.write_text('{"done": 2}')
+                spool.write_text('{"done": 2}')  # emi: ignore[EMI102]
                 service._schedule_spool_cleanup(asyncio.get_running_loop(),
                                                 key, spool)
             finally:
